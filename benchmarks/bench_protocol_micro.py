@@ -1,0 +1,65 @@
+"""Protocol micro-benchmarks (timed with pytest-benchmark).
+
+These measure the simulator's own throughput — useful when scaling the
+corpora up to the paper's full 100 sites x 31 runs.
+"""
+
+from repro.h2.frames import DataFrame, FrameReader
+from repro.h2.hpack import HpackDecoder, HpackEncoder
+from repro.replay import replay_site
+from repro.sites.synthetic import s2_landing
+
+HEADERS = [
+    (":method", "GET"),
+    (":scheme", "https"),
+    (":authority", "www.example.com"),
+    (":path", "/assets/app-39fa2bb1.js"),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", "en-US,en;q=0.9"),
+    ("user-agent", "Mozilla/5.0 (X11; Linux x86_64) repro/1.0"),
+    ("cookie", "session=0123456789abcdef; theme=dark"),
+]
+
+
+def test_hpack_encode_throughput(benchmark):
+    encoder = HpackEncoder()
+
+    def encode():
+        return encoder.encode(HEADERS)
+
+    block = benchmark(encode)
+    assert len(block) > 0
+
+
+def test_hpack_round_trip_throughput(benchmark):
+    encoder, decoder = HpackEncoder(), HpackDecoder()
+
+    def round_trip():
+        return decoder.decode(encoder.encode(HEADERS))
+
+    headers = benchmark(round_trip)
+    assert headers == HEADERS
+
+
+def test_frame_parse_throughput(benchmark):
+    wire = b"".join(
+        DataFrame(stream_id=1, data=b"x" * 1400).serialize() for _ in range(100)
+    )
+
+    def parse():
+        reader = FrameReader()
+        return len(reader.feed(wire))
+
+    count = benchmark(parse)
+    assert count == 100
+
+
+def test_full_page_load_throughput(benchmark):
+    """One complete replayed page load (site s2) per iteration."""
+    spec = s2_landing()
+
+    def load():
+        return replay_site(spec)
+
+    result = benchmark(load)
+    assert result.plt_ms > 0

@@ -1,0 +1,18 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts the reproduction target (the *shape* of the result — who wins,
+roughly by how much), and writes the rendered rows/series to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""The paper's §6 vision: a CDN selecting push strategies per site.
+
+For each site the selector (1) ranks the six §5 deployments in the
+deterministic lab testbed, then (2) validates the lab winner against
+the original deployment in a RUM-style A/B test under noisy client
+network conditions, deploying only when the improvement survives the
+noise with confidence.
+
+Expected outcome (mirroring the paper): w1 (wikipedia) gets an
+interleaving deployment; w17 (cnn) keeps its original configuration —
+its load process is too complex for push to pay off.
+
+Run:  python examples/cdn_ab_testing.py
+"""
+
+from repro.experiments.ab_testing import ABTestConfig, StrategySelector
+from repro.sites.realworld import w1_wikipedia, w16_twitter, w17_cnn
+
+
+def main() -> None:
+    config = ABTestConfig(lab_runs=3, rum_runs=7)
+    for spec_factory in (w1_wikipedia, w16_twitter, w17_cnn):
+        spec = spec_factory()
+        result = StrategySelector(spec, config).run()
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Record a website to disk and replay it — the Mahimahi workflow.
+
+The paper's testbed records live request/response pairs with mitmproxy
+and converts them to Mahimahi's record format (§4.1).  This example
+shows the equivalent offline pipeline:
+
+1. build a website model into real HTTP bodies,
+2. record them into a record database and save it to disk
+   (one JSON file per exchange),
+3. reload the database in a fresh process-like step and inspect it,
+4. replay the page from the loaded records.
+
+Run:  python examples/record_and_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.html.resources import ResourceType as RT
+from repro.replay import RecordDatabase, ReplayTestbed, record_site
+from repro.strategies import PushAllStrategy
+
+
+def make_site() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="blog",
+        primary_domain="blog.example",
+        html_size=45_000,
+        html_visual_weight=35,
+        resources=[
+            ResourceSpec("theme.css", ResourceType.CSS, 20_000, in_head=True, exec_ms=4),
+            ResourceSpec("serif.woff2", ResourceType.FONT, 30_000,
+                         loaded_by="theme.css", visual_weight=12),
+            ResourceSpec("header.jpg", ResourceType.IMAGE, 60_000,
+                         body_fraction=0.1, visual_weight=15),
+            ResourceSpec("widget.js", ResourceType.JS, 25_000,
+                         body_fraction=0.8, async_script=True, exec_ms=10),
+        ],
+    )
+
+
+def main() -> None:
+    spec = make_site()
+    built = build_site(spec)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        record_dir = Path(tmp) / "recorded-blog"
+
+        # --- record ---
+        db = record_site(built)
+        count = db.save(record_dir)
+        print(f"recorded {count} exchanges into {record_dir.name}/")
+
+        # --- reload & inspect ---
+        loaded = RecordDatabase.load(record_dir)
+        print("\nrecord inventory:")
+        for record in sorted(loaded, key=lambda r: r.url):
+            print(f"  {record.url:<42} {record.rtype.value:<6} {record.size:>7} B")
+        css_count = len(loaded.by_type(RT.CSS))
+        print(f"\nstylesheets in the capture: {css_count}")
+
+        # --- replay from the loaded database ---
+        testbed = ReplayTestbed(built=built, strategy=PushAllStrategy())
+        testbed.db = loaded  # serve from the reloaded records
+        result = testbed.run()
+        print(
+            f"\nreplayed with push all: PLT {result.plt_ms:.0f} ms, "
+            f"SpeedIndex {result.speed_index_ms:.0f} ms, "
+            f"pushed {result.pushed_bytes / 1000:.1f} KB over "
+            f"{result.connections} connection(s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,903 @@
+"""The browser model: one page load over the simulated network.
+
+The model implements the critical-rendering-path semantics the paper's
+case-study analysis relies on:
+
+* an **incremental tokenizer** doubles as the preload scanner — every
+  resource reference is fetched the moment its bytes arrive, even while
+  the DOM parser is blocked;
+* the **DOM parser** lags behind: it charges main-thread time per byte
+  and stops at synchronous scripts, which execute only once both the
+  script bytes and the CSSOM (pending render-blocking stylesheets) are
+  available;
+* **render blocking**: first paint requires the ``<head>`` parsed and
+  every in-head non-print stylesheet loaded *and* parsed.  Stylesheets
+  referenced in the body (the critical-CSS trick) never block paint;
+* **paints** happen per text block / image / font / script-revealed
+  content, feeding the visual-progress curve that SpeedIndex
+  integrates;
+* **Server Push** handling: PUSH_PROMISEs for cached or already
+  requested URLs are cancelled with RST_STREAM (often too late, as the
+  paper notes); other pushed streams park until the parser or preload
+  scanner claims them.
+
+Connections are opened per origin with RFC 7540 §9.1.1 coalescing:
+a domain rides an existing connection when it resolves to the same IP
+and the server's certificate covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..errors import BrowserError
+from ..h2.connection import H2Connection
+from ..h2.constants import ErrorCode
+from ..h2.frames import PriorityData
+from ..h2.settings import Settings
+from ..html.resources import ResourceType, classify_url, split_url
+from ..html.tokenizer import (
+    DocumentEndToken,
+    FontToken,
+    HeadEndToken,
+    HtmlTokenizer,
+    ImageToken,
+    ScriptToken,
+    StylesheetToken,
+    TextToken,
+    Token,
+    scan_css,
+    scan_exec_hint,
+    scan_js,
+)
+from ..netsim.topology import Topology
+from ..sim import Simulator
+
+if TYPE_CHECKING:  # typing-only imports; avoids a cycle through repro.replay
+    from ..replay.certs import CertificateAuthority
+    from ..server.h2server import ServerFarm
+from .cache import BrowserCache
+from .main_thread import MainThread
+from .priorities import WEIGHT_ASYNC_JS, WEIGHT_IMAGE, WEIGHT_MAIN, weight_for
+from .timings import PageTimeline, RequestTrace
+
+
+@dataclass
+class BrowserConfig:
+    """Tunables of the browser model."""
+
+    #: Send SETTINGS_ENABLE_PUSH=0 when False (the paper's *no push*).
+    enable_push: bool = True
+    #: Main-thread HTML parsing throughput.
+    parse_rate_bytes_per_ms: float = 5_000.0
+    #: SETTINGS_INITIAL_WINDOW_SIZE advertised by the client
+    #: (Chromium uses a multi-megabyte window).
+    initial_window: int = 6 * 1024 * 1024
+    #: Relative jitter applied to main-thread task durations (models
+    #: client-side processing noise across repeated runs).
+    cpu_jitter: float = 0.04
+    #: Chromium's resource scheduler keeps only a bounded number of
+    #: *delayable* (image / async-script / other low-priority) requests
+    #: in flight so they cannot starve render-critical fetches.
+    max_delayable_in_flight: int = 10
+    #: Attach a cache digest (draft-ietf-httpbis-cache-digest) to the
+    #: navigation request so the server can skip pushing cached objects.
+    send_cache_digest: bool = False
+    #: Application protocol: "h2" (default) or "h1" — the HTTP/1.1
+    #: baseline with six serial connections per origin and no push.
+    protocol: str = "h2"
+
+
+class _Fetch:
+    """One resource load (requested or pushed)."""
+
+    __slots__ = (
+        "url",
+        "rtype",
+        "stream_id",
+        "conn_key",
+        "body",
+        "discovered_at",
+        "requested_at",
+        "response_start",
+        "finished_at",
+        "pushed",
+        "adopted",
+        "cancelled",
+        "from_cache",
+        "complete",
+        "render_blocking",
+        "cssom_ready",
+        "parsed",
+        "painted",
+        "visual_weight",
+        "above_fold",
+        "exec_ms",
+        "is_async",
+        "is_defer",
+        "token_offset",
+        "executed",
+        "weight",
+    )
+
+    def __init__(self, url: str, rtype: ResourceType):
+        self.url = url
+        self.rtype = rtype
+        self.stream_id: Optional[int] = None
+        self.conn_key: Optional[str] = None
+        self.body = bytearray()
+        self.discovered_at = 0.0
+        self.requested_at: Optional[float] = None
+        self.response_start: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.pushed = False
+        self.adopted = False
+        self.cancelled = False
+        self.from_cache = False
+        self.complete = False
+        self.render_blocking = False
+        self.cssom_ready = False  # CSS: loaded AND parsed
+        self.parsed = False       # the referencing element was DOM-parsed
+        self.painted = False
+        self.visual_weight = 0.0
+        self.above_fold = True
+        self.exec_ms = 0.0
+        self.is_async = False
+        self.is_defer = False
+        self.token_offset = 0
+        self.executed = False
+        self.weight: Optional[int] = None
+
+
+class _ConnectionEntry:
+    """A pooled client connection (possibly still handshaking)."""
+
+    __slots__ = (
+        "ip",
+        "domain",
+        "conn",
+        "established",
+        "pending",
+        "html_stream_id",
+        "chain",
+    )
+
+    def __init__(self, ip: str, domain: str):
+        self.ip = ip
+        self.domain = domain
+        self.conn: Optional[H2Connection] = None
+        self.established = False
+        self.pending: List[_Fetch] = []
+        self.html_stream_id: Optional[int] = None
+        #: (stream_id, weight, fetch) in creation order — the Chromium
+        #: H2 dependency chain (see _parent_for).
+        self.chain: List[tuple] = []
+
+
+class PageLoad:
+    """Drives one navigation to completion and records the timeline."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        servers: ServerFarm,
+        ca: CertificateAuthority,
+        main_url: str,
+        config: Optional[BrowserConfig] = None,
+        cache: Optional[BrowserCache] = None,
+        rng=None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.servers = servers
+        self.ca = ca
+        self.main_url = main_url
+        self.config = config or BrowserConfig()
+        # Note: an empty BrowserCache is falsy (it has __len__), so an
+        # ``or`` default would silently discard a shared cache object.
+        self.cache = cache if cache is not None else BrowserCache()
+        self.timeline = PageTimeline()
+        self.main_thread = MainThread(sim, rng=rng, jitter=self.config.cpu_jitter)
+        self.main_thread.on_idle = self._check_onload
+
+        self._fetches: Dict[str, _Fetch] = {}
+        self._stream_fetch: Dict[tuple, _Fetch] = {}  # (conn_key, stream_id)
+        self._pushed_unclaimed: Dict[str, _Fetch] = {}
+        self._connections: Dict[str, _ConnectionEntry] = {}
+
+        self._tokenizer = HtmlTokenizer()
+        self._tokens: List[Token] = []
+        #: </head> has been *scanned* (tokenizer), vs parsed below.
+        self._head_seen_in_scan = False
+        self._parser_index = 0
+        self._parsed_offset = 0
+        self._parser_task_running = False
+        self._blocking_script: Optional[_Fetch] = None
+        self._head_parsed = False
+        self._parser_done = False
+        self._html_complete = False
+        self._render_started = False
+        self._deferred_scripts: List[_Fetch] = []
+        self._pending_paints: List[tuple] = []  # (weight, source)
+        self._pending_inline: Optional[ScriptToken] = None
+        self._onload_fired = False
+        self._delayable_queue: List[_Fetch] = []
+        self._delayable_in_flight = 0
+        self._h1_pools = None
+        if self.config.protocol == "h1":
+            from ..h1.pool import H1PoolManager
+
+            self._h1_pools = H1PoolManager(
+                topology, lambda ip: self.servers.get(ip).accept
+            )
+        elif self.config.protocol != "h2":
+            raise BrowserError(f"unknown protocol {self.config.protocol!r}")
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the navigation; run the simulator afterwards."""
+        self.timeline.navigation_start = self.sim.now
+        main_domain = split_url(self.main_url)[0]
+        # The navigation's own DNS lookup happens before connectEnd; the
+        # paper's PLT starts at connectEnd, so pre-warm it.
+        self.topology.prewarm_dns(main_domain)
+        fetch = self._new_fetch(self.main_url, ResourceType.HTML, initiator="navigation")
+        self.timeline.requests.append(
+            RequestTrace(
+                url=self.main_url,
+                requested_at=self.sim.now,
+                weight=WEIGHT_MAIN,
+                pushed=False,
+                initiator="navigation",
+            )
+        )
+        self._issue_request(fetch)
+
+    @property
+    def finished(self) -> bool:
+        return self._onload_fired
+
+    # ------------------------------------------------------------------
+    # fetch machinery
+    # ------------------------------------------------------------------
+    def _new_fetch(self, url: str, rtype: ResourceType, initiator: str) -> _Fetch:
+        fetch = _Fetch(url, rtype)
+        fetch.discovered_at = self.sim.now
+        self._fetches[url] = fetch
+        return fetch
+
+    def fetch(
+        self,
+        url: str,
+        rtype: ResourceType,
+        initiator: str,
+        is_async: bool = False,
+        initiator_url: Optional[str] = None,
+        weight_override: Optional[int] = None,
+    ) -> _Fetch:
+        """Load a resource: cache, pushed stream, or network request."""
+        existing = self._fetches.get(url)
+        if existing is not None:
+            return existing
+        fetch = self._new_fetch(url, rtype, initiator)
+        fetch.is_async = is_async
+        fetch.weight = weight_override if weight_override is not None else weight_for(rtype, is_async)
+
+        cached_body = self.cache.lookup(url)
+        if cached_body is not None:
+            fetch.from_cache = True
+            fetch.requested_at = self.sim.now
+            fetch.body.extend(cached_body)
+            self.sim.call_soon(lambda: self._complete_fetch(fetch))
+            return fetch
+
+        parked = self._pushed_unclaimed.pop(url, None)
+        if parked is not None:
+            self._adopt_push(fetch, parked)
+            return fetch
+
+        self.timeline.requests.append(
+            RequestTrace(
+                url=url,
+                requested_at=self.sim.now,
+                weight=fetch.weight,
+                pushed=False,
+                initiator=initiator,
+                initiator_url=initiator_url,
+            )
+        )
+        if self._is_delayable(fetch):
+            if self._delayable_in_flight >= self.config.max_delayable_in_flight:
+                self._delayable_queue.append(fetch)
+                return fetch
+            self._delayable_in_flight += 1
+        fetch.requested_at = self.sim.now
+        self._issue_request(fetch)
+        return fetch
+
+    def _is_delayable(self, fetch: _Fetch) -> bool:
+        """Chromium resource-scheduler classification: low-priority
+        requests that may be held back while critical work is active."""
+        weight = fetch.weight if fetch.weight is not None else weight_for(
+            fetch.rtype, fetch.is_async
+        )
+        return weight <= WEIGHT_ASYNC_JS
+
+    def _release_delayable(self, fetch: _Fetch) -> None:
+        if not self._is_delayable(fetch) or fetch.pushed or fetch.from_cache:
+            return
+        self._delayable_in_flight = max(self._delayable_in_flight - 1, 0)
+        while (
+            self._delayable_queue
+            and self._delayable_in_flight < self.config.max_delayable_in_flight
+        ):
+            queued = self._delayable_queue.pop(0)
+            self._delayable_in_flight += 1
+            queued.requested_at = self.sim.now
+            self._issue_request(queued)
+
+    def _issue_request(self, fetch: _Fetch) -> None:
+        if self._h1_pools is not None:
+            self._issue_h1_request(fetch)
+            return
+        domain = split_url(fetch.url)[0]
+        entry = self._connection_for(domain)
+        if not entry.established:
+            entry.pending.append(fetch)
+            return
+        self._send_request(entry, fetch)
+
+    def _issue_h1_request(self, fetch: _Fetch) -> None:
+        """HTTP/1.1 path: serial requests over a per-origin pool."""
+        domain = split_url(fetch.url)[0]
+        pool = self._h1_pools.pool_for(domain)
+        if self.timeline.connect_end is None and pool.on_first_established is None:
+            def mark_connected() -> None:
+                if self.timeline.connect_end is None:
+                    self.timeline.connect_end = self.sim.now
+
+            pool.on_first_established = mark_connected
+        if fetch.requested_at is None:
+            fetch.requested_at = self.sim.now
+
+        def on_response(status, headers) -> None:
+            if fetch.response_start is None:
+                fetch.response_start = self.sim.now
+            if fetch.rtype == ResourceType.HTML:
+                for hint in _parse_link_preloads(headers):
+                    self.fetch(hint, classify_url(hint), initiator="hint")
+
+        def on_data(chunk: bytes) -> None:
+            fetch.body.extend(chunk)
+            if fetch.rtype == ResourceType.HTML and fetch.url == self.main_url:
+                self._on_html_bytes(chunk)
+
+        pool.fetch(
+            fetch.url,
+            on_response=on_response,
+            on_data=on_data,
+            on_complete=lambda: self._complete_fetch(fetch),
+            headers=[("user-agent", "repro-browser/1.0 (HTTP/1.1)")],
+        )
+
+    def _connection_for(self, domain: str) -> _ConnectionEntry:
+        ip = self.topology.resolve(domain)
+        # Exact-origin reuse.
+        entry = self._connections.get(domain)
+        if entry is not None:
+            return entry
+        # RFC 7540 §9.1.1 coalescing onto an existing connection.
+        for existing in self._connections.values():
+            if self.ca.can_coalesce(existing.ip, domain, ip):
+                self._connections[domain] = existing
+                return existing
+        entry = _ConnectionEntry(ip, domain)
+        self._connections[domain] = entry
+        self.topology.open_connection(domain, lambda tcp: self._on_connected(entry, tcp))
+        return entry
+
+    def _on_connected(self, entry: _ConnectionEntry, tcp) -> None:
+        if entry.ip not in self.servers:
+            raise BrowserError(f"no replay server for IP {entry.ip}")
+        self.servers.get(entry.ip).accept(tcp)
+        settings = Settings(
+            enable_push=1 if self.config.enable_push else 0,
+            initial_window_size=self.config.initial_window,
+        )
+        conn = H2Connection(tcp.client, "client", settings=settings)
+        conn.on_response = lambda sid, headers: self._on_response(entry, sid, headers)
+        conn.on_data = lambda sid, data: self._on_data(entry, sid, data)
+        conn.on_stream_end = lambda sid: self._on_stream_end(entry, sid)
+        conn.on_push_promise = (
+            lambda parent, promised, headers: self._on_push_promise(entry, promised, headers)
+        )
+        entry.conn = conn
+        entry.established = True
+        if self.timeline.connect_end is None:
+            self.timeline.connect_end = self.sim.now
+        pending, entry.pending = entry.pending, []
+        for fetch in pending:
+            self._send_request(entry, fetch)
+
+    def _send_request(self, entry: _ConnectionEntry, fetch: _Fetch) -> None:
+        domain, path = split_url(fetch.url)
+        headers = [
+            (":method", "GET"),
+            (":scheme", "https"),
+            (":authority", domain),
+            (":path", path),
+            ("user-agent", "repro-browser/1.0 (Chromium 64 model)"),
+            ("accept-encoding", "gzip, deflate"),
+        ]
+        if (
+            fetch.rtype == ResourceType.HTML
+            and self.config.send_cache_digest
+            and len(self.cache)
+        ):
+            from ..h2.cache_digest import CacheDigest
+
+            digest = CacheDigest.from_urls(self.cache.urls())
+            headers.append(("cache-digest", digest.to_header_value()))
+        weight = fetch.weight if fetch.weight is not None else weight_for(
+            fetch.rtype, fetch.is_async
+        )
+        depends_on = self._parent_for(entry, weight)
+        priority = PriorityData(depends_on=depends_on, weight=weight)
+        stream_id = entry.conn.request(headers, priority=priority)
+        entry.chain.append((stream_id, weight, fetch))
+        fetch.stream_id = stream_id
+        fetch.conn_key = entry.domain
+        if fetch.requested_at is None:
+            fetch.requested_at = self.sim.now
+        if fetch.rtype == ResourceType.HTML and entry.html_stream_id is None:
+            entry.html_stream_id = stream_id
+        self._stream_fetch[(id(entry.conn), stream_id)] = fetch
+
+    def _parent_for(self, entry: _ConnectionEntry, weight: int) -> int:
+        """Chromium's H2 dependency chain: a new stream depends on the
+        most recently created, still-active stream of greater-or-equal
+        priority.  The resulting tree serializes lower-priority streams
+        behind critical ones — the server sends the entire HTML before
+        the CSS, the CSS before scripts, scripts before images (§5)."""
+        for stream_id, chain_weight, fetch in reversed(entry.chain):
+            if chain_weight >= weight and not fetch.complete and not fetch.cancelled:
+                return stream_id
+        if entry.html_stream_id is not None and not self._html_complete:
+            return entry.html_stream_id
+        return 0
+
+    # ------------------------------------------------------------------
+    # connection events
+    # ------------------------------------------------------------------
+    def _on_response(self, entry: _ConnectionEntry, stream_id: int, headers) -> None:
+        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        if fetch is not None and fetch.response_start is None:
+            fetch.response_start = self.sim.now
+        if fetch is not None and fetch.rtype == ResourceType.HTML:
+            for hint in _parse_link_preloads(headers):
+                self.fetch(hint, classify_url(hint), initiator="hint")
+
+    def _on_data(self, entry: _ConnectionEntry, stream_id: int, data: bytes) -> None:
+        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        if fetch is None or fetch.cancelled:
+            return
+        fetch.body.extend(data)
+        if fetch.pushed:
+            self.timeline.pushed_bytes += len(data)
+        if fetch.rtype == ResourceType.HTML and fetch.url == self.main_url:
+            self._on_html_bytes(data)
+
+    def _on_stream_end(self, entry: _ConnectionEntry, stream_id: int) -> None:
+        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        if fetch is None or fetch.cancelled:
+            return
+        if fetch.pushed and not fetch.adopted:
+            fetch.complete = True  # parked; claimed later or wasted
+            return
+        self._complete_fetch(fetch)
+
+    def _on_push_promise(self, entry: _ConnectionEntry, promised_id: int, headers) -> None:
+        pseudo = dict(headers)
+        url = f"{pseudo.get(':scheme', 'https')}://{pseudo.get(':authority', '')}{pseudo.get(':path', '/')}"
+        self.timeline.pushes_received += 1
+        already_have = url in self.cache or url in self._fetches
+        if already_have:
+            # Cancel — though bytes may already be in flight (§2.1).
+            entry.conn.reset_stream_raw(promised_id, ErrorCode.CANCEL)
+            self.timeline.pushes_cancelled += 1
+            return
+        rtype = classify_url(url)
+        fetch = _Fetch(url, rtype)
+        fetch.pushed = True
+        fetch.discovered_at = self.sim.now
+        fetch.stream_id = promised_id
+        fetch.conn_key = entry.domain
+        self._stream_fetch[(id(entry.conn), promised_id)] = fetch
+        self._pushed_unclaimed[url] = fetch
+        # Chromium (as of v64) does not reprioritize promised streams —
+        # the server's plan-order chain governs pushed-stream priority —
+        # but it *does* account for them when choosing dependencies for
+        # subsequent requests, so a later image request chains behind a
+        # promised stylesheet instead of competing with it.
+        entry.chain.append((promised_id, weight_for(rtype), fetch))
+        self.timeline.requests.append(
+            RequestTrace(
+                url=url,
+                requested_at=self.sim.now,
+                weight=WEIGHT_IMAGE,
+                pushed=True,
+                initiator="push",
+            )
+        )
+
+    def _adopt_push(self, fetch: _Fetch, parked: _Fetch) -> None:
+        """A discovered resource matches an in-flight pushed stream."""
+        parked.adopted = True
+        fetch.pushed = True
+        fetch.adopted = True
+        fetch.stream_id = parked.stream_id
+        fetch.conn_key = parked.conn_key
+        fetch.requested_at = self.sim.now
+        fetch.response_start = parked.response_start
+        fetch.body = parked.body
+        self.timeline.pushes_adopted += 1
+        # Rebind the stream to the adopting fetch for future data.
+        for key, value in list(self._stream_fetch.items()):
+            if value is parked:
+                self._stream_fetch[key] = fetch
+        if parked.complete:
+            self.sim.call_soon(lambda: self._complete_fetch(fetch))
+
+    # ------------------------------------------------------------------
+    # resource completion pipeline
+    # ------------------------------------------------------------------
+    def _complete_fetch(self, fetch: _Fetch) -> None:
+        if fetch.complete and fetch.finished_at is not None:
+            return
+        fetch.complete = True
+        fetch.finished_at = self.sim.now
+        if not fetch.from_cache:
+            self.cache.store(fetch.url, bytes(fetch.body))
+        self._record_resource(fetch)
+        self._release_delayable(fetch)
+
+        if fetch.rtype == ResourceType.CSS:
+            self._on_css_loaded(fetch)
+        elif fetch.rtype == ResourceType.JS:
+            self._on_js_loaded(fetch)
+        elif fetch.rtype in (ResourceType.IMAGE, ResourceType.FONT):
+            self._maybe_paint_resource(fetch)
+        elif fetch.rtype == ResourceType.HTML and fetch.url == self.main_url:
+            self._html_complete = True
+            if fetch.from_cache:
+                self._on_html_bytes(bytes(fetch.body))
+            self._advance_parser()
+        self._check_onload()
+
+    def _record_resource(self, fetch: _Fetch) -> None:
+        from ..html.resources import FetchedResource
+
+        self.timeline.resources[fetch.url] = FetchedResource(
+            url=fetch.url,
+            rtype=fetch.rtype,
+            size=len(fetch.body),
+            discovered_at=fetch.discovered_at,
+            requested_at=fetch.requested_at,
+            response_start=fetch.response_start,
+            finished_at=fetch.finished_at,
+            pushed=fetch.pushed,
+            from_cache=fetch.from_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # HTML tokenization (preload scanning) and discovery
+    # ------------------------------------------------------------------
+    def _on_html_bytes(self, data: bytes) -> None:
+        for token in self._tokenizer.feed(data):
+            self._tokens.append(token)
+            self._discover(token)
+        self._advance_parser()
+
+    def _discover(self, token: Token) -> None:
+        """Preload scanner: fetch references the moment they are seen."""
+        if isinstance(token, HeadEndToken):
+            self._head_seen_in_scan = True
+        elif isinstance(token, StylesheetToken) and token.url:
+            # Only stylesheets referenced inside <head> block the first
+            # paint; the critical-CSS deployment moves the rest to the
+            # end of <body> precisely to escape this.  Non-blocking CSS
+            # is also *fetched* at low priority (Chromium behaviour).
+            blocking = not token.media_print and not self._head_seen_in_scan
+            fetch = self.fetch(
+                token.url,
+                ResourceType.CSS,
+                initiator="preload",
+                weight_override=None if blocking else WEIGHT_ASYNC_JS,
+            )
+            fetch.exec_ms = max(fetch.exec_ms, token.exec_ms)
+            fetch.token_offset = token.offset
+            if blocking:
+                fetch.render_blocking = True
+        elif isinstance(token, ScriptToken) and token.url:
+            fetch = self.fetch(
+                token.url,
+                ResourceType.JS,
+                initiator="preload",
+                is_async=token.is_async or token.is_defer,
+            )
+            fetch.exec_ms = max(fetch.exec_ms, token.exec_ms)
+            fetch.visual_weight = max(fetch.visual_weight, token.visual_weight)
+            fetch.is_defer = token.is_defer
+            fetch.token_offset = token.offset
+        elif isinstance(token, ImageToken) and token.url:
+            fetch = self.fetch(token.url, ResourceType.IMAGE, initiator="preload")
+            fetch.visual_weight = max(fetch.visual_weight, token.visual_weight)
+            fetch.above_fold = token.above_fold
+            fetch.token_offset = token.offset
+        elif isinstance(token, FontToken) and token.url:
+            fetch = self.fetch(token.url, ResourceType.FONT, initiator="preload")
+            fetch.visual_weight = max(fetch.visual_weight, token.visual_weight)
+            fetch.above_fold = token.above_fold
+            fetch.parsed = True  # fonts need no DOM element to apply
+
+    # ------------------------------------------------------------------
+    # DOM parser
+    # ------------------------------------------------------------------
+    def _advance_parser(self) -> None:
+        if (
+            self._parser_task_running
+            or self._parser_done
+            or self._blocking_script is not None
+        ):
+            return
+        if self._parser_index >= len(self._tokens):
+            return
+        token = self._tokens[self._parser_index]
+        span = max(token.offset - self._parsed_offset, 0)
+        cost = span / self.config.parse_rate_bytes_per_ms
+        self._parser_task_running = True
+        self.main_thread.submit(cost, lambda: self._finish_token(token), label="parse")
+
+    def _finish_token(self, token: Token) -> None:
+        self._parser_task_running = False
+        self._parser_index += 1
+        self._parsed_offset = token.offset
+        self._process_token(token)
+        self._advance_parser()
+
+    def _process_token(self, token: Token) -> None:
+        if isinstance(token, TextToken):
+            self._queue_paint(token.visual_weight, "text")
+        elif isinstance(token, HeadEndToken):
+            self._head_parsed = True
+            self._maybe_start_render()
+        elif isinstance(token, StylesheetToken):
+            pass  # handled at discovery / completion
+        elif isinstance(token, ImageToken) and token.url:
+            fetch = self._fetches.get(token.url)
+            if fetch is not None:
+                fetch.parsed = True
+                self._maybe_paint_resource(fetch)
+        elif isinstance(token, FontToken):
+            pass
+        elif isinstance(token, ScriptToken):
+            self._process_script_token(token)
+        elif isinstance(token, DocumentEndToken):
+            self._finish_parsing()
+
+    def _process_script_token(self, token: ScriptToken) -> None:
+        if token.url is None:
+            # Inline script: executes once preceding CSSOM is ready.
+            self._run_inline_script(token)
+            return
+        fetch = self._fetches.get(token.url)
+        if fetch is None:
+            return
+        fetch.parsed = True
+        if fetch.is_defer:
+            self._deferred_scripts.append(fetch)
+            return
+        if fetch.is_async:
+            if fetch.complete and not fetch.executed:
+                self._execute_script(fetch)
+            return
+        # Synchronous script: blocks the parser.
+        self._blocking_script = fetch
+        self._try_run_blocking_script()
+
+    def _run_inline_script(self, token: ScriptToken) -> None:
+        if not self._cssom_ready_for(token.offset):
+            self._blocking_script = _INLINE_SENTINEL
+            self._pending_inline = token
+            return
+        self._execute_inline(token)
+
+    def _execute_inline(self, token: ScriptToken) -> None:
+        def done() -> None:
+            for url in scan_js(token.content):
+                self.fetch(url, classify_url(url), initiator="js", initiator_url=self.main_url)
+            if token.visual_weight > 0:
+                self._queue_paint(token.visual_weight, "inline-script")
+            self._advance_parser()
+            self._check_onload()
+
+        if token.exec_ms > 0:
+            self.main_thread.submit(token.exec_ms, done, label="inline-js")
+        else:
+            done()
+
+    def _try_run_blocking_script(self) -> None:
+        fetch = self._blocking_script
+        if fetch is None:
+            return
+        if fetch is _INLINE_SENTINEL:
+            token = self._pending_inline
+            if self._cssom_ready_for(token.offset):
+                self._blocking_script = None
+                self._execute_inline(token)
+            return
+        if not fetch.complete:
+            return
+        if not self._cssom_ready_for(fetch.token_offset):
+            return
+        self._blocking_script = None
+        self._execute_script(fetch, resume_parser=True)
+
+    def _execute_script(self, fetch: _Fetch, resume_parser: bool = False) -> None:
+        fetch.executed = True
+        source = bytes(fetch.body).decode("utf-8", errors="replace")
+
+        def done() -> None:
+            for url in scan_js(source):
+                self.fetch(url, classify_url(url), initiator="js", initiator_url=fetch.url)
+            if fetch.visual_weight > 0:
+                self._queue_paint(fetch.visual_weight, fetch.url)
+            if resume_parser:
+                self._advance_parser()
+            self._check_onload()
+
+        self.main_thread.submit(max(fetch.exec_ms, 0.0), done, label="js")
+
+    def _finish_parsing(self) -> None:
+        self._parser_done = True
+        self.timeline.dom_content_loaded = self.sim.now
+        for fetch in self._deferred_scripts:
+            if fetch.complete and not fetch.executed:
+                self._execute_script(fetch)
+        self._maybe_start_render()
+        self._check_onload()
+
+    # ------------------------------------------------------------------
+    # CSS pipeline
+    # ------------------------------------------------------------------
+    def _on_css_loaded(self, fetch: _Fetch) -> None:
+        source = bytes(fetch.body).decode("utf-8", errors="replace")
+        parse_cost = max(fetch.exec_ms, scan_exec_hint(source))
+
+        def parsed() -> None:
+            fetch.cssom_ready = True
+            for url in scan_css(source):
+                child = self.fetch(url, classify_url(url), initiator="css", initiator_url=fetch.url)
+                child.parsed = True  # applied by stylesheet, no DOM element
+                weight = _css_child_weight(source, url)
+                child.visual_weight = max(child.visual_weight, weight)
+                self._maybe_paint_resource(child)
+            self._maybe_start_render()
+            self._try_run_blocking_script()
+            self._check_onload()
+
+        self.main_thread.submit(parse_cost, parsed, label="css-parse")
+
+    def _on_js_loaded(self, fetch: _Fetch) -> None:
+        if fetch is self._blocking_script:
+            self._try_run_blocking_script()
+        elif fetch.is_async and not fetch.is_defer and not fetch.executed:
+            # Async scripts run as soon as they arrive.
+            self._execute_script(fetch)
+        elif fetch.is_defer and self._parser_done and not fetch.executed:
+            self._execute_script(fetch)
+
+    def _cssom_ready_for(self, offset: int) -> bool:
+        """All non-print stylesheets referenced before ``offset`` ready."""
+        for fetch in self._fetches.values():
+            if fetch.rtype != ResourceType.CSS or fetch.cancelled:
+                continue
+            if fetch.token_offset and fetch.token_offset > offset:
+                continue
+            if fetch.render_blocking or fetch.token_offset <= offset:
+                if not fetch.cssom_ready:
+                    return False
+        return True
+
+    def _render_blocking_ready(self) -> bool:
+        return all(
+            fetch.cssom_ready
+            for fetch in self._fetches.values()
+            if fetch.render_blocking and not fetch.cancelled
+        )
+
+    # ------------------------------------------------------------------
+    # paint pipeline
+    # ------------------------------------------------------------------
+    def _maybe_start_render(self) -> None:
+        if self._render_started:
+            return
+        if not (self._head_parsed or self._parser_done):
+            return
+        if not self._render_blocking_ready():
+            return
+        self._render_started = True
+        pending, self._pending_paints = self._pending_paints, []
+        for weight, source in pending:
+            self.timeline.record_paint(self.sim.now, weight, source)
+        for fetch in self._fetches.values():
+            self._maybe_paint_resource(fetch)
+
+    def _queue_paint(self, weight: float, source: str) -> None:
+        if weight <= 0:
+            return
+        if self._render_started:
+            self.timeline.record_paint(self.sim.now, weight, source)
+        else:
+            self._pending_paints.append((weight, source))
+            self._maybe_start_render()
+
+    def _maybe_paint_resource(self, fetch: _Fetch) -> None:
+        if fetch.painted or fetch.visual_weight <= 0 or not fetch.above_fold:
+            return
+        if fetch.rtype not in (ResourceType.IMAGE, ResourceType.FONT):
+            return
+        if not (fetch.complete and fetch.parsed and self._render_started):
+            return
+        fetch.painted = True
+        self.timeline.record_paint(self.sim.now, fetch.visual_weight, fetch.url)
+
+    # ------------------------------------------------------------------
+    # load completion
+    # ------------------------------------------------------------------
+    def _check_onload(self) -> None:
+        if self._onload_fired or not self._parser_done:
+            return
+        for fetch in self._fetches.values():
+            if not fetch.complete and not fetch.cancelled:
+                return
+        for fetch in self._deferred_scripts:
+            if not fetch.executed:
+                return
+        if not self.main_thread.idle:
+            # The main thread re-invokes this check when it drains.
+            return
+        self._onload_fired = True
+        self.timeline.onload = self.sim.now
+        # Late render start for pages with no paintable content yet.
+        self._maybe_start_render()
+
+
+def _parse_link_preloads(headers) -> List[str]:
+    """Extract ``link: <url>; rel=preload`` hints from response headers."""
+    hints: List[str] = []
+    for name, value in headers:
+        if name.lower() != "link" or "rel=preload" not in value:
+            continue
+        start = value.find("<")
+        end = value.find(">", start + 1)
+        if start != -1 and end != -1:
+            hints.append(value[start + 1 : end])
+    return hints
+
+
+#: Sentinel marking the parser as blocked on an inline script.
+_INLINE_SENTINEL = _Fetch("inline:", ResourceType.JS)
+
+
+def _css_child_weight(source: str, url: str) -> float:
+    """Read the ``/*vw:N*/`` annotation following a CSS reference."""
+    import re
+
+    pattern = re.escape(url) + r"\);\s*/\*vw:([0-9.]+)\*/"
+    match = re.search(pattern, source)
+    return float(match.group(1)) if match else 0.0

@@ -1,0 +1,96 @@
+"""Navigation timing and paint trace for one page load.
+
+Mirrors the parts of the W3C Navigation Timing API the paper uses: PLT
+is defined as ``connectEnd`` to the start of ``onload`` (§2.2), and the
+paint trace is the input to SpeedIndex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..html.resources import FetchedResource
+
+
+@dataclass
+class PaintEvent:
+    """A visual change: ``weight`` units of ATF content became visible."""
+
+    time: float
+    weight: float
+    source: str  # what painted (url or "text")
+
+
+@dataclass
+class RequestTrace:
+    """One request as traced for push-order computation (§4.2)."""
+
+    url: str
+    requested_at: float
+    weight: int
+    pushed: bool
+    initiator: str  # "navigation" | "parser" | "preload" | "css" | "js" | "push"
+    #: URL of the resource whose content triggered this request (for
+    #: css/js-discovered children); None for document-discovered ones.
+    initiator_url: Optional[str] = None
+
+
+@dataclass
+class PageTimeline:
+    """Everything measured during one page load."""
+
+    navigation_start: float = 0.0
+    connect_end: Optional[float] = None
+    first_paint: Optional[float] = None
+    dom_content_loaded: Optional[float] = None
+    onload: Optional[float] = None
+
+    paints: List[PaintEvent] = field(default_factory=list)
+    requests: List[RequestTrace] = field(default_factory=list)
+    resources: Dict[str, FetchedResource] = field(default_factory=dict)
+
+    #: Push bookkeeping.
+    pushes_received: int = 0
+    pushes_adopted: int = 0
+    pushes_cancelled: int = 0
+    pushed_bytes: int = 0
+
+    def record_paint(self, time: float, weight: float, source: str) -> None:
+        if weight <= 0:
+            return
+        self.paints.append(PaintEvent(time=time, weight=weight, source=source))
+        if self.first_paint is None:
+            self.first_paint = time
+
+    @property
+    def plt_ms(self) -> float:
+        """Page Load Time: connectEnd to onload, the paper's definition."""
+        if self.onload is None or self.connect_end is None:
+            raise ValueError("page load did not complete")
+        return self.onload - self.connect_end
+
+    @property
+    def total_painted_weight(self) -> float:
+        return sum(event.weight for event in self.paints)
+
+    def visual_progress(self) -> List[Tuple[float, float]]:
+        """Cumulative (time, completeness in [0, 1]) steps.
+
+        Times are relative to ``connect_end`` so SpeedIndex shares the
+        PLT time base.
+        """
+        total = self.total_painted_weight
+        if total <= 0 or self.connect_end is None:
+            return []
+        steps = []
+        cumulative = 0.0
+        for event in sorted(self.paints, key=lambda e: e.time):
+            cumulative += event.weight
+            steps.append((event.time - self.connect_end, cumulative / total))
+        return steps
+
+    def request_order(self) -> List[str]:
+        """URLs in the order the browser issued them (for §4.2 orders)."""
+        ordered = sorted(self.requests, key=lambda r: (r.requested_at, r.url))
+        return [r.url for r in ordered]

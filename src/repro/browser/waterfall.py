@@ -1,0 +1,81 @@
+"""ASCII waterfall rendering of a replayed page load.
+
+The classic way to read a page load — and the way the paper's authors
+inspected why a strategy helped or hurt (§4.3, §5: "based on inspection
+of the rendering process") — is a request waterfall.  This renders one
+from a :class:`~repro.replay.testbed.PageLoadResult`:
+
+::
+
+    https://w.example/            |█████████░░░░░░░░░░           | 420ms
+    https://w.example/a.css       |    ▒▒▒███████                | 310ms  PUSH
+
+``▒`` marks wait (request issued, first byte pending), ``█`` transfer,
+and markers show first paint (P) and onload (L).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..replay.testbed import PageLoadResult
+
+#: Characters per rendered timeline.
+DEFAULT_WIDTH = 60
+
+
+def render_waterfall(result: PageLoadResult, width: int = DEFAULT_WIDTH) -> str:
+    """Render the load as a fixed-width ASCII waterfall."""
+    timeline = result.timeline
+    resources = [
+        r for r in timeline.resources.values() if r.requested_at is not None
+    ]
+    if not resources:
+        return "(no resources)"
+    start = timeline.navigation_start
+    end = max(r.finished_at or r.requested_at for r in resources)
+    if timeline.onload is not None:
+        end = max(end, timeline.onload)
+    span = max(end - start, 1e-9)
+
+    def column(time: float) -> int:
+        return min(int((time - start) / span * width), width - 1)
+
+    lines: List[str] = []
+    label_width = max(len(_label(r.url)) for r in resources)
+    label_width = min(max(label_width, 10), 44)
+    for resource in sorted(resources, key=lambda r: r.requested_at):
+        bar = [" "] * width
+        first_byte = resource.response_start or resource.requested_at
+        finished = resource.finished_at or first_byte
+        for index in range(column(resource.requested_at), column(first_byte) + 1):
+            bar[index] = "▒"  # wait
+        for index in range(column(first_byte), column(finished) + 1):
+            bar[index] = "█"  # transfer
+        flags = []
+        if resource.pushed:
+            flags.append("PUSH")
+        if resource.from_cache:
+            flags.append("CACHE")
+        duration = (resource.finished_at or first_byte) - resource.requested_at
+        lines.append(
+            f"{_label(resource.url):<{label_width}} |{''.join(bar)}| "
+            f"{duration:6.0f}ms {' '.join(flags)}".rstrip()
+        )
+    markers = [" "] * width
+    if timeline.first_paint is not None:
+        markers[column(timeline.first_paint)] = "P"
+    if timeline.onload is not None:
+        markers[column(timeline.onload)] = "L"
+    lines.append(f"{'P=first paint, L=onload':<{label_width}} |{''.join(markers)}|")
+    lines.append(
+        f"{'':<{label_width}}  0ms{'':>{max(width - 14, 0)}}{span:7.0f}ms"
+    )
+    return "\n".join(lines)
+
+
+def _label(url: str) -> str:
+    tail = url.split("://", 1)[-1]
+    if len(tail) > 44:
+        tail = "…" + tail[-43:]
+    return tail

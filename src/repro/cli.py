@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro sites                        # list bundled sites
+    python -m repro replay w1 --strategy push_all --runs 5
+    python -m repro suite w16                    # the six §5 deployments
+    python -m repro order s4                     # §4.2 push-order pipeline
+    python -m repro fig 5                        # regenerate a figure
+    python -m repro abtest w1                    # §6 CDN A/B selection
+
+Every command prints the same rows/series the corresponding paper
+artefact reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .errors import ConfigError
+from .html.builder import build_site
+from .html.spec import WebsiteSpec
+
+
+def _all_sites() -> Dict[str, WebsiteSpec]:
+    from .sites import realworld_sites, synthetic_sites
+
+    sites: Dict[str, WebsiteSpec] = {}
+    sites.update(synthetic_sites())
+    sites.update(realworld_sites())
+    return sites
+
+
+def _resolve_site(key: str) -> WebsiteSpec:
+    sites = _all_sites()
+    if key not in sites:
+        raise ConfigError(
+            f"unknown site {key!r}; run `python -m repro sites` for the list"
+        )
+    return sites[key]
+
+
+def _make_strategy(name: str, spec: WebsiteSpec):
+    from .strategies import (
+        NoPushStrategy,
+        PushAllStrategy,
+        PushByTypeStrategy,
+        PushFirstNStrategy,
+    )
+    from .strategies.hints import HintAndPushStrategy, PreloadHintStrategy
+    from .html.resources import ResourceType
+
+    if name == "no_push":
+        return NoPushStrategy()
+    if name == "push_all":
+        return PushAllStrategy()
+    if name.startswith("push_") and name[5:].isdigit():
+        return PushFirstNStrategy(int(name[5:]))
+    if name == "push_css":
+        return PushByTypeStrategy([ResourceType.CSS])
+    if name == "push_images":
+        return PushByTypeStrategy([ResourceType.IMAGE])
+    if name == "hints":
+        return PreloadHintStrategy()
+    if name == "hint_and_push":
+        return HintAndPushStrategy()
+    raise ConfigError(
+        f"unknown strategy {name!r} (no_push, push_all, push_<n>, push_css, "
+        f"push_images, hints, hint_and_push)"
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_sites(_args) -> int:
+    from .sites import TABLE_1
+
+    print("synthetic (§4.3):  " + " ".join(f"s{i}" for i in range(1, 11)))
+    print("real-world (Tab. 1):")
+    for key, label in TABLE_1.items():
+        print(f"  {key:<4} {label}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .experiments import run_repeated
+
+    spec = _resolve_site(args.site)
+    strategy = _make_strategy(args.strategy, spec)
+    built = build_site(spec)
+    cell = run_repeated(spec, strategy, runs=args.runs, built=built)
+    print(
+        f"{spec.name} × {args.runs} runs, strategy={strategy.name}\n"
+        f"  PLT        median {cell.median_plt:8.1f} ms   σx̄ {cell.plt_std_error:6.2f}\n"
+        f"  SpeedIndex median {cell.median_si:8.1f} ms   σx̄ {cell.si_std_error:6.2f}\n"
+        f"  pushed bytes      {cell.pushed_bytes / 1000:8.1f} KB"
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from .experiments import run_repeated
+    from .metrics import confidence_interval, relative_change
+    from .strategies.critical import build_strategy_suite
+
+    spec = _resolve_site(args.site)
+    baseline = None
+    print(f"{spec.name}: the six §5 deployments ({args.runs} runs each)")
+    for deployment in build_strategy_suite(spec):
+        built = build_site(deployment.spec)
+        cell = run_repeated(deployment.spec, deployment.strategy,
+                            runs=args.runs, built=built)
+        if deployment.name == "no_push":
+            baseline = cell
+            print(f"  {deployment.name:<26} SI {cell.median_si:7.0f} ms (baseline)")
+            continue
+        deltas = [
+            relative_change(v, b) for v, b in zip(cell.si_values, baseline.si_values)
+        ]
+        center, half = confidence_interval(deltas, 0.95)
+        print(
+            f"  {deployment.name:<26} ΔSI {center:+7.2f}% ± {half:5.2f}"
+            f"   pushed {cell.pushed_bytes / 1000:7.1f} KB"
+        )
+    return 0
+
+
+def cmd_order(args) -> int:
+    from .experiments import compute_order_for
+
+    spec = _resolve_site(args.site)
+    order = compute_order_for(spec, runs=args.runs)
+    print(f"computed push order for {spec.name} ({args.runs} traced runs):")
+    for position, url in enumerate(order, start=1):
+        print(f"  {position:>3}. {url}")
+    return 0
+
+
+def cmd_fig(args) -> int:
+    from . import experiments as exp
+
+    figure = args.figure
+    if figure == "1":
+        print(exp.run_fig1().render())
+    elif figure == "2":
+        print(exp.run_fig2(exp.Fig2Config(sites=args.sites, runs=args.runs)).render())
+    elif figure == "3a":
+        print(exp.run_fig3a(exp.Fig3Config(sites=args.sites, runs=args.runs)).render())
+    elif figure == "3b":
+        print(exp.run_fig3b(exp.Fig3Config(sites=args.sites, runs=args.runs)).render())
+    elif figure == "4":
+        print(exp.run_fig4(exp.Fig4Config(runs=args.runs)).render())
+    elif figure == "5":
+        print(exp.run_fig5(exp.Fig5Config(runs=args.runs)).render())
+    elif figure == "6":
+        print(exp.run_fig6(exp.Fig6Config(runs=args.runs)).render())
+    else:
+        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3a, 3b, 4, 5, 6)")
+    return 0
+
+
+def cmd_waterfall(args) -> int:
+    from .browser.waterfall import render_waterfall
+    from .replay import ReplayTestbed
+
+    spec = _resolve_site(args.site)
+    strategy = _make_strategy(args.strategy, spec)
+    testbed = ReplayTestbed(built=build_site(spec), strategy=strategy)
+    result = testbed.run()
+    print(
+        f"{spec.name} / {strategy.name}: PLT {result.plt_ms:.0f} ms, "
+        f"SpeedIndex {result.speed_index_ms:.0f} ms\n"
+    )
+    print(render_waterfall(result, width=args.width))
+    return 0
+
+
+def cmd_abtest(args) -> int:
+    from .experiments.ab_testing import ABTestConfig, StrategySelector
+
+    spec = _resolve_site(args.site)
+    selector = StrategySelector(
+        spec, ABTestConfig(lab_runs=args.runs, rum_runs=args.rum_runs)
+    )
+    print(selector.run().render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HTTP/2 Server Push replay testbed (CoNEXT'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("sites", help="list bundled website models").set_defaults(
+        func=cmd_sites
+    )
+
+    replay = sub.add_parser("replay", help="replay one site under one strategy")
+    replay.add_argument("site")
+    replay.add_argument("--strategy", default="no_push")
+    replay.add_argument("--runs", type=int, default=5)
+    replay.set_defaults(func=cmd_replay)
+
+    suite = sub.add_parser("suite", help="run the six §5 deployments on a site")
+    suite.add_argument("site")
+    suite.add_argument("--runs", type=int, default=5)
+    suite.set_defaults(func=cmd_suite)
+
+    order = sub.add_parser("order", help="compute the §4.2 push order for a site")
+    order.add_argument("site")
+    order.add_argument("--runs", type=int, default=5)
+    order.set_defaults(func=cmd_order)
+
+    fig = sub.add_parser("fig", help="regenerate a figure of the paper")
+    fig.add_argument("figure", help="1, 2, 3a, 3b, 4, 5, or 6")
+    fig.add_argument("--sites", type=int, default=10)
+    fig.add_argument("--runs", type=int, default=5)
+    fig.set_defaults(func=cmd_fig)
+
+    waterfall = sub.add_parser("waterfall", help="render a load as an ASCII waterfall")
+    waterfall.add_argument("site")
+    waterfall.add_argument("--strategy", default="no_push")
+    waterfall.add_argument("--width", type=int, default=60)
+    waterfall.set_defaults(func=cmd_waterfall)
+
+    abtest = sub.add_parser("abtest", help="CDN A/B strategy selection (§6)")
+    abtest.add_argument("site")
+    abtest.add_argument("--runs", type=int, default=3)
+    abtest.add_argument("--rum-runs", type=int, default=7)
+    abtest.set_defaults(func=cmd_abtest)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Critical-CSS extraction (the paper's penthouse step, §5).
+
+Given stylesheet text, split it into the *critical* part — rules needed
+to display above-the-fold content — and the rest.  The builder's
+stylesheets carry the viewport analysis as ``.atf`` selectors and
+annotations, standing in for penthouse's headless-browser evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .css_model import CssRule, parse_stylesheet, serialize
+
+
+@dataclass
+class CriticalSplit:
+    """Result of a critical-CSS extraction."""
+
+    critical_text: str
+    rest_text: str
+    critical_rules: int
+    total_rules: int
+
+    @property
+    def critical_size(self) -> int:
+        return len(self.critical_text)
+
+    @property
+    def rest_size(self) -> int:
+        return len(self.rest_text)
+
+    @property
+    def bytes_saved_from_critical_path(self) -> int:
+        """Bytes the optimization removes from the render-blocking path."""
+        return self.rest_size
+
+    @property
+    def critical_share(self) -> float:
+        total = self.critical_size + self.rest_size
+        return self.critical_size / total if total else 0.0
+
+
+def _is_critical(rule: CssRule) -> bool:
+    if rule.is_comment:
+        return False
+    if rule.above_fold:
+        return True
+    # Fonts referenced by ATF rules are required to paint ATF text;
+    # conservatively keep all @font-face blocks that look ATF.
+    return rule.is_font_face and rule.above_fold
+
+
+def extract_critical(css_text: str) -> CriticalSplit:
+    """Split a stylesheet into (critical, rest)."""
+    rules = parse_stylesheet(css_text)
+    critical: List[CssRule] = []
+    rest: List[CssRule] = []
+    for rule in rules:
+        if rule.is_comment:
+            # exec-cost hints stay with the critical part so the model
+            # keeps charging CSSOM construction time somewhere.
+            if "exec:" in rule.text:
+                critical.append(rule)
+            continue
+        (critical if _is_critical(rule) else rest).append(rule)
+    return CriticalSplit(
+        critical_text=serialize(critical),
+        rest_text=serialize(rest),
+        critical_rules=sum(1 for rule in critical if not rule.is_comment),
+        total_rules=sum(1 for rule in rules if not rule.is_comment),
+    )
+
+
+def critical_urls(css_text: str) -> Tuple[List[str], List[str]]:
+    """Sub-resource URLs referenced by (critical, rest) rules."""
+    split = extract_critical(css_text)
+    critical_refs: List[str] = []
+    rest_refs: List[str] = []
+    for rule in parse_stylesheet(split.critical_text):
+        critical_refs.extend(url for url in rule.urls if url.startswith("http"))
+    for rule in parse_stylesheet(split.rest_text):
+        rest_refs.extend(url for url in rule.urls if url.startswith("http"))
+    return critical_refs, rest_refs

@@ -1,0 +1,107 @@
+"""Site rewriting for the *optimized* strategies (§5, "Strategies").
+
+The paper's ``no push optimized`` deployment references the penthouse-
+computed critical CSS in ``<head>`` and moves all other CSS to the end
+of ``<body>``.  :func:`optimize_spec` performs that transformation on a
+website spec: every render-blocking stylesheet is split (using the real
+extractor on the real generated stylesheet text) into a small critical
+resource that stays in the head and a rest resource referenced at the
+end of the body, where it no longer blocks rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from ..html.builder import build_site
+from ..html.resources import ResourceType
+from ..html.spec import ResourceSpec, WebsiteSpec
+from .extractor import CriticalSplit, extract_critical
+
+#: Suffixes for the split parts.
+CRITICAL_PREFIX = "critical-"
+REST_PREFIX = "rest-"
+
+
+def split_stylesheets(spec: WebsiteSpec) -> Dict[str, CriticalSplit]:
+    """Run the extractor over every render-blocking stylesheet."""
+    built = build_site(spec)
+    splits: Dict[str, CriticalSplit] = {}
+    for res in spec.resources:
+        if res.rtype != ResourceType.CSS or not res.in_head or res.media_print:
+            continue
+        css_text = built.bodies[res.url(spec.primary_domain)].decode("utf-8")
+        splits[res.name] = extract_critical(css_text)
+    return splits
+
+
+def optimize_spec(spec: WebsiteSpec) -> Tuple[WebsiteSpec, Dict[str, CriticalSplit]]:
+    """The critical-CSS deployment transformation.
+
+    Returns the optimized spec and the per-stylesheet splits (whose
+    sizes feed the paper's "bytes removed from the critical render
+    path" numbers).  Children referenced by critical rules follow the
+    critical part; the rest follow the deferred part.
+    """
+    splits = split_stylesheets(spec)
+    if not splits:
+        return spec, splits
+
+    new_resources: List[ResourceSpec] = []
+    renamed_parents: Dict[str, Tuple[str, str]] = {}
+    for res in spec.resources:
+        if res.name not in splits:
+            new_resources.append(res)
+            continue
+        split = splits[res.name]
+        critical_name = CRITICAL_PREFIX + res.name
+        rest_name = REST_PREFIX + res.name
+        renamed_parents[res.name] = (critical_name, rest_name)
+        share = max(split.critical_share, 0.02)
+        new_resources.append(
+            replace(
+                res,
+                name=critical_name,
+                size=max(split.critical_size, 200),
+                exec_ms=res.exec_ms * share,
+                critical_fraction=1.0,
+            )
+        )
+        new_resources.append(
+            replace(
+                res,
+                name=rest_name,
+                size=max(split.rest_size, 200),
+                in_head=False,
+                body_fraction=1.0,  # end of <body>: not render-blocking
+                exec_ms=res.exec_ms * (1.0 - share),
+                critical_fraction=0.0,
+            )
+        )
+    # Reattach hidden children to the matching half.
+    final_resources: List[ResourceSpec] = []
+    for res in new_resources:
+        if res.loaded_by in renamed_parents:
+            critical_name, rest_name = renamed_parents[res.loaded_by]
+            is_critical_child = res.above_fold and res.visual_weight > 0
+            res = replace(
+                res, loaded_by=critical_name if is_critical_child else rest_name
+            )
+        final_resources.append(res)
+
+    optimized = WebsiteSpec(
+        name=spec.name + "-optimized",
+        primary_domain=spec.primary_domain,
+        html_size=spec.html_size,
+        html_visual_weight=spec.html_visual_weight,
+        atf_text_fraction=spec.atf_text_fraction,
+        head_inline_script_ms=spec.head_inline_script_ms,
+        body_inline_script_ms=spec.body_inline_script_ms,
+        body_inline_fraction=spec.body_inline_fraction,
+        resources=final_resources,
+        domain_ips=dict(spec.domain_ips),
+        coalesced_domains=set(spec.coalesced_domains),
+        primary_ip=spec.primary_ip,
+    )
+    return optimized, splits

@@ -1,0 +1,192 @@
+"""CDN-style strategy selection with A/B validation (§6).
+
+The paper's discussion sketches how a CDN could operationalize the
+testbed: generate candidate (interleaving) push strategies per website,
+evaluate them against the replay testbed, deploy the best one, and
+validate it with Real User Measurements in an A/B test against the
+original deployment [19, 21, 23, 26].
+
+:class:`StrategySelector` implements that loop:
+
+1. **lab phase** — run every §5 deployment in the deterministic
+   testbed and rank by median SpeedIndex;
+2. **RUM phase** — A/B the lab winner against *no push* under noisy
+   "Internet" conditions (per-run RTT/bandwidth/loss sampling, as a
+   CDN's real clients would produce) and accept the deployment only if
+   the confidence interval of the improvement excludes zero.
+
+The paper's own caveat reproduces here: for many sites the lab winner's
+RUM improvement drowns in client-network noise, so the selector falls
+back to the original deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..html.builder import build_site
+from ..html.spec import WebsiteSpec
+from ..metrics.stats import confidence_interval, median
+from ..netsim.conditions import InternetConditions
+from ..strategies.critical import StrategyDeployment, build_strategy_suite
+from .runner import run_repeated
+
+
+@dataclass
+class ABTestConfig:
+    #: Runs per candidate in the deterministic lab testbed.
+    lab_runs: int = 3
+    #: Runs per arm in the noisy RUM validation.
+    rum_runs: int = 9
+    #: Confidence level for accepting the new deployment.
+    confidence: float = 0.95
+    #: Minimum relative SI improvement worth deploying (paper's "minor
+    #: modifications must pay off" bar).
+    min_improvement_pct: float = 5.0
+
+
+@dataclass
+class LabMeasurement:
+    deployment: str
+    median_si: float
+    median_plt: float
+    pushed_bytes: int
+
+
+@dataclass
+class ABTestResult:
+    site: str
+    lab_ranking: List[LabMeasurement] = field(default_factory=list)
+    chosen: str = "no_push"
+    #: Lab improvement of the winner vs no push (%; negative = better).
+    lab_delta_pct: float = 0.0
+    #: RUM A/B improvement (% mean and CI half-width).
+    rum_delta_pct: float = 0.0
+    rum_ci_half_width: float = 0.0
+    #: True when the RUM test confirmed the lab winner.
+    deployed: bool = False
+
+    def render(self) -> str:
+        lines = [f"A/B strategy selection for {self.site}"]
+        for measurement in self.lab_ranking:
+            lines.append(
+                f"  lab  {measurement.deployment:<26} SI {measurement.median_si:7.0f} ms"
+                f"  pushed {measurement.pushed_bytes / 1000:7.1f} KB"
+            )
+        lines.append(
+            f"  winner: {self.chosen} (lab Δ {self.lab_delta_pct:+.1f}%)"
+        )
+        lines.append(
+            f"  RUM A/B: Δ {self.rum_delta_pct:+.1f}% ± {self.rum_ci_half_width:.1f}"
+            f" → {'DEPLOY' if self.deployed else 'keep original'}"
+        )
+        return "\n".join(lines)
+
+
+class StrategySelector:
+    """Select and validate a push strategy for one website."""
+
+    def __init__(
+        self,
+        spec: WebsiteSpec,
+        config: Optional[ABTestConfig] = None,
+        candidates: Optional[List[StrategyDeployment]] = None,
+    ):
+        self.spec = spec
+        self.config = config or ABTestConfig()
+        self.candidates = candidates or build_strategy_suite(spec)
+        self._built = {
+            deployment.name: build_site(deployment.spec)
+            for deployment in self.candidates
+        }
+
+    # ------------------------------------------------------------------
+    def lab_phase(self) -> List[LabMeasurement]:
+        """Rank every candidate in the deterministic testbed."""
+        measurements = []
+        for deployment in self.candidates:
+            cell = run_repeated(
+                deployment.spec,
+                deployment.strategy,
+                runs=self.config.lab_runs,
+                built=self._built[deployment.name],
+            )
+            measurements.append(
+                LabMeasurement(
+                    deployment=deployment.name,
+                    median_si=cell.median_si,
+                    median_plt=cell.median_plt,
+                    pushed_bytes=cell.pushed_bytes,
+                )
+            )
+        measurements.sort(key=lambda m: m.median_si)
+        return measurements
+
+    def rum_phase(self, winner: StrategyDeployment) -> tuple:
+        """A/B the winner against no push under Internet conditions.
+
+        Per-run paired comparison: both arms see the same sampled
+        network (the CDN would bucket comparable clients), so the noise
+        that remains is genuine strategy-independent variance.
+        """
+        baseline_deployment = self.candidates[0]  # no_push by suite order
+        deltas: List[float] = []
+        # RUM clients behind CDN edges rarely see heavy loss; cap it so
+        # a single pathological client does not dominate the A/B test.
+        sampler = InternetConditions(max_loss=0.004)
+        for run_index in range(self.config.rum_runs):
+            conditions = sampler.sample(_rum_rng(self.spec.name, run_index))
+            from ..netsim.conditions import FixedConditions
+
+            fixed = FixedConditions(conditions)
+            arm_a = run_repeated(
+                baseline_deployment.spec,
+                baseline_deployment.strategy,
+                runs=1,
+                conditions=fixed,
+                built=self._built[baseline_deployment.name],
+                seed_base=1000 + run_index,
+            )
+            # Paired design: both arms share the seed so client-side
+            # jitter cancels and only the strategy differs.
+            arm_b = run_repeated(
+                winner.spec,
+                winner.strategy,
+                runs=1,
+                conditions=fixed,
+                built=self._built[winner.name],
+                seed_base=1000 + run_index,
+            )
+            base = arm_a.median_si
+            deltas.append((arm_b.median_si - base) / base * 100.0)
+        return confidence_interval(deltas, self.config.confidence)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ABTestResult:
+        result = ABTestResult(site=self.spec.name)
+        result.lab_ranking = self.lab_phase()
+        baseline_si = next(
+            m.median_si for m in result.lab_ranking if m.deployment == "no_push"
+        )
+        best = result.lab_ranking[0]
+        result.chosen = best.deployment
+        result.lab_delta_pct = (best.median_si - baseline_si) / baseline_si * 100.0
+        if best.deployment == "no_push":
+            return result
+
+        winner = next(d for d in self.candidates if d.name == best.deployment)
+        center, half_width = self.rum_phase(winner)
+        result.rum_delta_pct = center
+        result.rum_ci_half_width = half_width
+        result.deployed = (
+            center + half_width < 0
+            and -center >= self.config.min_improvement_pct
+        )
+        return result
+
+
+def _rum_rng(site_name: str, run_index: int):
+    import random
+
+    return random.Random(f"rum-{site_name}-{run_index}")

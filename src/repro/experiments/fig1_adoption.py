@@ -1,0 +1,59 @@
+"""Fig. 1: adoption of HTTP/2 and Server Push over 2017 (Alexa 1M).
+
+Reproduction target: H2 grows from ~120K to ~240K sites while Server
+Push stays three orders of magnitude lower (~400 → ~800 sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..sites.adoption import AdoptionModel, AdoptionScan
+from .report import render_series
+
+
+@dataclass
+class Fig1Config:
+    population: int = 1_000_000
+    seed: int = 2017
+
+
+@dataclass
+class Fig1Result:
+    scans: List[AdoptionScan] = field(default_factory=list)
+
+    @property
+    def h2_growth_factor(self) -> float:
+        return self.scans[-1].h2_sites / self.scans[0].h2_sites
+
+    @property
+    def push_growth_factor(self) -> float:
+        return self.scans[-1].push_sites / self.scans[0].push_sites
+
+    @property
+    def push_to_h2_ratio(self) -> float:
+        """Push is orders of magnitude below H2 (the paper's point)."""
+        return self.scans[-1].push_sites / self.scans[-1].h2_sites
+
+    def render(self) -> str:
+        rows = [
+            (scan.month, f"{scan.h2_sites:,}", f"{scan.push_sites:,}")
+            for scan in self.scans
+        ]
+        table = render_series(
+            ("month", "HTTP/2 sites", "Server Push sites"),
+            rows,
+            title="Fig. 1 — adoption over one year (Alexa 1M)",
+        )
+        summary = (
+            f"\nH2 growth: x{self.h2_growth_factor:.2f}   "
+            f"push growth: x{self.push_growth_factor:.2f}   "
+            f"push/H2 ratio: {self.push_to_h2_ratio:.5f}"
+        )
+        return table + summary
+
+
+def run_fig1(config: Fig1Config = Fig1Config()) -> Fig1Result:
+    model = AdoptionModel(population=config.population, seed=config.seed)
+    return Fig1Result(scans=model.run())

@@ -1,0 +1,98 @@
+"""Fig. 4: custom strategies on synthetic sites s1–s10 (§4.3).
+
+Per site: *push all* and a hand-tailored *custom* strategy (resources
+that appear above the fold or are required to paint it), both relative
+to *no push*, with 95% confidence intervals.  Reproduction targets:
+
+* custom performs on par with push-all while pushing far fewer bytes
+  (s1: ~309 KB vs ~1,057 KB);
+* s5 (computation-bound) and s8 (early references) show no benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..html.builder import build_site
+from ..metrics.stats import confidence_interval, relative_change
+from ..sites.synthetic import synthetic_sites
+from ..strategies.critical import critical_urls
+from ..strategies.simple import NoPushStrategy, PushAllStrategy, PushListStrategy
+from .report import render_bar_row
+from .runner import run_repeated
+
+
+@dataclass
+class Fig4Config:
+    runs: int = 7
+    seed: int = 2018
+
+
+@dataclass
+class SiteStrategyOutcome:
+    site: str
+    strategy: str
+    mean_delta_si_pct: float
+    ci_half_width: float
+    mean_delta_plt_pct: float
+    pushed_bytes: int
+
+
+@dataclass
+class Fig4Result:
+    outcomes: List[SiteStrategyOutcome] = field(default_factory=list)
+
+    def for_site(self, site: str) -> Dict[str, SiteStrategyOutcome]:
+        return {o.strategy: o for o in self.outcomes if o.site == site}
+
+    def render(self) -> str:
+        lines = ["Fig. 4 — custom strategies on synthetic sites (Δ vs no push)"]
+        for outcome in self.outcomes:
+            lines.append(
+                render_bar_row(
+                    f"{outcome.site} {outcome.strategy}",
+                    outcome.mean_delta_si_pct,
+                    outcome.ci_half_width,
+                    extra=f"pushed {outcome.pushed_bytes / 1000:7.1f} KB",
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_fig4(config: Fig4Config = Fig4Config()) -> Fig4Result:
+    result = Fig4Result()
+    for index, (name, spec) in enumerate(sorted(synthetic_sites().items())):
+        built = build_site(spec)
+        baseline = run_repeated(
+            spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+        )
+        custom_list = critical_urls(spec)
+        strategies = [
+            PushAllStrategy(),
+            PushListStrategy(custom_list, name="custom"),
+        ]
+        for strategy in strategies:
+            repeated = run_repeated(
+                spec, strategy, runs=config.runs, built=built, seed_base=index
+            )
+            deltas_si = [
+                relative_change(value, base)
+                for value, base in zip(repeated.si_values, baseline.si_values)
+            ]
+            deltas_plt = [
+                relative_change(value, base)
+                for value, base in zip(repeated.plt_values, baseline.plt_values)
+            ]
+            center, half_width = confidence_interval(deltas_si, level=0.95)
+            result.outcomes.append(
+                SiteStrategyOutcome(
+                    site=name,
+                    strategy=strategy.name,
+                    mean_delta_si_pct=center,
+                    ci_half_width=half_width,
+                    mean_delta_plt_pct=sum(deltas_plt) / len(deltas_plt),
+                    pushed_bytes=repeated.pushed_bytes,
+                )
+            )
+    return result

@@ -1,0 +1,125 @@
+"""Fig. 5: the Interleaving Push motivating example (§5).
+
+A test page references one CSS in ``<head>`` and varies the size of the
+``<body>``.  Strategies: no push, push (default h2o scheduler: push is
+a child of the HTML stream), and interleaving (pause the HTML after
+``</head>``, push the CSS, resume).  Reproduction target: no push ≈
+push, both degrading with document size; interleaving nearly constant
+and faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..html.builder import build_site
+from ..html.resources import ResourceType
+from ..html.spec import ResourceSpec, WebsiteSpec
+from ..metrics.stats import mean, stdev
+from ..strategies.simple import NoPushStrategy, PushListStrategy
+from .report import render_series
+from .runner import run_repeated
+
+
+@dataclass
+class Fig5Config:
+    html_sizes_kb: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80, 90)
+    css_size: int = 12_000
+    runs: int = 5
+    #: Override the pause offset; default = just past </head>.
+    interleave_offset: Optional[int] = None
+
+
+def make_test_site(html_kb: int, css_size: int = 12_000) -> WebsiteSpec:
+    """The paper's parametric test website."""
+    return WebsiteSpec(
+        name=f"fig5-{html_kb}kb",
+        primary_domain="interleave.test",
+        html_size=html_kb * 1000,
+        html_visual_weight=40,
+        # Added body text extends *below* the fold, as in the paper's
+        # experiment where only the viewport content matters.
+        atf_text_fraction=0.125,
+        resources=[
+            ResourceSpec("style.css", ResourceType.CSS, css_size, in_head=True, exec_ms=2)
+        ],
+    )
+
+
+@dataclass
+class Fig5Row:
+    html_kb: int
+    no_push_si: float
+    no_push_std: float
+    push_si: float
+    push_std: float
+    interleaving_si: float
+    interleaving_std: float
+
+
+@dataclass
+class Fig5Result:
+    rows: List[Fig5Row] = field(default_factory=list)
+
+    @property
+    def interleaving_spread(self) -> float:
+        """Max-min of the interleaving curve (should be ~flat)."""
+        values = [row.interleaving_si for row in self.rows]
+        return max(values) - min(values)
+
+    @property
+    def no_push_spread(self) -> float:
+        values = [row.no_push_si for row in self.rows]
+        return max(values) - min(values)
+
+    def render(self) -> str:
+        rows = [
+            (
+                row.html_kb,
+                f"{row.no_push_si:.0f}±{row.no_push_std:.0f}",
+                f"{row.push_si:.0f}±{row.push_std:.0f}",
+                f"{row.interleaving_si:.0f}±{row.interleaving_std:.0f}",
+            )
+            for row in self.rows
+        ]
+        return render_series(
+            ("HTML KB", "no push SI", "push SI", "interleaving SI"),
+            rows,
+            title="Fig. 5b — SpeedIndex vs HTML document size [ms]",
+        )
+
+
+def run_fig5(config: Fig5Config = Fig5Config()) -> Fig5Result:
+    result = Fig5Result()
+    for html_kb in config.html_sizes_kb:
+        spec = make_test_site(html_kb, config.css_size)
+        built = build_site(spec)
+        css_url = spec.url_of("style.css")
+        offset = config.interleave_offset or built.head_end_offset
+        strategies = [
+            NoPushStrategy(),
+            PushListStrategy([css_url], name="push"),
+            PushListStrategy(
+                [css_url],
+                critical_urls=[css_url],
+                interleave_offset=offset,
+                name="interleaving",
+            ),
+        ]
+        cells = [
+            run_repeated(spec, strategy, runs=config.runs, built=built, seed_base=html_kb)
+            for strategy in strategies
+        ]
+        result.rows.append(
+            Fig5Row(
+                html_kb=html_kb,
+                no_push_si=mean(cells[0].si_values),
+                no_push_std=stdev(cells[0].si_values),
+                push_si=mean(cells[1].si_values),
+                push_std=stdev(cells[1].si_values),
+                interleaving_si=mean(cells[2].si_values),
+                interleaving_std=stdev(cells[2].si_values),
+            )
+        )
+    return result

@@ -1,0 +1,119 @@
+"""Push effectiveness across network conditions.
+
+Rosen et al. and Wang et al. — the studies the paper builds on (§3) —
+found that network characteristics dominate whether push helps: push
+saves round trips, so high-RTT paths gain most; it consumes bandwidth,
+so narrow links expose contention.  This experiment sweeps RTT and
+bandwidth for the interleaving strategy on the Fig. 5 test site and on
+a w1-like page, and reports the improvement per condition.
+
+Reproduction targets (from the cited literature):
+* the absolute improvement of pushing grows with RTT;
+* relative gains persist across bandwidths, but absolute milliseconds
+  shrink on fast links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..html.builder import build_site
+from ..netsim.conditions import FixedConditions, NetworkConditions
+from ..strategies.simple import NoPushStrategy, PushListStrategy
+from ..units import mbit_per_s
+from .fig5_interleaving import make_test_site
+from .report import render_series
+from .runner import run_repeated
+
+
+@dataclass
+class SweepConfig:
+    rtts_ms: Sequence[float] = (25.0, 50.0, 100.0, 200.0)
+    bandwidths_mbit: Sequence[float] = (4.0, 16.0, 64.0)
+    html_kb: int = 60
+    runs: int = 3
+
+
+@dataclass
+class SweepCell:
+    rtt_ms: float
+    bandwidth_mbit: float
+    no_push_si: float
+    interleaving_si: float
+
+    @property
+    def absolute_gain_ms(self) -> float:
+        return self.no_push_si - self.interleaving_si
+
+    @property
+    def relative_gain_pct(self) -> float:
+        return self.absolute_gain_ms / self.no_push_si * 100.0
+
+
+@dataclass
+class SweepResult:
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def gains_by_rtt(self, bandwidth_mbit: float) -> List[float]:
+        return [
+            cell.absolute_gain_ms
+            for cell in sorted(self.cells, key=lambda c: c.rtt_ms)
+            if cell.bandwidth_mbit == bandwidth_mbit
+        ]
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{cell.rtt_ms:.0f}",
+                f"{cell.bandwidth_mbit:g}",
+                f"{cell.no_push_si:.0f}",
+                f"{cell.interleaving_si:.0f}",
+                f"{cell.absolute_gain_ms:+.0f}",
+                f"{cell.relative_gain_pct:+.1f}%",
+            )
+            for cell in self.cells
+        ]
+        return render_series(
+            ("RTT ms", "Mbit/s", "no push SI", "interleave SI", "gain ms", "gain %"),
+            rows,
+            title="Interleaving-push gain across network conditions",
+        )
+
+
+def run_network_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
+    spec = make_test_site(config.html_kb)
+    built = build_site(spec)
+    css_url = spec.url_of("style.css")
+    interleave = PushListStrategy(
+        [css_url],
+        critical_urls=[css_url],
+        interleave_offset=built.head_end_offset,
+        name="interleaving",
+    )
+    result = SweepResult()
+    for rtt in config.rtts_ms:
+        for bandwidth in config.bandwidths_mbit:
+            conditions = NetworkConditions(
+                rtt_ms=rtt,
+                downlink_bytes_per_ms=mbit_per_s(bandwidth),
+                uplink_bytes_per_ms=mbit_per_s(max(bandwidth / 16.0, 0.5)),
+            )
+            sampler = FixedConditions(conditions)
+            baseline = run_repeated(
+                spec, NoPushStrategy(), runs=config.runs,
+                conditions=sampler, built=built,
+            )
+            pushed = run_repeated(
+                spec, interleave, runs=config.runs,
+                conditions=sampler, built=built,
+            )
+            result.cells.append(
+                SweepCell(
+                    rtt_ms=rtt,
+                    bandwidth_mbit=bandwidth,
+                    no_push_si=baseline.median_si,
+                    interleaving_si=pushed.median_si,
+                )
+            )
+    return result

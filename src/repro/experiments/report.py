@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (the paper's rows/series).
+
+Each experiment prints the same quantities the paper's figure or table
+shows: CDF sample points, per-site bars with confidence intervals, or
+summary fractions.  Matplotlib is deliberately not used — the harness
+prints series, which is what reproduction checking needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.stats import cdf_points, percentile
+
+
+def render_cdf(
+    name: str,
+    values: Sequence[float],
+    unit: str = "ms",
+    quantiles: Sequence[float] = (5, 25, 50, 75, 95),
+) -> str:
+    """One CDF as its quantile row (the readable form of a figure line)."""
+    cells = "  ".join(f"p{int(q):02d}={percentile(values, q):8.1f}" for q in quantiles)
+    return f"{name:<28} n={len(values):<4} {cells} [{unit}]"
+
+
+def render_cdf_table(series: Dict[str, Sequence[float]], unit: str = "ms") -> str:
+    return "\n".join(render_cdf(name, values, unit) for name, values in series.items())
+
+
+def render_fraction(label: str, fraction: float) -> str:
+    return f"{label:<52} {fraction * 100:5.1f}%"
+
+
+def render_bar_row(
+    label: str,
+    delta_pct: float,
+    ci_half_width: float,
+    extra: str = "",
+) -> str:
+    """One bar of a Fig. 4/6-style bar chart (Δ < 0 is better)."""
+    return f"{label:<28} {delta_pct:+7.2f}% ± {ci_half_width:5.2f}  {extra}"
+
+
+def render_series(
+    header: Tuple[str, ...],
+    rows: List[Tuple],
+    title: str = "",
+) -> str:
+    """A simple aligned table."""
+    widths = [
+        max(len(str(header[col])), max((len(str(row[col])) for row in rows), default=0))
+        for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        lines.append("  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

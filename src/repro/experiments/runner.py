@@ -1,0 +1,112 @@
+"""Shared experiment machinery: repeated runs and aggregation.
+
+The paper replays each website 31 times per setting and reports the
+median (§4.1).  ``run_repeated`` is that loop; experiments default to
+fewer repetitions so the benchmark suite stays tractable, and every
+experiment config exposes ``runs`` to restore the paper's 31.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..browser.cache import BrowserCache
+from ..html.builder import BuiltSite, build_site
+from ..html.spec import WebsiteSpec
+from ..metrics.stats import median, std_error
+from ..netsim.conditions import (
+    DSL_TESTBED,
+    ConditionSampler,
+    FixedConditions,
+    NetworkConditions,
+)
+from ..replay.testbed import PageLoadResult, ReplayTestbed
+from ..strategies.base import PushStrategy
+
+#: The paper's repetition count per site and setting.
+PAPER_RUNS = 31
+
+
+@dataclass
+class RepeatedResult:
+    """All runs of one (site, strategy, environment) cell."""
+
+    site: str
+    strategy: str
+    results: List[PageLoadResult]
+
+    @property
+    def plt_values(self) -> List[float]:
+        return [result.plt_ms for result in self.results]
+
+    @property
+    def si_values(self) -> List[float]:
+        return [result.speed_index_ms for result in self.results]
+
+    @property
+    def median_plt(self) -> float:
+        return median(self.plt_values)
+
+    @property
+    def median_si(self) -> float:
+        return median(self.si_values)
+
+    @property
+    def plt_std_error(self) -> float:
+        return std_error(self.plt_values)
+
+    @property
+    def si_std_error(self) -> float:
+        return std_error(self.si_values)
+
+    @property
+    def pushed_bytes(self) -> int:
+        return self.results[0].pushed_bytes if self.results else 0
+
+
+def run_repeated(
+    spec: WebsiteSpec,
+    strategy: Optional[PushStrategy],
+    runs: int,
+    conditions: Optional[ConditionSampler] = None,
+    built: Optional[BuiltSite] = None,
+    cache_factory: Optional[Callable[[], BrowserCache]] = None,
+    seed_base: int = 0,
+) -> RepeatedResult:
+    """Load a site ``runs`` times under one strategy and environment.
+
+    ``conditions`` samples the network per run — ``FixedConditions``
+    reproduces the deterministic testbed, ``InternetConditions`` the
+    variable live measurements of Fig. 2a.
+    """
+    sampler = conditions or FixedConditions(DSL_TESTBED)
+    built = built or build_site(spec)
+    results: List[PageLoadResult] = []
+    for run_index in range(runs):
+        run_rng = random.Random((seed_base * 1_000_003 + run_index) ^ 0x5EED)
+        network = sampler.sample(run_rng)
+        testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy)
+        cache = cache_factory() if cache_factory is not None else None
+        results.append(testbed.run(cache=cache, seed=seed_base * 1000 + run_index))
+    return RepeatedResult(
+        site=spec.name,
+        strategy=strategy.name if strategy else "no_push",
+        results=results,
+    )
+
+
+def compute_order_for(
+    spec: WebsiteSpec,
+    runs: int = 5,
+    built: Optional[BuiltSite] = None,
+) -> List[str]:
+    """§4.2 order computation: no-push loads, dependency trees, vote."""
+    from ..strategies.order import computed_push_order
+    from ..strategies.simple import NoPushStrategy
+
+    built = built or build_site(spec)
+    repeated = run_repeated(spec, NoPushStrategy(), runs=runs, built=built)
+    timelines = [result.timeline for result in repeated.results]
+    return computed_push_order(timelines, built.html_url)

@@ -1,0 +1,154 @@
+"""§4.2 text statistics: pushable objects and object-type analysis.
+
+* Pushable objects: 52% of top-100 (24% of random-100) sites have
+  < 20% pushable objects.
+* Object types (§4.2.1): pushing images worsens SpeedIndex for 74% of
+  sites; the best type strategy per site still improves only 24%
+  (SpeedIndex) / 20% (PLT) of sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..html.builder import build_site
+from ..html.resources import ResourceType
+from ..metrics.stats import fraction_below
+from ..sites.corpus import RANDOM_100_PROFILE, TOP_100_PROFILE, generate_corpus
+from ..strategies.simple import NoPushStrategy, PushByTypeStrategy
+from .report import render_fraction
+from .runner import compute_order_for, run_repeated
+
+#: The §4.2.1 type strategies.
+TYPE_STRATEGIES = {
+    "css": [ResourceType.CSS],
+    "js": [ResourceType.JS],
+    "images": [ResourceType.IMAGE],
+    "css+js": [ResourceType.CSS, ResourceType.JS],
+    "css+images": [ResourceType.CSS, ResourceType.IMAGE],
+}
+
+
+@dataclass
+class PushableShareResult:
+    top_shares: List[float] = field(default_factory=list)
+    random_shares: List[float] = field(default_factory=list)
+
+    @property
+    def top_below_20(self) -> float:
+        return fraction_below(self.top_shares, 0.20)
+
+    @property
+    def random_below_20(self) -> float:
+        return fraction_below(self.random_shares, 0.20)
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "§4.2 — pushable objects",
+                render_fraction(
+                    "top-100 sites with < 20% pushable (paper: 52%)", self.top_below_20
+                ),
+                render_fraction(
+                    "random-100 sites with < 20% pushable (paper: 24%)",
+                    self.random_below_20,
+                ),
+            ]
+        )
+
+
+def run_pushable_share(sites: int = 100, seed: int = 2018) -> PushableShareResult:
+    result = PushableShareResult()
+    for profile, shares in (
+        (TOP_100_PROFILE, result.top_shares),
+        (RANDOM_100_PROFILE, result.random_shares),
+    ):
+        for site in generate_corpus(profile, sites, seed=seed):
+            shares.append(site.spec.pushable_share())
+    return result
+
+
+@dataclass
+class TypeAnalysisConfig:
+    sites: int = 12
+    runs: int = 3
+    order_runs: int = 3
+    seed: int = 2018
+
+
+@dataclass
+class TypeAnalysisResult:
+    #: type strategy name -> per-site ΔSI / ΔPLT.
+    delta_si: Dict[str, List[float]] = field(default_factory=dict)
+    delta_plt: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def images_worse_share(self) -> float:
+        """Share of sites where pushing images worsens SpeedIndex."""
+        values = self.delta_si["images"]
+        return sum(1 for value in values if value > 0) / len(values)
+
+    @property
+    def best_type_improves_si(self) -> float:
+        """Share of sites whose *best* type strategy improves SI by a
+        meaningful margin (the paper counts clear improvements)."""
+        return self._best_improves(self.delta_si)
+
+    @property
+    def best_type_improves_plt(self) -> float:
+        return self._best_improves(self.delta_plt)
+
+    def _best_improves(self, table: Dict[str, List[float]], margin: float = 5.0) -> float:
+        site_count = len(next(iter(table.values())))
+        improved = 0
+        for index in range(site_count):
+            best = min(table[name][index] for name in table)
+            if best < -margin:
+                improved += 1
+        return improved / site_count
+
+    def render(self) -> str:
+        lines = ["§4.2.1 — object-type strategies (random set)"]
+        for name in self.delta_si:
+            values = self.delta_si[name]
+            worse = sum(1 for value in values if value > 0) / len(values)
+            lines.append(render_fraction(f"push {name}: sites made worse (SI)", worse))
+        lines.append(
+            render_fraction(
+                "pushing images worsens SI (paper: 74%)", self.images_worse_share
+            )
+        )
+        lines.append(
+            render_fraction(
+                "best type improves SI (paper: 24%)", self.best_type_improves_si
+            )
+        )
+        lines.append(
+            render_fraction(
+                "best type improves PLT (paper: 20%)", self.best_type_improves_plt
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_type_analysis(config: TypeAnalysisConfig = TypeAnalysisConfig()) -> TypeAnalysisResult:
+    corpus = generate_corpus(RANDOM_100_PROFILE, config.sites, seed=config.seed)
+    result = TypeAnalysisResult()
+    for name in TYPE_STRATEGIES:
+        result.delta_si[name] = []
+        result.delta_plt[name] = []
+    for index, site in enumerate(corpus):
+        built = build_site(site.spec)
+        order = compute_order_for(site.spec, runs=config.order_runs, built=built)
+        baseline = run_repeated(
+            site.spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+        )
+        for name, types in TYPE_STRATEGIES.items():
+            strategy = PushByTypeStrategy(types, order=order)
+            repeated = run_repeated(
+                site.spec, strategy, runs=config.runs, built=built, seed_base=index
+            )
+            result.delta_si[name].append(repeated.median_si - baseline.median_si)
+            result.delta_plt[name].append(repeated.median_plt - baseline.median_plt)
+    return result

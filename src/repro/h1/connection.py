@@ -1,0 +1,182 @@
+"""A minimal HTTP/1.1 implementation over the simulated TCP stream.
+
+The paper positions H2 against its predecessor throughout (§1, §3:
+Wang et al., de Saxcé et al., Varvello et al.), and its testbed records
+H1 versions of sites that do not speak H2 (§4.2).  This module provides
+the H1 side of that comparison: textual requests/responses with
+``Content-Length`` framing, one outstanding request per connection
+(no pipelining, as deployed browsers behave), keep-alive reuse.
+
+Server Push does not exist here — that is the point of the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..netsim.tcp import TcpEndpoint
+
+Header = Tuple[str, str]
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+
+class H1ClientConnection:
+    """One keep-alive HTTP/1.1 client connection (serial requests)."""
+
+    def __init__(self, endpoint: TcpEndpoint):
+        self._endpoint = endpoint
+        endpoint.on_data = self._on_data
+        endpoint.on_writable = self._pump
+        self._send_buffer = bytearray()
+        self._recv_buffer = bytearray()
+        self._expecting_body: Optional[int] = None
+        self._body_received = 0
+        self.busy = False
+
+        # callbacks for the in-flight exchange
+        self.on_response: Optional[Callable[[int, List[Header]], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_complete: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, url_path: str, host: str,
+                headers: Optional[List[Header]] = None) -> None:
+        if self.busy:
+            raise ProtocolError("HTTP/1.1 connection already has a request in flight")
+        self.busy = True
+        lines = [f"{method} {url_path} HTTP/1.1", f"Host: {host}",
+                 "Connection: keep-alive"]
+        for name, value in headers or []:
+            lines.append(f"{name}: {value}")
+        wire = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        self._send_buffer.extend(wire)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._send_buffer:
+            accepted = self._endpoint.send(bytes(self._send_buffer))
+            if accepted == 0:
+                return
+            del self._send_buffer[:accepted]
+
+    # ------------------------------------------------------------------
+    def _on_data(self, data: bytes) -> None:
+        self._recv_buffer.extend(data)
+        self._process()
+
+    def _process(self) -> None:
+        if self._expecting_body is None:
+            end = self._recv_buffer.find(_HEADER_END)
+            if end == -1:
+                return
+            head = bytes(self._recv_buffer[:end]).decode("ascii", errors="replace")
+            del self._recv_buffer[: end + len(_HEADER_END)]
+            status, headers = _parse_response_head(head)
+            self._expecting_body = _content_length(headers)
+            self._body_received = 0
+            if self.on_response is not None:
+                self.on_response(status, headers)
+        if self._expecting_body is not None and self._recv_buffer:
+            take = min(len(self._recv_buffer), self._expecting_body - self._body_received)
+            if take > 0:
+                chunk = bytes(self._recv_buffer[:take])
+                del self._recv_buffer[:take]
+                self._body_received += take
+                if self.on_data is not None:
+                    self.on_data(chunk)
+        if (
+            self._expecting_body is not None
+            and self._body_received >= self._expecting_body
+        ):
+            self._expecting_body = None
+            self.busy = False
+            if self.on_complete is not None:
+                callback = self.on_complete
+                callback()
+
+
+class H1ServerConnection:
+    """Server side: parses serial requests, answers via a handler."""
+
+    def __init__(
+        self,
+        endpoint: TcpEndpoint,
+        handler: Callable[[str, str, List[Header]], Tuple[int, List[Header], bytes]],
+    ):
+        self._endpoint = endpoint
+        self._handler = handler
+        endpoint.on_data = self._on_data
+        endpoint.on_writable = self._pump
+        self._recv_buffer = bytearray()
+        self._send_buffer = bytearray()
+
+    def _on_data(self, data: bytes) -> None:
+        self._recv_buffer.extend(data)
+        while True:
+            end = self._recv_buffer.find(_HEADER_END)
+            if end == -1:
+                return
+            head = bytes(self._recv_buffer[:end]).decode("ascii", errors="replace")
+            del self._recv_buffer[: end + len(_HEADER_END)]
+            method, path, headers = _parse_request_head(head)
+            host = next((v for k, v in headers if k.lower() == "host"), "")
+            status, response_headers, body = self._handler(method, f"https://{host}{path}", headers)
+            self._respond(status, response_headers, body)
+
+    def _respond(self, status: int, headers: List[Header], body: bytes) -> None:
+        lines = [f"HTTP/1.1 {status} {'OK' if status == 200 else 'Not Found'}"]
+        lines += [f"{name}: {value}" for name, value in headers
+                  if not name.startswith(":")]
+        lines.append(f"Content-Length: {len(body)}")
+        wire = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+        self._send_buffer.extend(wire)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._send_buffer:
+            accepted = self._endpoint.send(bytes(self._send_buffer))
+            if accepted == 0:
+                return
+            del self._send_buffer[:accepted]
+
+
+# ----------------------------------------------------------------------
+def _parse_response_head(head: str) -> Tuple[int, List[Header]]:
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ProtocolError(f"malformed HTTP/1.1 status line: {lines[0]!r}")
+    return int(parts[1]), _parse_headers(lines[1:])
+
+
+def _parse_request_head(head: str) -> Tuple[str, str, List[Header]]:
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed HTTP/1.1 request line: {lines[0]!r}")
+    return parts[0], parts[1], _parse_headers(lines[1:])
+
+
+def _parse_headers(lines: List[str]) -> List[Header]:
+    headers: List[Header] = []
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers.append((name.strip().lower(), value.strip()))
+    return headers
+
+
+def _content_length(headers: List[Header]) -> int:
+    for name, value in headers:
+        if name == "content-length":
+            try:
+                return int(value)
+            except ValueError:
+                raise ProtocolError(f"bad content-length: {value!r}") from None
+    return 0

@@ -1,0 +1,38 @@
+"""HTTP/1.1 replay server (the H1 arm of the comparison)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netsim.tcp import TcpConnection
+from ..replay.matcher import RequestMatcher
+from .connection import H1ServerConnection
+
+Header = Tuple[str, str]
+
+
+class H1ReplayServer:
+    """Serves recorded responses over HTTP/1.1 (no push, no streams)."""
+
+    def __init__(self, ip: str, matcher: RequestMatcher):
+        self.ip = ip
+        self.matcher = matcher
+        self.requests_served = 0
+        self.connections: List[H1ServerConnection] = []
+
+    def accept(self, tcp: TcpConnection) -> H1ServerConnection:
+        conn = H1ServerConnection(tcp.server, self._handle)
+        self.connections.append(conn)
+        return conn
+
+    def _handle(self, method: str, url: str, _headers) -> Tuple[int, list, bytes]:
+        self.requests_served += 1
+        record = self.matcher.match(url, method=method)
+        if record is None:
+            return 404, [("content-type", "text/plain")], b"not found"
+        headers = [
+            (name, value)
+            for name, value in record.headers
+            if name.lower() != "content-length"
+        ]
+        return record.status, headers, record.body

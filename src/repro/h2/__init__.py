@@ -1,0 +1,72 @@
+"""A from-scratch HTTP/2 implementation (RFC 7540 + RFC 7541).
+
+Frames, HPACK, streams, flow control, the priority dependency tree, and
+connection logic — everything Server Push needs, running over the
+simulated TCP byte stream.
+"""
+
+from .connection import DataScheduler, H2Connection
+from .constants import (
+    CONNECTION_PREFACE,
+    DEFAULT_INITIAL_WINDOW_SIZE,
+    DEFAULT_MAX_FRAME_SIZE,
+    DEFAULT_WEIGHT,
+    ErrorCode,
+    Flag,
+    FrameType,
+    SettingCode,
+    StreamState,
+)
+from .flow_control import FlowControlWindow, ReceiveWindow
+from .frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    FrameReader,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityData,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+    parse_frame,
+)
+from .priority import PriorityTree
+from .settings import Settings
+from .stream import H2Stream
+
+__all__ = [
+    "CONNECTION_PREFACE",
+    "ContinuationFrame",
+    "DEFAULT_INITIAL_WINDOW_SIZE",
+    "DEFAULT_MAX_FRAME_SIZE",
+    "DEFAULT_WEIGHT",
+    "DataFrame",
+    "DataScheduler",
+    "ErrorCode",
+    "Flag",
+    "FlowControlWindow",
+    "Frame",
+    "FrameReader",
+    "FrameType",
+    "GoAwayFrame",
+    "H2Connection",
+    "H2Stream",
+    "HeadersFrame",
+    "PingFrame",
+    "PriorityData",
+    "PriorityFrame",
+    "PriorityTree",
+    "PushPromiseFrame",
+    "ReceiveWindow",
+    "RstStreamFrame",
+    "SettingCode",
+    "Settings",
+    "SettingsFrame",
+    "StreamState",
+    "WindowUpdateFrame",
+    "parse_frame",
+]

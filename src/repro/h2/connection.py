@@ -1,0 +1,568 @@
+"""HTTP/2 connection logic over the simulated TCP byte stream.
+
+One :class:`H2Connection` object implements one endpoint (client or
+server) of an HTTP/2 connection.  Real frame bytes — HPACK-compressed
+headers, DATA chunks, PUSH_PROMISEs — flow through the TCP model, so
+every protocol overhead is charged against the simulated links.
+
+Send-side design (mirrors h2o): control frames (HEADERS, PUSH_PROMISE,
+SETTINGS, WINDOW_UPDATE, RST_STREAM, PING, GOAWAY) are queued and
+flushed ahead of body data.  Body bytes sit in per-stream queues; every
+time socket-buffer space frees, the **data scheduler** picks which
+stream's bytes to serialize next.  Swapping that scheduler is how the
+paper's Interleaving Push is implemented (see ``repro.server``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError, StreamError
+from ..netsim.tcp import TcpEndpoint
+from .constants import (
+    CONNECTION_PREFACE,
+    DEFAULT_WEIGHT,
+    ErrorCode,
+    Flag,
+    FrameType,
+    SettingCode,
+    StreamState,
+)
+from .flow_control import FlowControlWindow, ReceiveWindow
+from .frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    FrameReader,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityData,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from .hpack import HpackDecoder, HpackEncoder
+from .priority import PriorityTree
+from .settings import Settings
+from .stream import H2Stream
+
+Header = Tuple[str, str]
+
+#: DATA frame header size, for socket-space arithmetic.
+_FRAME_HEADER = 9
+
+
+class DataScheduler:
+    """Default send scheduler: pure RFC 7540 priority-tree order.
+
+    ``select`` returns the stream id to serve next; ``on_data_sent``
+    observes what was sent (hook point for the interleaving scheduler).
+    """
+
+    def select(self, conn: "H2Connection", ready: List[int]) -> Optional[int]:
+        return conn.priority_tree.select(ready)
+
+    def on_data_sent(self, conn: "H2Connection", stream_id: int, size: int, end: bool) -> None:
+        conn.priority_tree.charge(stream_id, size)
+
+    def on_stream_reset(self, conn: "H2Connection", stream_id: int) -> None:
+        """A stream was reset by the peer; schedulers may unblock."""
+
+
+class H2Connection:
+    """One endpoint of an HTTP/2 connection."""
+
+    def __init__(
+        self,
+        endpoint: TcpEndpoint,
+        role: str,
+        settings: Optional[Settings] = None,
+        chunk_size: int = 16_384,
+        connection_recv_window: int = 15 * 1024 * 1024,
+    ):
+        if role not in ("client", "server"):
+            raise ProtocolError(f"invalid role {role!r}")
+        self.role = role
+        self._endpoint = endpoint
+        endpoint.on_data = self._on_tcp_data
+        endpoint.on_writable = self._pump
+
+        self.local_settings = settings or Settings()
+        self.remote_settings = Settings()
+        self._reader = FrameReader(expect_preface=(role == "server"))
+        self._encoder = HpackEncoder(self.local_settings.header_table_size)
+        self._decoder = HpackDecoder(self.local_settings.header_table_size)
+
+        self.streams: Dict[int, H2Stream] = {}
+        self.priority_tree = PriorityTree()
+        self.scheduler: DataScheduler = DataScheduler()
+        self._chunk_size = chunk_size
+
+        self._next_stream_id = 1 if role == "client" else 2
+        self._conn_send_window = FlowControlWindow()
+        self._conn_recv_window = ReceiveWindow()
+        self._control_queue: List[bytes] = []
+        self._header_fragments: Optional[Tuple[int, str, bytearray, Flag]] = None
+        self._goaway_received = False
+        self._pumping = False
+
+        # --- event callbacks (set by server / browser layers) ---
+        self.on_request: Optional[Callable[[int, List[Header], PriorityData], None]] = None
+        self.on_response: Optional[Callable[[int, List[Header]], None]] = None
+        self.on_data: Optional[Callable[[int, bytes], None]] = None
+        self.on_stream_end: Optional[Callable[[int], None]] = None
+        self.on_push_promise: Optional[Callable[[int, int, List[Header]], None]] = None
+        self.on_reset: Optional[Callable[[int, ErrorCode], None]] = None
+        self.on_settings: Optional[Callable[[Settings], None]] = None
+        self.on_data_frame_sent: Optional[Callable[[int, int, bool], None]] = None
+
+        # --- wire statistics ---
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.push_promises_sent = 0
+        self.pushes_cancelled = 0
+
+        self._start()
+
+    # ------------------------------------------------------------------
+    # connection startup
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        if self.role == "client":
+            self._control_queue.append(CONNECTION_PREFACE)
+        self._queue_frame(SettingsFrame(stream_id=0, settings=self.local_settings.as_dict()))
+        grow = self._conn_recv_window.grow(15 * 1024 * 1024)
+        if grow > 0 and self.role == "client":
+            # Chromium-style: immediately enlarge the connection window.
+            self._queue_frame(WindowUpdateFrame(stream_id=0, increment=grow))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # public sending API
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        headers: List[Header],
+        priority: Optional[PriorityData] = None,
+        end_stream: bool = True,
+    ) -> int:
+        """Client: open a new stream carrying a request."""
+        if self.role != "client":
+            raise ProtocolError("only clients send requests")
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        stream = self._get_or_create_stream(stream_id)
+        stream.request_headers = list(headers)
+        stream.open_local()
+        if end_stream:
+            stream.close_local()
+        self.priority_tree.insert(
+            stream_id,
+            depends_on=priority.depends_on if priority else 0,
+            weight=priority.weight if priority else DEFAULT_WEIGHT,
+            exclusive=priority.exclusive if priority else False,
+        )
+        flags = Flag.END_HEADERS | (Flag.END_STREAM if end_stream else Flag.NONE)
+        block = self._encoder.encode(headers)
+        self._queue_header_block(
+            HeadersFrame(stream_id=stream_id, flags=flags, header_block=block, priority=priority)
+        )
+        self._pump()
+        return stream_id
+
+    def respond(self, stream_id: int, headers: List[Header], end_stream: bool = False) -> None:
+        """Server: send response HEADERS on an existing stream."""
+        stream = self._require_stream(stream_id)
+        if stream.state == StreamState.RESERVED_LOCAL:
+            # Sending headers on a reserved (pushed) stream opens it.
+            stream.state = StreamState.HALF_CLOSED_REMOTE
+        stream.response_headers = list(headers)
+        flags = Flag.END_HEADERS | (Flag.END_STREAM if end_stream else Flag.NONE)
+        block = self._encoder.encode(headers)
+        self._queue_header_block(
+            HeadersFrame(stream_id=stream_id, flags=flags, header_block=block)
+        )
+        if end_stream:
+            stream.close_local()
+        self._pump()
+
+    def send_body(self, stream_id: int, data: bytes, end_stream: bool = False) -> None:
+        """Queue body bytes; the data scheduler decides emission order."""
+        stream = self._require_stream(stream_id)
+        stream.queue_body(data, end_stream)
+        self._pump()
+
+    def push(
+        self,
+        parent_stream_id: int,
+        request_headers: List[Header],
+        depends_on: Optional[int] = None,
+        weight: int = DEFAULT_WEIGHT,
+    ) -> int:
+        """Server: reserve a pushed stream via PUSH_PROMISE.
+
+        The promised stream becomes a child of the parent stream in the
+        priority tree, replicating h2o's default placement (Fig. 5a).
+        """
+        if self.role != "server":
+            raise ProtocolError("only servers push")
+        if not self.remote_settings.enable_push:
+            raise ProtocolError("peer disabled Server Push (SETTINGS_ENABLE_PUSH=0)")
+        parent = self._require_stream(parent_stream_id)
+        if parent.closed:
+            raise StreamError("cannot push on closed stream", parent_stream_id)
+        promised_id = self._next_stream_id
+        self._next_stream_id += 2
+        stream = self._get_or_create_stream(promised_id)
+        stream.reserve_local()
+        stream.is_pushed = True
+        stream.request_headers = list(request_headers)
+        self.priority_tree.insert(
+            promised_id,
+            depends_on=parent_stream_id if depends_on is None else depends_on,
+            weight=weight,
+        )
+        block = self._encoder.encode(request_headers)
+        self._queue_header_block(
+            PushPromiseFrame(
+                stream_id=parent_stream_id,
+                flags=Flag.END_HEADERS,
+                promised_stream_id=promised_id,
+                header_block=block,
+            )
+        )
+        self.push_promises_sent += 1
+        self._pump()
+        return promised_id
+
+    def reset_stream(self, stream_id: int, code: ErrorCode = ErrorCode.CANCEL) -> None:
+        """Send RST_STREAM (e.g. a client cancelling an unwanted push)."""
+        stream = self._require_stream(stream_id)
+        stream.reset(code)
+        self.priority_tree.remove(stream_id)
+        self._queue_frame(RstStreamFrame(stream_id=stream_id, error_code=code))
+        self._pump()
+
+    def send_priority(self, stream_id: int, priority: PriorityData) -> None:
+        self._queue_frame(PriorityFrame(stream_id=stream_id, priority=priority))
+        self._pump()
+
+    def ping(self, opaque: bytes = b"\x00" * 8) -> None:
+        self._queue_frame(PingFrame(stream_id=0, opaque=opaque))
+        self._pump()
+
+    def goaway(self, error_code: ErrorCode = ErrorCode.NO_ERROR) -> None:
+        last = max((sid for sid in self.streams), default=0)
+        self._queue_frame(
+            GoAwayFrame(stream_id=0, last_stream_id=last, error_code=error_code)
+        )
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def _queue_frame(self, frame: Frame) -> None:
+        self._control_queue.append(frame.serialize())
+        self.frames_sent += 1
+
+    def _queue_header_block(self, frame) -> None:
+        """Queue HEADERS/PUSH_PROMISE, splitting into CONTINUATIONs."""
+        max_size = self.remote_settings.max_frame_size
+        if len(frame.payload()) <= max_size:
+            self._queue_frame(frame)
+            return
+        block = frame.header_block
+        # Room left in the first frame after non-block payload bytes.
+        overhead = len(frame.payload()) - len(block)
+        first_chunk = max_size - overhead
+        frame.header_block = block[:first_chunk]
+        frame.flags &= ~Flag.END_HEADERS
+        self._queue_frame(frame)
+        rest = block[first_chunk:]
+        while rest:
+            chunk, rest = rest[:max_size], rest[max_size:]
+            flags = Flag.END_HEADERS if not rest else Flag.NONE
+            self._queue_frame(
+                ContinuationFrame(stream_id=frame.stream_id, flags=flags, header_block=chunk)
+            )
+
+    def _pump(self) -> None:
+        """Write as much as the socket buffer allows: control, then data."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            self._flush_control()
+            if not self._control_queue:
+                self._flush_data()
+        finally:
+            self._pumping = False
+
+    def _flush_control(self) -> None:
+        while self._control_queue:
+            payload = self._control_queue[0]
+            if self._endpoint.send_buffer_space <= 0:
+                return
+            # Control frames may exceed the socket buffer (e.g. a large
+            # header block); write whatever fits and resume on writable.
+            accepted = self._endpoint.send(payload)
+            if accepted < len(payload):
+                self._control_queue[0] = payload[accepted:]
+                return
+            self._control_queue.pop(0)
+
+    def _ready_streams(self) -> List[int]:
+        if self._conn_send_window.available <= 0:
+            # Only zero-length END_STREAM frames could be sent; include
+            # streams needing exactly that.
+            return [
+                sid
+                for sid, stream in self.streams.items()
+                if stream.wants_to_send() and stream.sendable_bytes() == 0
+            ]
+        return [sid for sid, stream in self.streams.items() if stream.wants_to_send()]
+
+    def _flush_data(self) -> None:
+        while True:
+            space = self._endpoint.send_buffer_space
+            if space <= _FRAME_HEADER:
+                return
+            ready = self._ready_streams()
+            if not ready:
+                return
+            stream_id = self.scheduler.select(self, ready)
+            if stream_id is None:
+                return
+            stream = self.streams[stream_id]
+            budget = min(
+                self._chunk_size,
+                space - _FRAME_HEADER,
+                self.remote_settings.max_frame_size,
+                max(self._conn_send_window.available, 0),
+            )
+            size = min(stream.sendable_bytes(), budget)
+            data, end = stream.take_body(size)
+            if not data and not end:
+                # Stream was ready only for a pause boundary; try others.
+                return
+            stream.send_window.consume(len(data))
+            self._conn_send_window.consume(len(data))
+            flags = Flag.END_STREAM if end else Flag.NONE
+            frame = DataFrame(stream_id=stream_id, flags=flags, data=data)
+            self._endpoint.send(frame.serialize())
+            self.frames_sent += 1
+            self.scheduler.on_data_sent(self, stream_id, len(data), end)
+            if self.on_data_frame_sent is not None:
+                self.on_data_frame_sent(stream_id, len(data), end)
+            if end:
+                stream.close_local()
+                if stream.closed:
+                    self.priority_tree.remove(stream_id)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_tcp_data(self, data: bytes) -> None:
+        for frame in self._reader.feed(data):
+            self.frames_received += 1
+            self._dispatch(frame)
+        self._pump()
+
+    def _dispatch(self, frame: Frame) -> None:
+        if self._header_fragments is not None and not isinstance(frame, ContinuationFrame):
+            raise ProtocolError("expected CONTINUATION frame")
+        if isinstance(frame, SettingsFrame):
+            self._handle_settings(frame)
+        elif isinstance(frame, HeadersFrame):
+            self._handle_headers(frame)
+        elif isinstance(frame, ContinuationFrame):
+            self._handle_continuation(frame)
+        elif isinstance(frame, DataFrame):
+            self._handle_data(frame)
+        elif isinstance(frame, PushPromiseFrame):
+            self._handle_push_promise(frame)
+        elif isinstance(frame, WindowUpdateFrame):
+            self._handle_window_update(frame)
+        elif isinstance(frame, RstStreamFrame):
+            self._handle_rst(frame)
+        elif isinstance(frame, PriorityFrame):
+            self._handle_priority(frame)
+        elif isinstance(frame, PingFrame):
+            if not frame.is_ack:
+                self._queue_frame(
+                    PingFrame(stream_id=0, flags=Flag.ACK, opaque=frame.opaque)
+                )
+        elif isinstance(frame, GoAwayFrame):
+            self._goaway_received = True
+
+    def _handle_settings(self, frame: SettingsFrame) -> None:
+        if frame.is_ack:
+            return
+        old_window = self.remote_settings.initial_window_size
+        self.remote_settings.apply(frame.settings)
+        new_window = self.remote_settings.initial_window_size
+        if new_window != old_window:
+            delta = new_window - old_window
+            for stream in self.streams.values():
+                if not stream.closed:
+                    stream.send_window.adjust_initial(delta)
+        if int(SettingCode.HEADER_TABLE_SIZE) in frame.settings:
+            self._encoder.set_max_table_size(frame.settings[int(SettingCode.HEADER_TABLE_SIZE)])
+        self._queue_frame(SettingsFrame(stream_id=0, flags=Flag.ACK))
+        if self.on_settings is not None:
+            self.on_settings(self.remote_settings)
+
+    def _handle_headers(self, frame: HeadersFrame) -> None:
+        if frame.priority is not None and self.role == "server":
+            self._apply_priority(frame.stream_id, frame.priority)
+        kind = "headers_end" if frame.end_stream else "headers"
+        if not frame.end_headers:
+            self._header_fragments = (
+                frame.stream_id,
+                kind,
+                bytearray(frame.header_block),
+                frame.flags,
+            )
+            return
+        self._finish_header_block(frame.stream_id, frame.header_block, frame.end_stream)
+
+    def _handle_continuation(self, frame: ContinuationFrame) -> None:
+        if self._header_fragments is None:
+            raise ProtocolError("CONTINUATION without open header block")
+        stream_id, kind, buffer, flags = self._header_fragments
+        if frame.stream_id != stream_id:
+            raise ProtocolError("CONTINUATION on wrong stream")
+        buffer.extend(frame.header_block)
+        if frame.end_headers:
+            self._header_fragments = None
+            self._finish_header_block(stream_id, bytes(buffer), kind == "headers_end")
+        else:
+            self._header_fragments = (stream_id, kind, buffer, flags)
+
+    def _finish_header_block(self, stream_id: int, block: bytes, end_stream: bool) -> None:
+        headers = self._decoder.decode(block)
+        stream = self._get_or_create_stream(stream_id)
+        if self.role == "server":
+            if stream.state == StreamState.IDLE:
+                stream.open_remote()
+                if stream_id not in self.priority_tree:
+                    self.priority_tree.insert(stream_id)
+            stream.request_headers = headers
+            if end_stream:
+                stream.close_remote()
+            if self.on_request is not None:
+                self.on_request(stream_id, headers, PriorityData())
+        else:
+            if stream.state == StreamState.RESERVED_REMOTE:
+                stream.state = StreamState.HALF_CLOSED_LOCAL
+            stream.response_headers = headers
+            if self.on_response is not None:
+                self.on_response(stream_id, headers)
+            if end_stream:
+                self._end_remote(stream)
+
+    def _handle_data(self, frame: DataFrame) -> None:
+        stream = self.streams.get(frame.stream_id)
+        if stream is None or stream.closed:
+            return  # data for a reset stream was already in flight
+        stream.bytes_received += len(frame.data)
+        increment = stream.recv_window.on_data(len(frame.data))
+        if increment > 0 and not frame.end_stream:
+            self._queue_frame(
+                WindowUpdateFrame(stream_id=frame.stream_id, increment=increment)
+            )
+        conn_increment = self._conn_recv_window.on_data(len(frame.data))
+        if conn_increment > 0:
+            self._queue_frame(WindowUpdateFrame(stream_id=0, increment=conn_increment))
+        if frame.data and self.on_data is not None:
+            self.on_data(frame.stream_id, frame.data)
+        if frame.end_stream:
+            self._end_remote(stream)
+
+    def _end_remote(self, stream: H2Stream) -> None:
+        stream.close_remote()
+        if stream.closed:
+            self.priority_tree.remove(stream.stream_id)
+        if self.on_stream_end is not None:
+            self.on_stream_end(stream.stream_id)
+
+    def _handle_push_promise(self, frame: PushPromiseFrame) -> None:
+        if self.role != "client":
+            raise ProtocolError("servers do not receive PUSH_PROMISE")
+        if not self.local_settings.enable_push:
+            # Peer violated our SETTINGS_ENABLE_PUSH=0; refuse the stream.
+            self.reset_stream_raw(frame.promised_stream_id, ErrorCode.REFUSED_STREAM)
+            return
+        if not frame.end_headers:
+            raise ProtocolError("fragmented PUSH_PROMISE not supported by model")
+        headers = self._decoder.decode(frame.header_block)
+        stream = self._get_or_create_stream(frame.promised_stream_id)
+        stream.reserve_remote()
+        stream.is_pushed = True
+        stream.request_headers = headers
+        if self.on_push_promise is not None:
+            self.on_push_promise(frame.stream_id, frame.promised_stream_id, headers)
+
+    def reset_stream_raw(self, stream_id: int, code: ErrorCode) -> None:
+        """Send RST_STREAM for a stream we may not have tracked yet."""
+        stream = self._get_or_create_stream(stream_id)
+        stream.reset(code)
+        self.pushes_cancelled += 1
+        self._queue_frame(RstStreamFrame(stream_id=stream_id, error_code=code))
+        self._pump()
+
+    def _handle_window_update(self, frame: WindowUpdateFrame) -> None:
+        if frame.stream_id == 0:
+            self._conn_send_window.replenish(frame.increment)
+        else:
+            stream = self.streams.get(frame.stream_id)
+            if stream is not None and not stream.closed:
+                stream.send_window.replenish(frame.increment)
+
+    def _handle_rst(self, frame: RstStreamFrame) -> None:
+        stream = self.streams.get(frame.stream_id)
+        if stream is None:
+            return
+        stream.reset(frame.error_code)
+        self.priority_tree.remove(frame.stream_id)
+        self.scheduler.on_stream_reset(self, frame.stream_id)
+        if self.on_reset is not None:
+            self.on_reset(frame.stream_id, frame.error_code)
+
+    def _handle_priority(self, frame: PriorityFrame) -> None:
+        self._apply_priority(frame.stream_id, frame.priority)
+
+    def _apply_priority(self, stream_id: int, priority: PriorityData) -> None:
+        self.priority_tree.reprioritize(
+            stream_id,
+            depends_on=priority.depends_on,
+            weight=priority.weight,
+            exclusive=priority.exclusive,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _get_or_create_stream(self, stream_id: int) -> H2Stream:
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            stream = H2Stream(
+                stream_id,
+                initial_send_window=self.remote_settings.initial_window_size,
+                initial_recv_window=self.local_settings.initial_window_size,
+            )
+            self.streams[stream_id] = stream
+        return stream
+
+    def _require_stream(self, stream_id: int) -> H2Stream:
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            raise StreamError(f"unknown stream {stream_id}", stream_id)
+        return stream
+
+    @property
+    def all_streams_done(self) -> bool:
+        return all(stream.closed for stream in self.streams.values())

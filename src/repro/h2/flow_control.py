@@ -1,0 +1,81 @@
+"""HTTP/2 flow-control windows (RFC 7540 §5.2, §6.9)."""
+
+from __future__ import annotations
+
+from ..errors import FlowControlError
+from .constants import DEFAULT_INITIAL_WINDOW_SIZE, MAX_WINDOW_SIZE
+
+
+class FlowControlWindow:
+    """A send-side flow-control window.
+
+    Consuming shrinks the window; WINDOW_UPDATE frames replenish it.
+    Exceeding ``MAX_WINDOW_SIZE`` is a flow-control error per §6.9.1.
+    """
+
+    def __init__(self, initial: int = DEFAULT_INITIAL_WINDOW_SIZE):
+        if initial < 0 or initial > MAX_WINDOW_SIZE:
+            raise FlowControlError(f"invalid initial window {initial}")
+        self._window = initial
+
+    @property
+    def available(self) -> int:
+        """Bytes that may currently be sent (never negative for senders;
+        can go negative transiently after a SETTINGS shrink)."""
+        return self._window
+
+    def consume(self, size: int) -> None:
+        if size < 0:
+            raise FlowControlError("cannot consume a negative amount")
+        if size > self._window:
+            raise FlowControlError(f"window underflow: {size} > {self._window}")
+        self._window -= size
+
+    def replenish(self, increment: int) -> None:
+        if increment <= 0:
+            raise FlowControlError("WINDOW_UPDATE increment must be positive")
+        if self._window + increment > MAX_WINDOW_SIZE:
+            raise FlowControlError("flow-control window overflow")
+        self._window += increment
+
+    def adjust_initial(self, delta: int) -> None:
+        """Apply a SETTINGS_INITIAL_WINDOW_SIZE change (§6.9.2).
+
+        Unlike ``replenish`` this may drive the window negative.
+        """
+        self._window += delta
+        if self._window > MAX_WINDOW_SIZE:
+            raise FlowControlError("flow-control window overflow")
+
+
+class ReceiveWindow:
+    """Receive-side accounting that decides when to emit WINDOW_UPDATE.
+
+    Mirrors browser behaviour: once more than half the window has been
+    consumed since the last update, credit the peer back to full.
+    """
+
+    def __init__(self, initial: int = DEFAULT_INITIAL_WINDOW_SIZE):
+        self._capacity = initial
+        self._consumed_since_update = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def grow(self, new_capacity: int) -> int:
+        """Grow capacity; returns the WINDOW_UPDATE increment to send."""
+        if new_capacity <= self._capacity:
+            return 0
+        increment = new_capacity - self._capacity
+        self._capacity = new_capacity
+        return increment
+
+    def on_data(self, size: int) -> int:
+        """Record received payload; returns an update increment or 0."""
+        self._consumed_since_update += size
+        if self._consumed_since_update * 2 > self._capacity:
+            increment = self._consumed_since_update
+            self._consumed_since_update = 0
+            return increment
+        return 0

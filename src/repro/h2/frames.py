@@ -1,0 +1,461 @@
+"""HTTP/2 frame definitions with binary serialization (RFC 7540 §4, §6).
+
+Every frame type defined by the RFC is implemented with a wire-accurate
+binary layout: the 9-octet frame header (24-bit length, 8-bit type,
+8-bit flags, 31-bit stream id with reserved bit) followed by the
+type-specific payload.  The testbed ships real frame bytes through the
+TCP model, so frame overheads (headers, PUSH_PROMISE promises, padding)
+are charged against the simulated links exactly as they would be on the
+wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional, Tuple, Type
+
+from ..errors import ProtocolError
+from .constants import (
+    ABSOLUTE_MAX_FRAME_SIZE,
+    DEFAULT_WEIGHT,
+    FRAME_HEADER_SIZE,
+    ErrorCode,
+    Flag,
+    FrameType,
+)
+
+_HEADER_STRUCT = struct.Struct(">IBI")  # (length << 8 | type), flags, stream id
+
+
+def _pack_header(length: int, frame_type: int, flags: int, stream_id: int) -> bytes:
+    if length > ABSOLUTE_MAX_FRAME_SIZE:
+        raise ProtocolError(
+            f"frame payload of {length} exceeds maximum", ErrorCode.FRAME_SIZE_ERROR
+        )
+    return _HEADER_STRUCT.pack((length << 8) | frame_type, flags, stream_id & 0x7FFFFFFF)
+
+
+def _unpack_header(data: bytes) -> Tuple[int, int, int, int]:
+    if len(data) < FRAME_HEADER_SIZE:
+        raise ProtocolError("truncated frame header", ErrorCode.FRAME_SIZE_ERROR)
+    length_type, flags, stream_id = _HEADER_STRUCT.unpack_from(data)
+    return length_type >> 8, length_type & 0xFF, flags, stream_id & 0x7FFFFFFF
+
+
+@dataclass
+class Frame:
+    """Base class for all frames."""
+
+    stream_id: int
+    flags: Flag = Flag.NONE
+
+    #: Frame type code; set by each concrete subclass.
+    TYPE: ClassVar[FrameType]
+
+    def payload(self) -> bytes:
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        body = self.payload()
+        return _pack_header(len(body), int(self.TYPE), int(self.flags), self.stream_id) + body
+
+    @property
+    def wire_size(self) -> int:
+        """Total size of the frame on the wire, header included."""
+        return FRAME_HEADER_SIZE + len(self.payload())
+
+    def has_flag(self, flag: Flag) -> bool:
+        return bool(self.flags & flag)
+
+
+@dataclass
+class DataFrame(Frame):
+    """DATA (§6.1): application payload, optionally padded."""
+
+    data: bytes = b""
+    pad_length: int = 0
+    TYPE = FrameType.DATA
+
+    def payload(self) -> bytes:
+        if self.pad_length > 0:
+            return bytes([self.pad_length]) + self.data + b"\x00" * self.pad_length
+        return self.data
+
+    def serialize(self) -> bytes:
+        if self.pad_length > 0:
+            self.flags |= Flag.PADDED
+        return super().serialize()
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "DataFrame":
+        pad = 0
+        if flags & Flag.PADDED:
+            if not body:
+                raise ProtocolError("PADDED DATA frame without pad length")
+            pad = body[0]
+            if pad >= len(body):
+                raise ProtocolError("padding exceeds frame payload")
+            body = body[1 : len(body) - pad]
+        return cls(stream_id=stream_id, flags=flags, data=body, pad_length=pad)
+
+    @property
+    def end_stream(self) -> bool:
+        return self.has_flag(Flag.END_STREAM)
+
+
+@dataclass
+class PriorityData:
+    """The 5-octet priority block shared by HEADERS and PRIORITY frames."""
+
+    depends_on: int = 0
+    weight: int = DEFAULT_WEIGHT
+    exclusive: bool = False
+
+    def serialize(self) -> bytes:
+        dep = self.depends_on | (0x80000000 if self.exclusive else 0)
+        return struct.pack(">IB", dep, self.weight - 1)
+
+    @classmethod
+    def parse(cls, body: bytes) -> "PriorityData":
+        if len(body) < 5:
+            raise ProtocolError("truncated priority block", ErrorCode.FRAME_SIZE_ERROR)
+        dep, weight = struct.unpack(">IB", body[:5])
+        return cls(
+            depends_on=dep & 0x7FFFFFFF,
+            weight=weight + 1,
+            exclusive=bool(dep & 0x80000000),
+        )
+
+
+@dataclass
+class HeadersFrame(Frame):
+    """HEADERS (§6.2): carries an HPACK-encoded header block fragment."""
+
+    header_block: bytes = b""
+    priority: Optional[PriorityData] = None
+    TYPE = FrameType.HEADERS
+
+    def payload(self) -> bytes:
+        parts = []
+        if self.priority is not None:
+            parts.append(self.priority.serialize())
+        parts.append(self.header_block)
+        return b"".join(parts)
+
+    def serialize(self) -> bytes:
+        if self.priority is not None:
+            self.flags |= Flag.PRIORITY
+        return super().serialize()
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "HeadersFrame":
+        pad = 0
+        if flags & Flag.PADDED:
+            pad = body[0]
+            body = body[1:]
+        priority = None
+        if flags & Flag.PRIORITY:
+            priority = PriorityData.parse(body)
+            body = body[5:]
+        if pad:
+            if pad > len(body):
+                raise ProtocolError("padding exceeds frame payload")
+            body = body[: len(body) - pad]
+        return cls(stream_id=stream_id, flags=flags, header_block=body, priority=priority)
+
+    @property
+    def end_stream(self) -> bool:
+        return self.has_flag(Flag.END_STREAM)
+
+    @property
+    def end_headers(self) -> bool:
+        return self.has_flag(Flag.END_HEADERS)
+
+
+@dataclass
+class PriorityFrame(Frame):
+    """PRIORITY (§6.3): reprioritize a stream."""
+
+    priority: PriorityData = field(default_factory=PriorityData)
+    TYPE = FrameType.PRIORITY
+
+    def payload(self) -> bytes:
+        return self.priority.serialize()
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PriorityFrame":
+        if len(body) != 5:
+            raise ProtocolError("PRIORITY frame must be 5 octets", ErrorCode.FRAME_SIZE_ERROR)
+        return cls(stream_id=stream_id, flags=flags, priority=PriorityData.parse(body))
+
+
+@dataclass
+class RstStreamFrame(Frame):
+    """RST_STREAM (§6.4): immediate stream termination.
+
+    A client cancels an unwanted push by sending this with CANCEL —
+    though, as the paper notes (§2.1), the pushed bytes are often
+    already in flight by then.
+    """
+
+    error_code: ErrorCode = ErrorCode.NO_ERROR
+    TYPE = FrameType.RST_STREAM
+
+    def payload(self) -> bytes:
+        return struct.pack(">I", int(self.error_code))
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "RstStreamFrame":
+        if len(body) != 4:
+            raise ProtocolError("RST_STREAM frame must be 4 octets", ErrorCode.FRAME_SIZE_ERROR)
+        (code,) = struct.unpack(">I", body)
+        try:
+            error_code = ErrorCode(code)
+        except ValueError:
+            error_code = ErrorCode.INTERNAL_ERROR
+        return cls(stream_id=stream_id, flags=flags, error_code=error_code)
+
+
+@dataclass
+class SettingsFrame(Frame):
+    """SETTINGS (§6.5): connection configuration.
+
+    ``SETTINGS_ENABLE_PUSH = 0`` is how the paper's *no push* baseline
+    disables Server Push from the client side.
+    """
+
+    settings: Dict[int, int] = field(default_factory=dict)
+    TYPE = FrameType.SETTINGS
+
+    def payload(self) -> bytes:
+        return b"".join(
+            struct.pack(">HI", key, value) for key, value in sorted(self.settings.items())
+        )
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "SettingsFrame":
+        if stream_id != 0:
+            raise ProtocolError("SETTINGS frame on non-zero stream")
+        if len(body) % 6 != 0:
+            raise ProtocolError("SETTINGS payload not a multiple of 6", ErrorCode.FRAME_SIZE_ERROR)
+        if flags & Flag.ACK and body:
+            raise ProtocolError("SETTINGS ACK with payload", ErrorCode.FRAME_SIZE_ERROR)
+        settings = {}
+        for offset in range(0, len(body), 6):
+            key, value = struct.unpack_from(">HI", body, offset)
+            settings[key] = value
+        return cls(stream_id=stream_id, flags=flags, settings=settings)
+
+    @property
+    def is_ack(self) -> bool:
+        return self.has_flag(Flag.ACK)
+
+
+@dataclass
+class PushPromiseFrame(Frame):
+    """PUSH_PROMISE (§6.6): announces a pushed response.
+
+    Sent on the *parent* (request) stream; reserves ``promised_stream_id``
+    and carries the promised request's headers.
+    """
+
+    promised_stream_id: int = 0
+    header_block: bytes = b""
+    TYPE = FrameType.PUSH_PROMISE
+
+    def payload(self) -> bytes:
+        return struct.pack(">I", self.promised_stream_id & 0x7FFFFFFF) + self.header_block
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PushPromiseFrame":
+        pad = 0
+        if flags & Flag.PADDED:
+            pad = body[0]
+            body = body[1:]
+        if len(body) < 4:
+            raise ProtocolError("truncated PUSH_PROMISE", ErrorCode.FRAME_SIZE_ERROR)
+        (promised,) = struct.unpack(">I", body[:4])
+        block = body[4:]
+        if pad:
+            if pad > len(block):
+                raise ProtocolError("padding exceeds frame payload")
+            block = block[: len(block) - pad]
+        return cls(
+            stream_id=stream_id,
+            flags=flags,
+            promised_stream_id=promised & 0x7FFFFFFF,
+            header_block=block,
+        )
+
+    @property
+    def end_headers(self) -> bool:
+        return self.has_flag(Flag.END_HEADERS)
+
+
+@dataclass
+class PingFrame(Frame):
+    """PING (§6.7): liveness / RTT probe."""
+
+    opaque: bytes = b"\x00" * 8
+    TYPE = FrameType.PING
+
+    def payload(self) -> bytes:
+        if len(self.opaque) != 8:
+            raise ProtocolError("PING payload must be 8 octets", ErrorCode.FRAME_SIZE_ERROR)
+        return self.opaque
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PingFrame":
+        if stream_id != 0:
+            raise ProtocolError("PING frame on non-zero stream")
+        if len(body) != 8:
+            raise ProtocolError("PING frame must be 8 octets", ErrorCode.FRAME_SIZE_ERROR)
+        return cls(stream_id=stream_id, flags=flags, opaque=body)
+
+    @property
+    def is_ack(self) -> bool:
+        return self.has_flag(Flag.ACK)
+
+
+@dataclass
+class GoAwayFrame(Frame):
+    """GOAWAY (§6.8): graceful connection shutdown."""
+
+    last_stream_id: int = 0
+    error_code: ErrorCode = ErrorCode.NO_ERROR
+    debug_data: bytes = b""
+    TYPE = FrameType.GOAWAY
+
+    def payload(self) -> bytes:
+        return (
+            struct.pack(">II", self.last_stream_id & 0x7FFFFFFF, int(self.error_code))
+            + self.debug_data
+        )
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "GoAwayFrame":
+        if len(body) < 8:
+            raise ProtocolError("truncated GOAWAY", ErrorCode.FRAME_SIZE_ERROR)
+        last, code = struct.unpack(">II", body[:8])
+        try:
+            error_code = ErrorCode(code)
+        except ValueError:
+            error_code = ErrorCode.INTERNAL_ERROR
+        return cls(
+            stream_id=stream_id,
+            flags=flags,
+            last_stream_id=last & 0x7FFFFFFF,
+            error_code=error_code,
+            debug_data=body[8:],
+        )
+
+
+@dataclass
+class WindowUpdateFrame(Frame):
+    """WINDOW_UPDATE (§6.9): flow-control credit."""
+
+    increment: int = 0
+    TYPE = FrameType.WINDOW_UPDATE
+
+    def payload(self) -> bytes:
+        return struct.pack(">I", self.increment & 0x7FFFFFFF)
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "WindowUpdateFrame":
+        if len(body) != 4:
+            raise ProtocolError("WINDOW_UPDATE must be 4 octets", ErrorCode.FRAME_SIZE_ERROR)
+        (increment,) = struct.unpack(">I", body)
+        increment &= 0x7FFFFFFF
+        if increment == 0:
+            raise ProtocolError("WINDOW_UPDATE with zero increment")
+        return cls(stream_id=stream_id, flags=flags, increment=increment)
+
+
+@dataclass
+class ContinuationFrame(Frame):
+    """CONTINUATION (§6.10): continues a header block."""
+
+    header_block: bytes = b""
+    TYPE = FrameType.CONTINUATION
+
+    def payload(self) -> bytes:
+        return self.header_block
+
+    @classmethod
+    def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "ContinuationFrame":
+        return cls(stream_id=stream_id, flags=flags, header_block=body)
+
+    @property
+    def end_headers(self) -> bool:
+        return self.has_flag(Flag.END_HEADERS)
+
+
+_PARSERS: Dict[int, Type[Frame]] = {
+    int(FrameType.DATA): DataFrame,
+    int(FrameType.HEADERS): HeadersFrame,
+    int(FrameType.PRIORITY): PriorityFrame,
+    int(FrameType.RST_STREAM): RstStreamFrame,
+    int(FrameType.SETTINGS): SettingsFrame,
+    int(FrameType.PUSH_PROMISE): PushPromiseFrame,
+    int(FrameType.PING): PingFrame,
+    int(FrameType.GOAWAY): GoAwayFrame,
+    int(FrameType.WINDOW_UPDATE): WindowUpdateFrame,
+    int(FrameType.CONTINUATION): ContinuationFrame,
+}
+
+
+def parse_frame(data: bytes) -> Tuple[Optional[Frame], int]:
+    """Parse one frame from the head of ``data``.
+
+    Returns ``(frame, bytes_consumed)``.  When ``data`` does not yet
+    hold a complete frame, returns ``(None, 0)`` so stream parsers can
+    wait for more bytes.  Unknown frame types are skipped per §4.1 by
+    returning ``(None, consumed)`` with a positive consumed count.
+    """
+    if len(data) < FRAME_HEADER_SIZE:
+        return None, 0
+    length, frame_type, flags, stream_id = _unpack_header(data)
+    total = FRAME_HEADER_SIZE + length
+    if len(data) < total:
+        return None, 0
+    body = data[FRAME_HEADER_SIZE:total]
+    parser = _PARSERS.get(frame_type)
+    if parser is None:
+        return None, total  # §4.1: ignore and discard unknown types
+    frame = parser.parse(Flag(flags), stream_id, body)
+    return frame, total
+
+
+class FrameReader:
+    """Incremental frame parser fed by a TCP byte stream."""
+
+    def __init__(self, expect_preface: bool = False):
+        self._buffer = bytearray()
+        self._expect_preface = expect_preface
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append bytes; return every complete frame now available."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        if self._expect_preface:
+            from .constants import CONNECTION_PREFACE
+
+            if len(self._buffer) < len(CONNECTION_PREFACE):
+                return frames
+            if bytes(self._buffer[: len(CONNECTION_PREFACE)]) != CONNECTION_PREFACE:
+                raise ProtocolError("invalid connection preface")
+            del self._buffer[: len(CONNECTION_PREFACE)]
+            self._expect_preface = False
+        while True:
+            frame, consumed = parse_frame(bytes(self._buffer))
+            if consumed == 0:
+                break
+            del self._buffer[:consumed]
+            if frame is not None:
+                frames.append(frame)
+        return frames
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,24 @@
+"""HPACK header compression (RFC 7541)."""
+
+from .decoder import HpackDecoder
+from .dynamic_table import DynamicTable, entry_size
+from .encoder import HpackEncoder
+from .huffman import huffman_decode, huffman_encode, huffman_encoded_length
+from .integers import decode_integer, encode_integer
+from .static_table import STATIC_TABLE, STATIC_TABLE_SIZE, lookup_exact, lookup_name
+
+__all__ = [
+    "DynamicTable",
+    "HpackDecoder",
+    "HpackEncoder",
+    "STATIC_TABLE",
+    "STATIC_TABLE_SIZE",
+    "decode_integer",
+    "encode_integer",
+    "entry_size",
+    "huffman_decode",
+    "huffman_encode",
+    "huffman_encoded_length",
+    "lookup_exact",
+    "lookup_name",
+]

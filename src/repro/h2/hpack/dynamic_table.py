@@ -1,0 +1,100 @@
+"""The HPACK dynamic table (RFC 7541 §2.3.2, §4).
+
+Entries are addressed after the static table: the first dynamic entry
+(most recently inserted) has index ``STATIC_TABLE_SIZE + 1``.  Each
+entry is charged its name length + value length + 32 octets of
+overhead; insertions evict from the oldest end until the configured
+maximum size is respected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ...errors import HpackError
+from .static_table import STATIC_TABLE_SIZE
+
+#: Per-entry bookkeeping overhead defined by the RFC.
+ENTRY_OVERHEAD = 32
+
+
+def entry_size(name: str, value: str) -> int:
+    return len(name.encode("ascii")) + len(value.encode("ascii")) + ENTRY_OVERHEAD
+
+
+class DynamicTable:
+    """A size-bounded FIFO of (name, value) pairs with RFC accounting."""
+
+    def __init__(self, max_size: int = 4096):
+        self._entries: Deque[Tuple[str, str]] = deque()
+        self._size = 0
+        self._max_size = max_size
+        self._protocol_max = max_size
+
+    @property
+    def size(self) -> int:
+        """Current occupancy in RFC octets."""
+        return self._size
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, name: str, value: str) -> None:
+        """Insert at the head, evicting old entries as needed.
+
+        Inserting an entry larger than the table clears the table (RFC
+        7541 §4.4) — this is legal, not an error.
+        """
+        size = entry_size(name, value)
+        while self._entries and self._size + size > self._max_size:
+            self._evict()
+        if size <= self._max_size:
+            self._entries.appendleft((name, value))
+            self._size += size
+
+    def get(self, index: int) -> Tuple[str, str]:
+        """Fetch by *absolute* HPACK index (static indices excluded)."""
+        position = index - STATIC_TABLE_SIZE - 1
+        if position < 0 or position >= len(self._entries):
+            raise HpackError(f"dynamic table index {index} out of range")
+        return self._entries[position]
+
+    def find(self, name: str, value: str) -> Tuple[Optional[int], Optional[int]]:
+        """Return (exact_index, name_index) in absolute HPACK numbering."""
+        exact = None
+        name_only = None
+        for position, (entry_name, entry_value) in enumerate(self._entries):
+            if entry_name != name:
+                continue
+            index = STATIC_TABLE_SIZE + 1 + position
+            if name_only is None:
+                name_only = index
+            if entry_value == value:
+                exact = index
+                break
+        return exact, name_only
+
+    def resize(self, new_max: int) -> None:
+        """Apply a dynamic table size update (RFC 7541 §6.3)."""
+        if new_max > self._protocol_max:
+            raise HpackError(
+                f"table size update {new_max} exceeds protocol maximum {self._protocol_max}"
+            )
+        self._max_size = new_max
+        while self._size > self._max_size:
+            self._evict()
+
+    def set_protocol_max(self, value: int) -> None:
+        """Record the SETTINGS_HEADER_TABLE_SIZE bound for updates."""
+        self._protocol_max = value
+        if self._max_size > value:
+            self.resize(value)
+
+    def _evict(self) -> None:
+        name, value = self._entries.pop()
+        self._size -= entry_size(name, value)

@@ -1,0 +1,90 @@
+"""HPACK header block encoder (RFC 7541 §6).
+
+The encoder prefers, in order: an indexed representation (static or
+dynamic exact match), a literal with incremental indexing and an
+indexed name, and a literal with new name.  String literals use Huffman
+coding when that is shorter.  Sensitive headers (e.g. cookies in some
+deployments) may be emitted as never-indexed literals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .dynamic_table import DynamicTable
+from .huffman import huffman_encode, huffman_encoded_length
+from .integers import encode_integer
+from .static_table import lookup_exact, lookup_name
+
+Header = Tuple[str, str]
+
+
+def _encode_string(text: str) -> bytes:
+    raw = text.encode("ascii", errors="replace")
+    huff = None
+    if huffman_encoded_length(raw) < len(raw):
+        huff = huffman_encode(raw)
+    if huff is not None:
+        return encode_integer(len(huff), 7, 0x80) + huff
+    return encode_integer(len(raw), 7, 0x00) + raw
+
+
+class HpackEncoder:
+    """Stateful encoder; one per connection direction."""
+
+    def __init__(self, max_table_size: int = 4096):
+        self._table = DynamicTable(max_table_size)
+        self._pending_resize: List[int] = []
+
+    @property
+    def table(self) -> DynamicTable:
+        return self._table
+
+    def set_max_table_size(self, size: int) -> None:
+        """Schedule a table size update to emit in the next block."""
+        self._table.set_protocol_max(size)
+        self._table.resize(min(size, self._table.max_size))
+        self._pending_resize.append(self._table.max_size)
+
+    def encode(
+        self,
+        headers: Iterable[Header],
+        sensitive: Iterable[str] = (),
+    ) -> bytes:
+        """Encode a complete header list into a header block."""
+        sensitive_names = {name.lower() for name in sensitive}
+        out = bytearray()
+        for size in self._pending_resize:
+            out.extend(encode_integer(size, 5, 0x20))
+        self._pending_resize.clear()
+        for name, value in headers:
+            name = name.lower()
+            out.extend(self._encode_field(name, value, name in sensitive_names))
+        return bytes(out)
+
+    def _encode_field(self, name: str, value: str, is_sensitive: bool) -> bytes:
+        if is_sensitive:
+            return self._literal(name, value, pattern=0x10, prefix=4, index_name=True)
+        static_exact = lookup_exact(name, value)
+        if static_exact is not None:
+            return encode_integer(static_exact, 7, 0x80)
+        dynamic_exact, dynamic_name = self._table.find(name, value)
+        if dynamic_exact is not None:
+            return encode_integer(dynamic_exact, 7, 0x80)
+        # Literal with incremental indexing (pattern 01, 6-bit prefix).
+        self._table.add(name, value)
+        name_index = lookup_name(name) or dynamic_name
+        if name_index is not None:
+            return encode_integer(name_index, 6, 0x40) + _encode_string(value)
+        return bytes([0x40]) + _encode_string(name) + _encode_string(value)
+
+    def _literal(
+        self, name: str, value: str, pattern: int, prefix: int, index_name: bool
+    ) -> bytes:
+        name_index = lookup_name(name) if index_name else None
+        if name_index is None:
+            dynamic_exact, dynamic_name = self._table.find(name, value)
+            name_index = dynamic_name
+        if name_index is not None:
+            return encode_integer(name_index, prefix, pattern) + _encode_string(value)
+        return bytes([pattern]) + _encode_string(name) + _encode_string(value)

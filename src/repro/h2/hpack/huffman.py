@@ -1,0 +1,144 @@
+"""Huffman string coding for HPACK (RFC 7541 §5.2, Appendix B).
+
+The code table is a canonical Huffman code built at import time from a
+byte-frequency profile of HTTP header text.  It is therefore prefix-free
+by construction and achieves compression ratios comparable to the RFC
+7541 table, but is **not bit-identical** to it — both endpoints of the
+testbed share this module, so self-consistency is what matters (see
+DESIGN.md §2 for this substitution).  Padding follows the RFC: the
+remainder of the final octet is filled with the most significant bits
+of the EOS symbol (all ones), and decoders reject padding longer than
+seven bits or not matching EOS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from ...errors import HpackError
+
+#: Symbol 256 is EOS; its prefix pads the final octet.
+EOS = 256
+
+
+def _frequency_profile() -> List[int]:
+    """A byte-frequency profile representative of HTTP header text.
+
+    Frequencies are ranked classes rather than measured counts: URL and
+    token characters dominate, control bytes are vanishingly rare (they
+    still receive codes so any byte string round-trips).
+    """
+    freq = [1] * 257
+    common = "abcdefghijklmnopqrstuvwxyz0123456789-./:=_%?&"
+    for ch in common:
+        freq[ord(ch)] = 2000
+    very_common = "aeiostnrc0123./-"
+    for ch in very_common:
+        freq[ord(ch)] = 6000
+    upper = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for ch in upper:
+        freq[ord(ch)] = 300
+    punct = "\"'(),;<>@[]{}~!#$*+^`|"
+    for ch in punct:
+        freq[ord(ch)] = 60
+    freq[ord(" ")] = 400
+    freq[EOS] = 1
+    return freq
+
+
+def _build_code_lengths(freq: List[int]) -> List[int]:
+    """Standard Huffman construction; returns a code length per symbol."""
+    heap: List[Tuple[int, int, Tuple[int, ...]]] = [
+        (f, sym, (sym,)) for sym, f in enumerate(freq)
+    ]
+    heapq.heapify(heap)
+    lengths = [0] * len(freq)
+    if len(heap) == 1:
+        return [1]
+    while len(heap) > 1:
+        f1, t1, syms1 = heapq.heappop(heap)
+        f2, t2, syms2 = heapq.heappop(heap)
+        for sym in syms1 + syms2:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, min(t1, t2), syms1 + syms2))
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> List[Tuple[int, int]]:
+    """Assign canonical codes (code, length) from code lengths."""
+    symbols = sorted(range(len(lengths)), key=lambda s: (lengths[s], s))
+    codes: List[Tuple[int, int]] = [(0, 0)] * len(lengths)
+    code = 0
+    prev_length = 0
+    for sym in symbols:
+        length = lengths[sym]
+        code <<= length - prev_length
+        codes[sym] = (code, length)
+        code += 1
+        prev_length = length
+    return codes
+
+
+_CODES = _canonical_codes(_build_code_lengths(_frequency_profile()))
+
+#: Decoding trie: maps (code, length) -> symbol.
+_DECODE: Dict[Tuple[int, int], int] = {
+    (code, length): sym for sym, (code, length) in enumerate(_CODES)
+}
+
+_MAX_CODE_LENGTH = max(length for _code, length in _CODES)
+
+
+def huffman_encode(data: bytes) -> bytes:
+    """Encode ``data``; the result is padded with EOS prefix bits."""
+    bits = 0
+    bit_count = 0
+    out = bytearray()
+    for byte in data:
+        code, length = _CODES[byte]
+        bits = (bits << length) | code
+        bit_count += length
+        while bit_count >= 8:
+            bit_count -= 8
+            out.append((bits >> bit_count) & 0xFF)
+    if bit_count > 0:
+        # Pad with all-one bits.  In a complete canonical Huffman code the
+        # all-ones pattern of any length shorter than the longest codeword
+        # is a proper prefix of that codeword, so <= 7 padding bits can
+        # never decode as a symbol (mirrors the RFC's EOS-prefix rule).
+        pad = 8 - bit_count
+        bits = (bits << pad) | ((1 << pad) - 1)
+        out.append(bits & 0xFF)
+    return bytes(out)
+
+
+def huffman_decode(data: bytes) -> bytes:
+    """Decode a Huffman-coded string, validating EOS padding."""
+    out = bytearray()
+    code = 0
+    length = 0
+    for byte in data:
+        for bit_index in range(7, -1, -1):
+            code = (code << 1) | ((byte >> bit_index) & 1)
+            length += 1
+            sym = _DECODE.get((code, length))
+            if sym is not None:
+                if sym == EOS:
+                    raise HpackError("EOS symbol decoded inside Huffman string")
+                out.append(sym)
+                code = 0
+                length = 0
+            elif length > _MAX_CODE_LENGTH:
+                raise HpackError("invalid Huffman code")
+    if length >= 8:
+        raise HpackError("Huffman padding longer than 7 bits")
+    if length > 0 and code != (1 << length) - 1:
+        raise HpackError("Huffman padding is not all-one bits")
+    return bytes(out)
+
+
+def huffman_encoded_length(data: bytes) -> int:
+    """Length in octets of the Huffman encoding of ``data``."""
+    bits = sum(_CODES[byte][1] for byte in data)
+    return (bits + 7) // 8

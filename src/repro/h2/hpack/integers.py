@@ -1,0 +1,60 @@
+"""HPACK primitive integer representation (RFC 7541 §5.1).
+
+Integers are encoded with an N-bit prefix: values below ``2^N - 1`` fit
+in the prefix; larger values set the prefix to all ones and continue in
+7-bit groups with a continuation bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import HpackError
+
+
+def encode_integer(value: int, prefix_bits: int, prefix_payload: int = 0) -> bytes:
+    """Encode ``value`` with an N-bit prefix.
+
+    ``prefix_payload`` supplies the high bits of the first octet (the
+    HPACK representation pattern, e.g. ``0x80`` for an indexed field).
+    """
+    if value < 0:
+        raise HpackError(f"cannot encode negative integer {value}")
+    if not 1 <= prefix_bits <= 8:
+        raise HpackError(f"invalid prefix size {prefix_bits}")
+    max_prefix = (1 << prefix_bits) - 1
+    if value < max_prefix:
+        return bytes([prefix_payload | value])
+    out = bytearray([prefix_payload | max_prefix])
+    value -= max_prefix
+    while value >= 128:
+        out.append((value % 128) + 128)
+        value //= 128
+    out.append(value)
+    return bytes(out)
+
+
+def decode_integer(data: bytes, offset: int, prefix_bits: int) -> Tuple[int, int]:
+    """Decode an integer starting at ``data[offset]``.
+
+    Returns ``(value, new_offset)``.
+    """
+    if offset >= len(data):
+        raise HpackError("integer extends past end of input")
+    max_prefix = (1 << prefix_bits) - 1
+    value = data[offset] & max_prefix
+    offset += 1
+    if value < max_prefix:
+        return value, offset
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise HpackError("unterminated HPACK integer")
+        octet = data[offset]
+        offset += 1
+        value += (octet & 0x7F) << shift
+        shift += 7
+        if shift > 62:
+            raise HpackError("HPACK integer too large")
+        if not octet & 0x80:
+            return value, offset

@@ -1,0 +1,96 @@
+"""The HPACK static table (RFC 7541 Appendix A).
+
+Indices are 1-based on the wire; entry 0 is a placeholder so that
+``STATIC_TABLE[i]`` matches the RFC numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+STATIC_TABLE: Tuple[Tuple[str, str], ...] = (
+    ("", ""),  # index 0 unused
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+)
+
+#: Number of usable entries (61).
+STATIC_TABLE_SIZE = len(STATIC_TABLE) - 1
+
+#: Exact (name, value) -> index lookups.
+_EXACT: Dict[Tuple[str, str], int] = {}
+#: name -> first index with that name.
+_NAME_ONLY: Dict[str, int] = {}
+for _index in range(1, len(STATIC_TABLE)):
+    _name, _value = STATIC_TABLE[_index]
+    _EXACT.setdefault((_name, _value), _index)
+    _NAME_ONLY.setdefault(_name, _index)
+
+
+def lookup_exact(name: str, value: str) -> Optional[int]:
+    """Static index whose name *and* value match, if any."""
+    return _EXACT.get((name, value))
+
+
+def lookup_name(name: str) -> Optional[int]:
+    """First static index with a matching name, if any."""
+    return _NAME_ONLY.get(name)

@@ -1,0 +1,82 @@
+"""Connection settings state (RFC 7540 §6.5)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ProtocolError
+from .constants import (
+    DEFAULT_HEADER_TABLE_SIZE,
+    DEFAULT_INITIAL_WINDOW_SIZE,
+    DEFAULT_MAX_FRAME_SIZE,
+    MAX_WINDOW_SIZE,
+    ErrorCode,
+    SettingCode,
+)
+
+_DEFAULTS: Dict[int, int] = {
+    int(SettingCode.HEADER_TABLE_SIZE): DEFAULT_HEADER_TABLE_SIZE,
+    int(SettingCode.ENABLE_PUSH): 1,
+    int(SettingCode.MAX_CONCURRENT_STREAMS): 2**31 - 1,
+    int(SettingCode.INITIAL_WINDOW_SIZE): DEFAULT_INITIAL_WINDOW_SIZE,
+    int(SettingCode.MAX_FRAME_SIZE): DEFAULT_MAX_FRAME_SIZE,
+    int(SettingCode.MAX_HEADER_LIST_SIZE): 2**31 - 1,
+}
+
+
+class Settings:
+    """One peer's settings as currently acknowledged."""
+
+    def __init__(self, **overrides: int):
+        self._values = dict(_DEFAULTS)
+        for name, value in overrides.items():
+            code = SettingCode[name.upper()]
+            self._set(int(code), value)
+
+    def _set(self, code: int, value: int) -> None:
+        if code == SettingCode.ENABLE_PUSH and value not in (0, 1):
+            raise ProtocolError("ENABLE_PUSH must be 0 or 1")
+        if code == SettingCode.INITIAL_WINDOW_SIZE and value > MAX_WINDOW_SIZE:
+            raise ProtocolError(
+                "INITIAL_WINDOW_SIZE too large", ErrorCode.FLOW_CONTROL_ERROR
+            )
+        if code == SettingCode.MAX_FRAME_SIZE and not (
+            DEFAULT_MAX_FRAME_SIZE <= value <= 16_777_215
+        ):
+            raise ProtocolError("MAX_FRAME_SIZE out of range")
+        self._values[code] = value
+
+    def apply(self, changes: Dict[int, int]) -> None:
+        """Apply a received SETTINGS frame's parameters.
+
+        Unknown identifiers are ignored per §6.5.2.
+        """
+        for code, value in changes.items():
+            if code in self._values:
+                self._set(code, value)
+
+    def as_dict(self) -> Dict[int, int]:
+        """Non-default parameters, for building a SETTINGS frame."""
+        return {
+            code: value for code, value in self._values.items() if value != _DEFAULTS[code]
+        }
+
+    @property
+    def header_table_size(self) -> int:
+        return self._values[int(SettingCode.HEADER_TABLE_SIZE)]
+
+    @property
+    def enable_push(self) -> bool:
+        return bool(self._values[int(SettingCode.ENABLE_PUSH)])
+
+    @property
+    def max_concurrent_streams(self) -> int:
+        return self._values[int(SettingCode.MAX_CONCURRENT_STREAMS)]
+
+    @property
+    def initial_window_size(self) -> int:
+        return self._values[int(SettingCode.INITIAL_WINDOW_SIZE)]
+
+    @property
+    def max_frame_size(self) -> int:
+        return self._values[int(SettingCode.MAX_FRAME_SIZE)]

@@ -1,0 +1,167 @@
+"""Per-stream state (RFC 7540 §5.1).
+
+Each :class:`H2Stream` tracks the RFC lifecycle plus the send-side
+machinery the connection's pump needs: a queue of body bytes, an
+optional *pause point* (used by the interleaving scheduler to stop the
+HTML stream at a byte offset), and flow-control windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import StreamError
+from .constants import ErrorCode, StreamState
+from .flow_control import FlowControlWindow, ReceiveWindow
+
+Header = Tuple[str, str]
+
+
+class H2Stream:
+    """One HTTP/2 stream as seen by one endpoint."""
+
+    def __init__(self, stream_id: int, initial_send_window: int, initial_recv_window: int):
+        self.stream_id = stream_id
+        self.state = StreamState.IDLE
+        self.send_window = FlowControlWindow(initial_send_window)
+        self.recv_window = ReceiveWindow(initial_recv_window)
+
+        #: Request/response headers seen on this stream.
+        self.request_headers: Optional[List[Header]] = None
+        self.response_headers: Optional[List[Header]] = None
+
+        # --- send-side body queue ---
+        self._send_queue: List[bytes] = []
+        self._queued_bytes = 0
+        self._end_after_queue = False
+        #: Bytes of the body already handed to the connection pump.
+        self.bytes_sent = 0
+        #: Absolute body offset the pump must not exceed (None = no cap).
+        self.pause_at: Optional[int] = None
+
+        # --- receive side ---
+        self.bytes_received = 0
+        #: True when this stream was created by a PUSH_PROMISE.
+        self.is_pushed = False
+        #: Error code if reset, else None.
+        self.reset_code: Optional[ErrorCode] = None
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def open_local(self) -> None:
+        self._transition_from({StreamState.IDLE}, StreamState.OPEN)
+
+    def open_remote(self) -> None:
+        self._transition_from({StreamState.IDLE}, StreamState.OPEN)
+
+    def reserve_local(self) -> None:
+        self._transition_from({StreamState.IDLE}, StreamState.RESERVED_LOCAL)
+
+    def reserve_remote(self) -> None:
+        self._transition_from({StreamState.IDLE}, StreamState.RESERVED_REMOTE)
+
+    def close_local(self) -> None:
+        """We sent END_STREAM."""
+        if self.state in (StreamState.OPEN, StreamState.RESERVED_LOCAL):
+            self.state = StreamState.HALF_CLOSED_LOCAL
+        elif self.state == StreamState.HALF_CLOSED_REMOTE:
+            self.state = StreamState.CLOSED
+        elif self.state != StreamState.CLOSED:
+            raise StreamError(
+                f"cannot close local side from {self.state}", self.stream_id
+            )
+
+    def close_remote(self) -> None:
+        """Peer sent END_STREAM."""
+        if self.state in (StreamState.OPEN, StreamState.RESERVED_REMOTE):
+            self.state = StreamState.HALF_CLOSED_REMOTE
+        elif self.state == StreamState.HALF_CLOSED_LOCAL:
+            self.state = StreamState.CLOSED
+        elif self.state != StreamState.CLOSED:
+            raise StreamError(
+                f"cannot close remote side from {self.state}", self.stream_id
+            )
+
+    def reset(self, code: ErrorCode) -> None:
+        self.state = StreamState.CLOSED
+        self.reset_code = code
+        self._send_queue.clear()
+        self._queued_bytes = 0
+
+    @property
+    def closed(self) -> bool:
+        return self.state == StreamState.CLOSED
+
+    def _transition_from(self, allowed: set, target: StreamState) -> None:
+        if self.state not in allowed:
+            raise StreamError(
+                f"invalid transition {self.state} -> {target}", self.stream_id
+            )
+        self.state = target
+
+    # ------------------------------------------------------------------
+    # send-side body queue
+    # ------------------------------------------------------------------
+    def queue_body(self, data: bytes, end_stream: bool) -> None:
+        if self._end_after_queue:
+            raise StreamError("body already finished", self.stream_id)
+        if data:
+            self._send_queue.append(data)
+            self._queued_bytes += len(data)
+        if end_stream:
+            self._end_after_queue = True
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def body_finished_queueing(self) -> bool:
+        return self._end_after_queue
+
+    def sendable_bytes(self) -> int:
+        """Bytes the pump may emit now: queue, window, and pause cap."""
+        limit = min(self._queued_bytes, max(self.send_window.available, 0))
+        if self.pause_at is not None:
+            limit = min(limit, max(self.pause_at - self.bytes_sent, 0))
+        return limit
+
+    def wants_to_send(self) -> bool:
+        """True when the pump should consider this stream.
+
+        A stream with an empty queue that has finished queueing still
+        wants one zero-length END_STREAM frame if nothing was sent yet.
+        """
+        if self.closed:
+            return False
+        if self.sendable_bytes() > 0:
+            return True
+        return (
+            self._end_after_queue
+            and self._queued_bytes == 0
+            and not self._local_end_sent()
+        )
+
+    def _local_end_sent(self) -> bool:
+        return self.state in (StreamState.HALF_CLOSED_LOCAL, StreamState.CLOSED)
+
+    def take_body(self, size: int) -> Tuple[bytes, bool]:
+        """Dequeue up to ``size`` bytes; returns (chunk, end_stream)."""
+        chunks: List[bytes] = []
+        remaining = size
+        while remaining > 0 and self._send_queue:
+            head = self._send_queue[0]
+            if len(head) <= remaining:
+                chunks.append(head)
+                remaining -= len(head)
+                self._send_queue.pop(0)
+            else:
+                chunks.append(head[:remaining])
+                self._send_queue[0] = head[remaining:]
+                remaining = 0
+        data = b"".join(chunks)
+        self._queued_bytes -= len(data)
+        self.bytes_sent += len(data)
+        end = self._end_after_queue and self._queued_bytes == 0
+        return data, end

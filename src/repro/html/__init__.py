@@ -1,0 +1,59 @@
+"""Website description, HTML/CSS/JS generation, and tokenization."""
+
+from .builder import TEXT_BLOCKS, BuiltSite, build_site
+from .serialization import load_spec, save_spec, spec_from_dict, spec_to_dict
+from .resources import (
+    CONTENT_TYPES,
+    FetchedResource,
+    ResourceType,
+    classify_content_type,
+    classify_url,
+    make_url,
+    split_url,
+)
+from .spec import ResourceSpec, WebsiteSpec
+from .tokenizer import (
+    DocumentEndToken,
+    FontToken,
+    HeadEndToken,
+    HtmlTokenizer,
+    ImageToken,
+    ScriptToken,
+    StylesheetToken,
+    TextToken,
+    Token,
+    scan_css,
+    scan_exec_hint,
+    scan_js,
+)
+
+__all__ = [
+    "BuiltSite",
+    "CONTENT_TYPES",
+    "DocumentEndToken",
+    "FetchedResource",
+    "FontToken",
+    "HeadEndToken",
+    "HtmlTokenizer",
+    "ImageToken",
+    "ResourceSpec",
+    "ResourceType",
+    "ScriptToken",
+    "StylesheetToken",
+    "TEXT_BLOCKS",
+    "TextToken",
+    "Token",
+    "WebsiteSpec",
+    "build_site",
+    "classify_content_type",
+    "classify_url",
+    "load_spec",
+    "make_url",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "scan_css",
+    "scan_exec_hint",
+    "scan_js",
+    "split_url",
+]

@@ -1,0 +1,101 @@
+"""JSON persistence for website specs.
+
+Site models are the testbed's workloads; being able to save, share, and
+reload them (like Mahimahi record directories) is what makes recorded
+experiments portable.  The format is plain JSON, one document per spec.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..errors import ConfigError
+from .resources import ResourceType
+from .spec import ResourceSpec, WebsiteSpec
+
+
+def spec_to_dict(spec: WebsiteSpec) -> Dict:
+    return {
+        "name": spec.name,
+        "primary_domain": spec.primary_domain,
+        "primary_ip": spec.primary_ip,
+        "html_size": spec.html_size,
+        "html_visual_weight": spec.html_visual_weight,
+        "atf_text_fraction": spec.atf_text_fraction,
+        "head_inline_script_ms": spec.head_inline_script_ms,
+        "body_inline_script_ms": spec.body_inline_script_ms,
+        "body_inline_fraction": spec.body_inline_fraction,
+        "domain_ips": dict(spec.domain_ips),
+        "coalesced_domains": sorted(spec.coalesced_domains),
+        "resources": [
+            {
+                "name": res.name,
+                "rtype": res.rtype.value,
+                "size": res.size,
+                "domain": res.domain,
+                "in_head": res.in_head,
+                "body_fraction": res.body_fraction,
+                "async_script": res.async_script,
+                "defer_script": res.defer_script,
+                "exec_ms": res.exec_ms,
+                "visual_weight": res.visual_weight,
+                "above_fold": res.above_fold,
+                "loaded_by": res.loaded_by,
+                "media_print": res.media_print,
+                "critical_fraction": res.critical_fraction,
+            }
+            for res in spec.resources
+        ],
+    }
+
+
+def spec_from_dict(data: Dict) -> WebsiteSpec:
+    try:
+        resources = [
+            ResourceSpec(
+                name=item["name"],
+                rtype=ResourceType(item["rtype"]),
+                size=int(item["size"]),
+                domain=item.get("domain"),
+                in_head=bool(item.get("in_head", False)),
+                body_fraction=float(item.get("body_fraction", 0.1)),
+                async_script=bool(item.get("async_script", False)),
+                defer_script=bool(item.get("defer_script", False)),
+                exec_ms=float(item.get("exec_ms", 0.0)),
+                visual_weight=float(item.get("visual_weight", 0.0)),
+                above_fold=bool(item.get("above_fold", True)),
+                loaded_by=item.get("loaded_by"),
+                media_print=bool(item.get("media_print", False)),
+                critical_fraction=float(item.get("critical_fraction", 0.25)),
+            )
+            for item in data.get("resources", [])
+        ]
+        return WebsiteSpec(
+            name=data["name"],
+            primary_domain=data["primary_domain"],
+            primary_ip=data.get("primary_ip", "10.0.0.1"),
+            html_size=int(data["html_size"]),
+            html_visual_weight=float(data.get("html_visual_weight", 30.0)),
+            atf_text_fraction=float(data.get("atf_text_fraction", 1.0)),
+            head_inline_script_ms=float(data.get("head_inline_script_ms", 0.0)),
+            body_inline_script_ms=float(data.get("body_inline_script_ms", 0.0)),
+            body_inline_fraction=float(data.get("body_inline_fraction", 0.5)),
+            domain_ips=dict(data.get("domain_ips", {})),
+            coalesced_domains=set(data.get("coalesced_domains", [])),
+            resources=resources,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ConfigError(f"malformed website spec JSON: {exc}") from exc
+
+
+def save_spec(spec: WebsiteSpec, path) -> None:
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2))
+
+
+def load_spec(path) -> WebsiteSpec:
+    path = Path(path)
+    if not path.is_file():
+        raise ConfigError(f"spec file {path} does not exist")
+    return spec_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,229 @@
+"""Incremental HTML tokenizer plus CSS/JS reference scanners.
+
+The browser model feeds received bytes into :class:`HtmlTokenizer` and
+gets back tokens *with byte offsets*: a token is only emitted once the
+bytes containing it have arrived, which is what makes parse progress —
+and therefore resource discovery — track the network byte stream.  The
+interleaving server uses the same offsets to decide where to pause the
+HTML (e.g. just after ``</head>``).
+
+The scanners for CSS (``url(...)`` references: fonts, background
+images) and JS (``loadResource("...")`` calls) make hidden resources
+discoverable only after their parent resource loads or executes, the
+effect the push-order guidelines in the paper worry about (§3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_TAG_RE = re.compile(rb"<(/?)([a-zA-Z][a-zA-Z0-9]*)((?:\s+[^<>]*?)?)(/?)>", re.DOTALL)
+_ATTR_RE = re.compile(rb'([a-zA-Z][a-zA-Z0-9_-]*)\s*=\s*"([^"]*)"')
+_CSS_URL_RE = re.compile(r"url\(\s*['\"]?([^'\")]+)['\"]?\s*\)")
+_JS_LOAD_RE = re.compile(r"loadResource\(\s*['\"]([^'\"]+)['\"]\s*\)")
+_EXEC_HINT_RE = re.compile(r"/\*\s*exec:(\d+(?:\.\d+)?)\s*\*/")
+
+
+@dataclass
+class Token:
+    """Base token; ``offset`` is the byte index just past the token."""
+
+    offset: int
+
+
+@dataclass
+class StylesheetToken(Token):
+    url: str = ""
+    exec_ms: float = 0.0
+    media_print: bool = False
+
+
+@dataclass
+class ScriptToken(Token):
+    """External (``url`` set) or inline (``content`` set) script."""
+
+    url: Optional[str] = None
+    content: str = ""
+    exec_ms: float = 0.0
+    visual_weight: float = 0.0
+    is_async: bool = False
+    is_defer: bool = False
+
+
+@dataclass
+class ImageToken(Token):
+    url: str = ""
+    visual_weight: float = 0.0
+    above_fold: bool = True
+
+
+@dataclass
+class FontToken(Token):
+    """``<link rel="preload" as="font">`` reference."""
+
+    url: str = ""
+    visual_weight: float = 0.0
+    above_fold: bool = True
+
+
+@dataclass
+class TextToken(Token):
+    """A paragraph of page text contributing visual weight when parsed."""
+
+    visual_weight: float = 0.0
+
+
+@dataclass
+class HeadEndToken(Token):
+    """Emitted at ``</head>``; render can start once CSSOM is ready."""
+
+
+@dataclass
+class DocumentEndToken(Token):
+    """Emitted at ``</html>``."""
+
+
+def _attrs(raw: bytes) -> Dict[str, str]:
+    return {
+        key.decode("ascii").lower(): value.decode("utf-8", errors="replace")
+        for key, value in _ATTR_RE.findall(raw)
+    }
+
+
+def _flag(raw: bytes, name: bytes) -> bool:
+    return bool(re.search(rb"(?:^|\s)" + name + rb"(?:\s|=|$)", raw))
+
+
+class HtmlTokenizer:
+    """Streaming tokenizer over an append-only byte buffer."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._scan_pos = 0
+        self.tokens: List[Token] = []
+
+    def feed(self, data: bytes) -> List[Token]:
+        """Append bytes and return all newly completed tokens."""
+        self._buffer.extend(data)
+        new_tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            if token is None:
+                break
+            self.tokens.append(token)
+            new_tokens.append(token)
+        return new_tokens
+
+    @property
+    def bytes_seen(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def _next_token(self) -> Optional[Token]:
+        buffer = bytes(self._buffer)
+        while True:
+            start = buffer.find(b"<", self._scan_pos)
+            if start == -1:
+                return None
+            match = _TAG_RE.match(buffer, start)
+            if match is None:
+                if buffer.find(b">", start) == -1:
+                    return None  # tag still incomplete; wait for bytes
+                self._scan_pos = start + 1  # not a tag (comment, doctype)
+                continue
+            closing, tag, raw_attrs, _self_close = match.groups()
+            tag = tag.lower()
+            end = match.end()
+            if closing:
+                self._scan_pos = end
+                if tag == b"head":
+                    return HeadEndToken(offset=end)
+                if tag == b"html":
+                    return DocumentEndToken(offset=end)
+                continue
+            token = self._tag_token(tag, raw_attrs, buffer, end)
+            if token is _INCOMPLETE:
+                return None
+            if token is not None:
+                return token
+            self._scan_pos = end
+
+    def _tag_token(self, tag: bytes, raw_attrs: bytes, buffer: bytes, end: int):
+        attrs = _attrs(raw_attrs)
+        if tag == b"link":
+            return self._link_token(attrs, end)
+        if tag == b"script":
+            return self._script_token(attrs, raw_attrs, buffer, end)
+        if tag == b"img":
+            self._scan_pos = end
+            return ImageToken(
+                offset=end,
+                url=attrs.get("src", ""),
+                visual_weight=float(attrs.get("data-vw", 0) or 0),
+                above_fold=attrs.get("data-atf", "1") != "0",
+            )
+        if tag == b"p":
+            close = buffer.find(b"</p>", end)
+            if close == -1:
+                return _INCOMPLETE
+            offset = close + len(b"</p>")
+            self._scan_pos = offset
+            return TextToken(offset=offset, visual_weight=float(attrs.get("data-vw", 0) or 0))
+        return None
+
+    def _link_token(self, attrs: Dict[str, str], end: int):
+        rel = attrs.get("rel", "").lower()
+        self._scan_pos = end
+        if rel == "stylesheet":
+            return StylesheetToken(
+                offset=end,
+                url=attrs.get("href", ""),
+                exec_ms=float(attrs.get("data-exec", 0) or 0),
+                media_print=attrs.get("media", "").lower() == "print",
+            )
+        if rel == "preload" and attrs.get("as", "").lower() == "font":
+            return FontToken(
+                offset=end,
+                url=attrs.get("href", ""),
+                visual_weight=float(attrs.get("data-vw", 0) or 0),
+                above_fold=attrs.get("data-atf", "1") != "0",
+            )
+        return None
+
+    def _script_token(self, attrs: Dict[str, str], raw_attrs: bytes, buffer: bytes, end: int):
+        close = buffer.find(b"</script>", end)
+        if close == -1:
+            return _INCOMPLETE
+        offset = close + len(b"</script>")
+        self._scan_pos = offset
+        return ScriptToken(
+            offset=offset,
+            url=attrs.get("src") or None,
+            content=buffer[end:close].decode("utf-8", errors="replace"),
+            exec_ms=float(attrs.get("data-exec", 0) or 0),
+            visual_weight=float(attrs.get("data-vw", 0) or 0),
+            is_async=_flag(raw_attrs, b"async"),
+            is_defer=_flag(raw_attrs, b"defer"),
+        )
+
+
+#: Sentinel: a tag was recognized but its bytes have not all arrived.
+_INCOMPLETE = object()
+
+
+def scan_css(text: str) -> List[str]:
+    """Extract sub-resource URLs (fonts, images) from a stylesheet."""
+    return [url for url in _CSS_URL_RE.findall(text) if url.startswith("http")]
+
+
+def scan_js(text: str) -> List[str]:
+    """Extract dynamically loaded resource URLs from script source."""
+    return _JS_LOAD_RE.findall(text)
+
+
+def scan_exec_hint(text: str) -> float:
+    """Read an ``/* exec:N */`` main-thread cost hint from CSS text."""
+    match = _EXEC_HINT_RE.search(text)
+    return float(match.group(1)) if match else 0.0

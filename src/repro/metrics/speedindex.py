@@ -1,0 +1,68 @@
+"""SpeedIndex (§2.2).
+
+Google's SpeedIndex expresses how complete a page *looks* while
+loading: record the visual completeness ``x(t)`` of above-the-fold
+content over time and integrate the incompleteness::
+
+    SpeedIndex = integral of (1 - x(t)) dt      [milliseconds]
+
+The paper computes it from video frames; here the browser model's
+paint events provide the completeness step function directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..browser.timings import PageTimeline
+
+
+def speed_index(progress: Sequence[Tuple[float, float]]) -> float:
+    """Integrate visual incompleteness over a step-function curve.
+
+    ``progress`` is a list of (time_ms, completeness) steps with
+    completeness non-decreasing and reaching 1.0 at the final visual
+    change.  Returns the SpeedIndex in milliseconds.
+    """
+    if not progress:
+        return 0.0
+    area = 0.0
+    previous_time = 0.0
+    previous_completeness = 0.0
+    for time, completeness in progress:
+        if time < previous_time:
+            raise ValueError("visual progress times must be non-decreasing")
+        if completeness < previous_completeness - 1e-9:
+            raise ValueError("visual completeness must be non-decreasing")
+        area += (time - previous_time) * (1.0 - previous_completeness)
+        previous_time = time
+        previous_completeness = completeness
+    return area
+
+
+def speed_index_of(timeline: PageTimeline) -> float:
+    """SpeedIndex of a completed page load (time base: connectEnd)."""
+    progress = timeline.visual_progress()
+    if not progress:
+        # A page that paints nothing: fall back to PLT, the degenerate
+        # behaviour of video-based tooling on blank pages.
+        return timeline.plt_ms
+    return speed_index(progress)
+
+
+def visual_complete_time(
+    timeline: PageTimeline, threshold: float = 1.0
+) -> Optional[float]:
+    """Time (from connectEnd) at which completeness reaches threshold."""
+    for time, completeness in timeline.visual_progress():
+        if completeness >= threshold - 1e-9:
+            return time
+    return None
+
+
+def first_visual_change(timeline: PageTimeline) -> Optional[float]:
+    """Time of the first paint, relative to connectEnd (w17 analysis)."""
+    progress = timeline.visual_progress()
+    if not progress:
+        return None
+    return progress[0][0]

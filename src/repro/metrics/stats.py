@@ -1,0 +1,98 @@
+"""Statistics helpers for experiment reporting.
+
+The paper reports medians over 31 runs, standard errors (Fig. 2a),
+averages with 95% / 99.5% confidence intervals (Fig. 4, Fig. 6), and
+CDFs over sites.  These helpers implement exactly those reductions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator)."""
+    if len(values) < 2:
+        return 0.0
+    avg = mean(values)
+    return math.sqrt(sum((v - avg) ** 2 for v in values) / (len(values) - 1))
+
+
+def std_error(values: Sequence[float]) -> float:
+    """Standard error of the mean, the Fig. 2a per-site statistic."""
+    if len(values) < 2:
+        return 0.0
+    return stdev(values) / math.sqrt(len(values))
+
+
+#: Two-sided critical z-values for the confidence levels the paper uses.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758, 0.995: 2.8070}
+
+
+def confidence_interval(
+    values: Sequence[float], level: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation CI of the mean: (center, half_width)."""
+    if level not in _Z:
+        raise ValueError(f"unsupported confidence level {level}")
+    center = mean(values)
+    half_width = _Z[level] * std_error(values)
+    return center, half_width
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high or ordered[low] == ordered[high]:
+        # The equality guard also avoids interpolation underflow for
+        # subnormal floats (x*0.5 + x*0.5 can round below x).
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) steps."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Share of values strictly below ``threshold`` (e.g. Δ < 0)."""
+    if not values:
+        raise ValueError("fraction_below of empty sequence")
+    return sum(1 for value in values if value < threshold) / len(values)
+
+
+def relative_change(measured: float, baseline: float) -> float:
+    """Relative change in percent; negative = improvement (paper's Δ)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (measured - baseline) / baseline * 100.0

@@ -1,0 +1,38 @@
+"""Network substrate: links, TCP, handshakes, and condition profiles.
+
+This package replaces the paper's Linux network namespaces + ``tc``
+emulation with a deterministic discrete-event model (see DESIGN.md §2).
+"""
+
+from .conditions import (
+    CABLE,
+    CELLULAR,
+    DSL_TESTBED,
+    ConditionSampler,
+    FixedConditions,
+    InternetConditions,
+    NetworkConditions,
+)
+from .handshake import TLS12_HANDSHAKE, TLS13_HANDSHAKE, HandshakeModel
+from .link import SharedLink
+from .tcp import MSS, TcpConnection, TcpEndpoint
+from .topology import Host, Topology
+
+__all__ = [
+    "CABLE",
+    "CELLULAR",
+    "DSL_TESTBED",
+    "ConditionSampler",
+    "FixedConditions",
+    "HandshakeModel",
+    "Host",
+    "InternetConditions",
+    "MSS",
+    "NetworkConditions",
+    "SharedLink",
+    "TLS12_HANDSHAKE",
+    "TLS13_HANDSHAKE",
+    "TcpConnection",
+    "TcpEndpoint",
+    "Topology",
+]

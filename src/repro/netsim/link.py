@@ -1,0 +1,82 @@
+"""Shared bottleneck links.
+
+A :class:`SharedLink` models the serialization point of the client's
+access link (``tc``'s token bucket in the paper's testbed).  All TCP
+connections of a page load share the same two links — this is what
+creates the bandwidth contention between pushed streams and the base
+document that the paper observes (e.g. for w10, §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..sim import Simulator
+
+
+class SharedLink:
+    """A FIFO transmission queue with a fixed rate and propagation delay.
+
+    ``transmit`` serializes payloads in arrival order at ``rate`` bytes
+    per millisecond, then applies the propagation delay (plus optional
+    uniform jitter) before invoking the delivery callback.  Because the
+    queue is work-conserving and FIFO, concurrent connections naturally
+    share the bottleneck.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_ms: float,
+        propagation_ms: float,
+        jitter_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ):
+        if rate_bytes_per_ms <= 0:
+            raise ValueError("link rate must be positive")
+        if propagation_ms < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self._sim = sim
+        self._rate = rate_bytes_per_ms
+        self._propagation = propagation_ms
+        self._jitter = jitter_ms
+        self._rng = rng or random.Random(0)
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_transmitted = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def propagation_ms(self) -> float:
+        return self._propagation
+
+    @property
+    def queue_delay_ms(self) -> float:
+        """Current queueing delay a new arrival would experience."""
+        return max(0.0, self._busy_until - self._sim.now)
+
+    def transmit(self, size: int, deliver: Callable[[], None]) -> float:
+        """Enqueue ``size`` bytes; call ``deliver`` when they arrive.
+
+        Returns the absolute simulated arrival time.
+        """
+        if size <= 0:
+            raise ValueError("transmit size must be positive")
+        start = max(self._sim.now, self._busy_until)
+        finish = start + size / self._rate
+        self._busy_until = finish
+        self.bytes_transmitted += size
+        delay = self._propagation
+        if self._jitter > 0:
+            delay += self._rng.uniform(0.0, self._jitter)
+        arrival = finish + delay
+        self._sim.schedule_at(arrival, deliver)
+        return arrival
+
+    def reset_counters(self) -> None:
+        self.bytes_transmitted = 0

@@ -1,0 +1,335 @@
+"""A byte-stream TCP model.
+
+The model captures the TCP dynamics the paper's findings depend on:
+
+* **IW10 slow start** — a large base document needs multiple round
+  trips (the mechanism behind sites s8 and w1 in the paper);
+* **ack clocking over an asymmetric link** — ACKs consume the 1 Mbit/s
+  uplink;
+* **a bounded send buffer with backpressure** — the HTTP/2 server can
+  only decide *what to send next* when socket space frees, which is
+  what makes stream (re)scheduling and Interleaving Push meaningful;
+* optional Bernoulli loss with fast-retransmit (RFC 5681) and adaptive
+  RTO (RFC 6298) recovery, used only by the "Internet" variability
+  profile of Fig. 2a.
+
+It is deliberately not a full TCP: no SACK, no Nagle, no window
+scaling negotiation.  The replay testbed runs loss-free, where this
+model is exact up to those omissions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim import Simulator, Timer
+from .conditions import NetworkConditions
+from .link import SharedLink
+
+#: Maximum segment size (Ethernet MTU minus IP/TCP headers).
+MSS = 1460
+
+#: Per-segment header overhead charged on the wire (IP + TCP).
+HEADER_OVERHEAD = 40
+
+#: Size charged for a pure ACK segment.
+ACK_SIZE = 40
+
+#: Initial congestion window, in segments (RFC 6928).
+INITIAL_WINDOW_SEGMENTS = 10
+
+#: Default socket send-buffer size; the backpressure horizon.
+DEFAULT_SEND_BUFFER = 16 * 1024
+
+#: Delayed-ACK: acknowledge every Nth segment or after the timer fires.
+DELAYED_ACK_SEGMENTS = 2
+DELAYED_ACK_TIMEOUT_MS = 5.0
+
+
+class TcpEndpoint:
+    """One side of an established TCP connection.
+
+    Attributes:
+        on_data: callback invoked with in-order received bytes.
+        on_writable: callback invoked when send-buffer space frees after
+            having been full.  Consumers should write until ``send``
+            accepts less than offered.
+    """
+
+    def __init__(self, half_out: "_HalfConnection", half_in: "_HalfConnection", name: str):
+        self._out = half_out
+        self._in = half_in
+        self.name = name
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        half_out.endpoint = self
+        half_in.receiver_endpoint = self
+
+    def send(self, data: bytes) -> int:
+        """Buffer up to ``len(data)`` bytes for transmission.
+
+        Returns the number of bytes accepted (may be less than offered
+        when the send buffer is full — the caller must wait for
+        ``on_writable``).
+        """
+        return self._out.enqueue(data)
+
+    @property
+    def send_buffer_space(self) -> int:
+        """Bytes that a call to :meth:`send` would currently accept."""
+        return self._out.buffer_space
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._out.bytes_enqueued
+
+    @property
+    def bytes_received(self) -> int:
+        return self._in.bytes_delivered
+
+    @property
+    def all_sent_delivered(self) -> bool:
+        """True when every byte ever accepted has been ACKed."""
+        return self._out.fully_acked
+
+
+class _HalfConnection:
+    """Sender + receiver state for one direction of a connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_link: SharedLink,
+        ack_link: SharedLink,
+        conditions: NetworkConditions,
+        rng: random.Random,
+        name: str,
+    ):
+        self._sim = sim
+        self._data_link = data_link
+        self._ack_link = ack_link
+        self._conditions = conditions
+        self._rng = rng
+        self.name = name
+        self.endpoint: Optional[TcpEndpoint] = None
+        self.receiver_endpoint: Optional[TcpEndpoint] = None
+
+        # --- sender state ---
+        self._buffer: List[bytes] = []
+        self._buffered = 0
+        self._max_buffer = DEFAULT_SEND_BUFFER
+        self._next_seq = 0            # next byte sequence to assign
+        self._snd_una = 0             # lowest unacknowledged byte
+        self._cwnd = float(INITIAL_WINDOW_SEGMENTS * MSS)
+        self._ssthresh = float(64 * 1024)
+        #: seq -> (payload, rto timer, send time, was retransmitted)
+        self._in_flight: Dict[int, Tuple[bytes, Timer, float, bool]] = {}
+        self._was_full = False
+        self.bytes_enqueued = 0
+        # RFC 6298 adaptive retransmission timeout.  A fixed RTO melts
+        # down when many connections share the uplink: ACK queueing
+        # inflates the RTT past the timer and every segment is spuriously
+        # retransmitted.
+        self._srtt: float = 0.0
+        self._rttvar: float = 0.0
+        self._rto = 1_000.0  # conservative until the first RTT sample
+        # Fast retransmit (RFC 5681): three duplicate ACKs signal a
+        # hole; recover without waiting out the RTO.
+        self._dup_acks = 0
+        self._last_ack_seen = 0
+
+        # --- receiver state ---
+        self._rcv_next = 0
+        self._reorder: Dict[int, bytes] = {}
+        self.bytes_delivered = 0
+        self._segments_since_ack = 0
+        self._ack_timer = Timer(sim, self._send_ack_now)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    @property
+    def buffer_space(self) -> int:
+        return max(0, self._max_buffer - self._buffered)
+
+    @property
+    def fully_acked(self) -> bool:
+        return self._buffered == 0 and not self._in_flight
+
+    def enqueue(self, data: bytes) -> int:
+        accepted = min(len(data), self.buffer_space)
+        if accepted > 0:
+            self._buffer.append(data[:accepted])
+            self._buffered += accepted
+            self.bytes_enqueued += accepted
+            self._pump()
+        if accepted < len(data):
+            self._was_full = True
+        return accepted
+
+    def _flight_size(self) -> int:
+        return self._next_seq - self._snd_una
+
+    def _pump(self) -> None:
+        """Transmit segments while the congestion window allows."""
+        while self._buffered > 0 and self._flight_size() < self._cwnd:
+            payload = self._take(min(MSS, self._buffered))
+            seq = self._next_seq
+            self._next_seq += len(payload)
+            self._transmit(seq, payload, retransmission=False)
+
+    def _take(self, size: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = size
+        while remaining > 0:
+            head = self._buffer[0]
+            if len(head) <= remaining:
+                chunks.append(head)
+                remaining -= len(head)
+                self._buffer.pop(0)
+            else:
+                chunks.append(head[:remaining])
+                self._buffer[0] = head[remaining:]
+                remaining = 0
+        self._buffered -= size
+        return b"".join(chunks)
+
+    def _transmit(self, seq: int, payload: bytes, retransmission: bool) -> None:
+        rto = Timer(self._sim, lambda: self._on_timeout(seq))
+        rto.start(self._rto)
+        self._in_flight[seq] = (payload, rto, self._sim.now, retransmission)
+        if self._conditions.loss_rate > 0 and self._rng.random() < self._conditions.loss_rate:
+            # The segment is lost on the wire; the RTO timer recovers it.
+            return
+        size = len(payload) + HEADER_OVERHEAD
+        self._data_link.transmit(size, lambda: self._on_segment_arrival(seq, payload))
+
+    def _sample_rtt(self, rtt: float) -> None:
+        """RFC 6298 smoothed RTT / RTO update (Karn's rule applied by
+        the caller: retransmitted segments are never sampled)."""
+        if self._srtt == 0.0:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(max(self._srtt + max(4.0 * self._rttvar, 10.0), 200.0), 60_000.0)
+
+    def _fast_retransmit(self) -> None:
+        """Resend the segment at the left edge; halve the window."""
+        entry = self._in_flight.pop(self._snd_una, None)
+        if entry is None:
+            return
+        payload, timer, _sent_at, _retx = entry
+        timer.cancel()
+        self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
+        self._cwnd = self._ssthresh
+        self._transmit(self._snd_una, payload, retransmission=True)
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self._in_flight:
+            return
+        payload, _old_timer, _sent_at, _retx = self._in_flight.pop(seq)
+        # Tahoe-style: collapse the window and re-enter slow start.
+        self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
+        self._cwnd = float(MSS)
+        self._rto = min(self._rto * 2.0, 60_000.0)  # exponential backoff
+        self._transmit(seq, payload, retransmission=True)
+
+    def _on_ack(self, ack: int) -> None:
+        if ack <= self._snd_una:
+            if ack == self._snd_una and self._in_flight:
+                self._dup_acks += 1
+                if self._dup_acks == 3:
+                    self._fast_retransmit()
+            return
+        self._dup_acks = 0
+        newly_acked = ack - self._snd_una
+        self._snd_una = ack
+        for seq in [s for s in self._in_flight if s + len(self._in_flight[s][0]) <= ack]:
+            _payload, timer, sent_at, retransmitted = self._in_flight.pop(seq)
+            timer.cancel()
+            if not retransmitted:
+                self._sample_rtt(self._sim.now - sent_at)
+        if self._cwnd < self._ssthresh:
+            # Slow start: grow by the acked bytes (bounded per ACK).
+            self._cwnd += min(newly_acked, 2 * MSS)
+        else:
+            # Congestion avoidance: ~1 MSS per RTT.
+            self._cwnd += MSS * MSS / self._cwnd
+        self._pump()
+        # Level-triggered writability (like EPOLLOUT): whenever an ACK
+        # frees buffer space, give the application a chance to write.
+        if self.buffer_space > 0:
+            self._was_full = False
+            if self.endpoint is not None and self.endpoint.on_writable is not None:
+                self.endpoint.on_writable()
+
+    # ------------------------------------------------------------------
+    # receiver side (runs at the *other* host; links already added delay)
+    # ------------------------------------------------------------------
+    def _on_segment_arrival(self, seq: int, payload: bytes) -> None:
+        if seq == self._rcv_next:
+            self._deliver(payload)
+            while self._rcv_next in self._reorder:
+                self._deliver(self._reorder.pop(self._rcv_next))
+        elif seq > self._rcv_next:
+            self._reorder[seq] = payload
+            # RFC 5681: an out-of-order segment triggers an immediate
+            # duplicate ACK so the sender can fast-retransmit.
+            self._send_ack_now()
+            return
+        # else: duplicate of already-delivered data; just re-ACK.
+        self._segments_since_ack += 1
+        if self._segments_since_ack >= DELAYED_ACK_SEGMENTS:
+            self._send_ack_now()
+        elif not self._ack_timer.armed:
+            self._ack_timer.start(DELAYED_ACK_TIMEOUT_MS)
+
+    def _deliver(self, payload: bytes) -> None:
+        self._rcv_next += len(payload)
+        self.bytes_delivered += len(payload)
+        if self.receiver_endpoint is not None and self.receiver_endpoint.on_data is not None:
+            self.receiver_endpoint.on_data(payload)
+
+    def _send_ack_now(self) -> None:
+        self._ack_timer.cancel()
+        self._segments_since_ack = 0
+        ack = self._rcv_next
+        self._ack_link.transmit(ACK_SIZE, lambda: self._on_ack(ack))
+
+
+class TcpConnection:
+    """A full-duplex TCP connection between a client and a server.
+
+    The two directions share the topology's access links: data from the
+    server rides the downlink while its ACKs ride the uplink, and vice
+    versa for requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downlink: SharedLink,
+        uplink: SharedLink,
+        conditions: NetworkConditions,
+        rng: Optional[random.Random] = None,
+        name: str = "tcp",
+    ):
+        rng = rng or random.Random(0)
+        self.name = name
+        # client -> server direction: data on uplink, ACKs on downlink.
+        self._c2s = _HalfConnection(sim, uplink, downlink, conditions, rng, f"{name}:c2s")
+        # server -> client direction: data on downlink, ACKs on uplink.
+        self._s2c = _HalfConnection(sim, downlink, uplink, conditions, rng, f"{name}:s2c")
+        self.client = TcpEndpoint(self._c2s, self._s2c, f"{name}:client")
+        self.server = TcpEndpoint(self._s2c, self._c2s, f"{name}:server")
+
+    def set_send_buffer(self, size: int) -> None:
+        """Set the socket send-buffer size for both directions."""
+        if size < MSS:
+            raise NetworkError(f"send buffer must hold at least one MSS ({MSS})")
+        self._c2s._max_buffer = size
+        self._s2c._max_buffer = size

@@ -1,0 +1,142 @@
+"""Testbed topology: one client behind an access link, many origins.
+
+Mahimahi spawns one local server per recorded IP inside network
+namespaces so that the replayed page uses the same connection pattern
+as the live Internet (§4.1).  The equivalent here: every origin IP is a
+:class:`Host`, and every connection from the client to any host crosses
+the same shared downlink/uplink pair (the emulated DSL access link).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from ..errors import NetworkError
+from ..sim import Simulator
+from .conditions import NetworkConditions
+from .handshake import TLS12_HANDSHAKE, HandshakeModel
+from .link import SharedLink
+from .tcp import TcpConnection
+
+
+class Host:
+    """A server host identified by an IP, serving one or more domains."""
+
+    def __init__(self, ip: str):
+        self.ip = ip
+        self.domains: set = set()
+
+    def add_domain(self, domain: str) -> None:
+        self.domains.add(domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host(ip={self.ip!r}, domains={sorted(self.domains)!r})"
+
+
+class Topology:
+    """The client's access link plus the set of origin hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        conditions: NetworkConditions,
+        handshake: HandshakeModel = TLS12_HANDSHAKE,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.conditions = conditions
+        self.handshake = handshake
+        self._rng = rng or random.Random(0)
+        self.downlink = SharedLink(
+            sim,
+            conditions.downlink_bytes_per_ms,
+            conditions.one_way_ms,
+            jitter_ms=conditions.jitter_ms,
+            rng=self._rng,
+            name="downlink",
+        )
+        self.uplink = SharedLink(
+            sim,
+            conditions.uplink_bytes_per_ms,
+            conditions.one_way_ms,
+            jitter_ms=conditions.jitter_ms,
+            rng=self._rng,
+            name="uplink",
+        )
+        self._hosts: Dict[str, Host] = {}
+        self._domain_to_ip: Dict[str, str] = {}
+        self._dns_cache: set = set()
+        self._connection_count = 0
+
+    # ------------------------------------------------------------------
+    # host / DNS management
+    # ------------------------------------------------------------------
+    def add_host(self, ip: str, domains) -> Host:
+        host = self._hosts.get(ip)
+        if host is None:
+            host = Host(ip)
+            self._hosts[ip] = host
+        for domain in domains:
+            existing = self._domain_to_ip.get(domain)
+            if existing is not None and existing != ip:
+                raise NetworkError(f"domain {domain} already mapped to {existing}")
+            host.add_domain(domain)
+            self._domain_to_ip[domain] = ip
+        return host
+
+    def resolve(self, domain: str) -> str:
+        """DNS lookup: domain to IP (raises for unknown domains)."""
+        try:
+            return self._domain_to_ip[domain]
+        except KeyError:
+            raise NetworkError(f"no host serves domain {domain!r}") from None
+
+    def host_for_domain(self, domain: str) -> Host:
+        return self._hosts[self.resolve(domain)]
+
+    @property
+    def hosts(self) -> Dict[str, Host]:
+        return dict(self._hosts)
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def open_connection(
+        self,
+        domain: str,
+        on_established: Callable[[TcpConnection], None],
+    ) -> None:
+        """Open a TCP+TLS connection to the host serving ``domain``.
+
+        The handshake delay (DNS if uncached, TCP, TLS) elapses before
+        ``on_established`` is invoked with the ready connection.
+        """
+        ip = self.resolve(domain)
+        dns_cached = domain in self._dns_cache
+        self._dns_cache.add(domain)
+        delay = self.handshake.connect_ms(self.conditions, dns_cached)
+        self._connection_count += 1
+        name = f"tcp-{self._connection_count}-{domain}"
+
+        def establish() -> None:
+            conn = TcpConnection(
+                self.sim,
+                downlink=self.downlink,
+                uplink=self.uplink,
+                conditions=self.conditions,
+                rng=self._rng,
+                name=name,
+            )
+            on_established(conn)
+
+        self.sim.schedule(delay, establish)
+
+    def prewarm_dns(self, domain: str) -> None:
+        """Mark a domain's DNS entry as cached (used for the navigation
+        origin, whose lookup happens before ``connectEnd``)."""
+        self._dns_cache.add(domain)
+
+    @property
+    def connections_opened(self) -> int:
+        return self._connection_count

@@ -1,0 +1,61 @@
+"""Request-to-record matching.
+
+Mahimahi's replay server matches incoming requests against the record
+store, with fuzzy matching when query strings differ.  The h2o-FastCGI
+module the paper adds performs the same lookup (§4.1); this class is
+that lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..html.resources import split_url
+from .recorddb import RecordDatabase, ResponseRecord
+
+
+class RequestMatcher:
+    """Match requests to recorded responses (exact, then fuzzy)."""
+
+    def __init__(self, db: RecordDatabase):
+        self._db = db
+        self.exact_matches = 0
+        self.fuzzy_matches = 0
+        self.misses = 0
+
+    def match(self, url: str, method: str = "GET") -> Optional[ResponseRecord]:
+        record = self._db.get(url, method)
+        if record is not None:
+            self.exact_matches += 1
+            return record
+        record = self._fuzzy(url, method)
+        if record is not None:
+            self.fuzzy_matches += 1
+            return record
+        self.misses += 1
+        return None
+
+    def _fuzzy(self, url: str, method: str) -> Optional[ResponseRecord]:
+        """Ignore query strings, like Mahimahi's longest-prefix match."""
+        domain, path = split_url(url)
+        base_path = path.split("?", 1)[0]
+        best: Optional[ResponseRecord] = None
+        for record in self._db:
+            if record.method != method or record.domain != domain:
+                continue
+            if record.path.split("?", 1)[0] == base_path:
+                # Prefer the candidate with the longest shared query prefix.
+                if best is None or _shared_prefix(record.url, url) > _shared_prefix(
+                    best.url, url
+                ):
+                    best = record
+        return best
+
+
+def _shared_prefix(a: str, b: str) -> int:
+    length = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b:
+            break
+        length += 1
+    return length

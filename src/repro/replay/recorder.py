@@ -1,0 +1,42 @@
+"""Record a built website into a replayable database.
+
+Plays the role of the paper's mitmproxy capture + conversion into the
+Mahimahi record format: every response body produced by the site
+builder becomes a :class:`ResponseRecord` with realistic headers.
+"""
+
+from __future__ import annotations
+
+from ..html.builder import BuiltSite, build_site
+from ..html.spec import WebsiteSpec
+from .recorddb import RecordDatabase, ResponseRecord
+
+#: Fixed date header: replay must be deterministic.
+_RECORD_DATE = "Thu, 01 Feb 2018 10:00:00 GMT"
+
+
+def record_site(built: BuiltSite) -> RecordDatabase:
+    """Convert a built site into its record database."""
+    db = RecordDatabase()
+    for url, body in built.bodies.items():
+        content_type = built.content_types[url]
+        db.add(
+            ResponseRecord(
+                url=url,
+                status=200,
+                headers=[
+                    ("content-type", content_type),
+                    ("content-length", str(len(body))),
+                    ("cache-control", "max-age=3600"),
+                    ("date", _RECORD_DATE),
+                    ("server", "h2o/2.2.4"),
+                ],
+                body=body,
+            )
+        )
+    return db
+
+
+def record_spec(spec: WebsiteSpec) -> RecordDatabase:
+    """Build and record a website spec in one step."""
+    return record_site(build_site(spec))

@@ -1,0 +1,168 @@
+"""Testbed orchestration: replay one website under one configuration.
+
+This is the package's main entry point, equivalent to one browsertime
+invocation against the paper's Mahimahi deployment: it wires together
+the simulator, the shaped access link, one replay server per recorded
+IP (with SAN certificates for coalescing), the push strategy, and the
+browser model, then runs the page load to completion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..browser.cache import BrowserCache
+from ..browser.engine import BrowserConfig, PageLoad
+from ..browser.timings import PageTimeline
+from ..errors import ConfigError
+from ..html.builder import BuiltSite, build_site
+from ..html.spec import WebsiteSpec
+from ..metrics.speedindex import speed_index_of
+from ..netsim.conditions import DSL_TESTBED, NetworkConditions
+from ..netsim.topology import Topology
+from ..server.h2server import ReplayServer, ServerFarm
+from ..sim import Simulator
+from ..strategies.base import PushStrategy
+from .certs import CertificateAuthority
+from .matcher import RequestMatcher
+from .recorddb import RecordDatabase
+from .recorder import record_site
+
+
+@dataclass
+class PageLoadResult:
+    """Outcome of one replayed page load."""
+
+    site: str
+    strategy: str
+    plt_ms: float
+    speed_index_ms: float
+    timeline: PageTimeline
+    pushed_bytes: int
+    downlink_bytes: int
+    uplink_bytes: int
+    connections: int
+    requests: int
+
+    @property
+    def first_paint_ms(self) -> Optional[float]:
+        if self.timeline.first_paint is None or self.timeline.connect_end is None:
+            return None
+        return self.timeline.first_paint - self.timeline.connect_end
+
+
+@dataclass
+class ReplayTestbed:
+    """A reusable site deployment; each :meth:`run` is one fresh load."""
+
+    built: BuiltSite
+    conditions: NetworkConditions = DSL_TESTBED
+    strategy: Optional[PushStrategy] = None
+    browser_config: Optional[BrowserConfig] = None
+    #: "h2" (default) or "h1" — the push-less HTTP/1.1 baseline.
+    protocol: str = "h2"
+    db: RecordDatabase = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = record_site(self.built)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cache: Optional[BrowserCache] = None,
+        seed: int = 0,
+        timeout_ms: float = 300_000.0,
+    ) -> PageLoadResult:
+        """Replay the site once; returns metrics and the full timeline."""
+        sim = Simulator()
+        rng = random.Random(seed)
+        spec = self.built.spec
+        topology = Topology(sim, self.conditions, rng=rng)
+        ca = CertificateAuthority()
+        farm = ServerFarm()
+
+        ip_domains: Dict[str, List[str]] = {}
+        for domain in sorted(spec.all_domains()):
+            ip = spec.ip_of_domain(domain)
+            ip_domains.setdefault(ip, []).append(domain)
+        for ip, domains in ip_domains.items():
+            topology.add_host(ip, domains)
+            cert = ca.issue(ip, domains)
+            if self.protocol == "h1":
+                from ..h1.server import H1ReplayServer
+
+                farm.add(H1ReplayServer(ip=ip, matcher=RequestMatcher(self.db)))
+            else:
+                farm.add(
+                    ReplayServer(
+                        sim=sim,
+                        ip=ip,
+                        matcher=RequestMatcher(self.db),
+                        certificate=cert,
+                        strategy=self.strategy,
+                        server_delay_ms=self.conditions.server_delay_ms,
+                    )
+                )
+
+        config = self.browser_config or BrowserConfig()
+        if self.protocol == "h1" and config.protocol != "h1":
+            import dataclasses
+
+            config = dataclasses.replace(config, protocol="h1", enable_push=False)
+        if self.strategy is not None and not self.strategy.client_push_enabled:
+            import dataclasses
+
+            config = dataclasses.replace(config, enable_push=False)
+        page = PageLoad(
+            sim=sim,
+            topology=topology,
+            servers=farm,
+            ca=ca,
+            main_url=self.built.html_url,
+            config=config,
+            cache=cache,
+            rng=random.Random(seed + 7919),
+        )
+        page.start()
+        sim.run(until=timeout_ms)
+        if not page.finished:
+            raise ConfigError(
+                f"page load of {spec.name} did not finish within {timeout_ms} ms "
+                f"(strategy={self._strategy_name()})"
+            )
+        timeline = page.timeline
+        return PageLoadResult(
+            site=spec.name,
+            strategy=self._strategy_name(),
+            plt_ms=timeline.plt_ms,
+            speed_index_ms=speed_index_of(timeline),
+            timeline=timeline,
+            pushed_bytes=farm.total_pushed_bytes,
+            downlink_bytes=topology.downlink.bytes_transmitted,
+            uplink_bytes=topology.uplink.bytes_transmitted,
+            connections=topology.connections_opened,
+            requests=len(timeline.requests),
+        )
+
+    def _strategy_name(self) -> str:
+        return self.strategy.name if self.strategy is not None else "no_push"
+
+
+def replay_site(
+    spec: WebsiteSpec,
+    strategy: Optional[PushStrategy] = None,
+    conditions: NetworkConditions = DSL_TESTBED,
+    cache: Optional[BrowserCache] = None,
+    seed: int = 0,
+    browser_config: Optional[BrowserConfig] = None,
+) -> PageLoadResult:
+    """Build, record, and replay a website spec in one call."""
+    testbed = ReplayTestbed(
+        built=build_site(spec),
+        conditions=conditions,
+        strategy=strategy,
+        browser_config=browser_config,
+    )
+    return testbed.run(cache=cache, seed=seed)

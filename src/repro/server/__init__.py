@@ -1,0 +1,11 @@
+"""HTTP/2 origin servers for the replay testbed."""
+
+from .h2server import ReplayServer, ServerFarm
+from .scheduler import DefaultScheduler, InterleavingScheduler
+
+__all__ = [
+    "DefaultScheduler",
+    "InterleavingScheduler",
+    "ReplayServer",
+    "ServerFarm",
+]

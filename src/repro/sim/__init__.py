@@ -1,0 +1,17 @@
+"""Deterministic discrete-event simulation kernel.
+
+All timing in the testbed derives from one :class:`~repro.sim.events.Simulator`
+instance so that repeated runs of the same configuration are identical —
+the property the paper's replay testbed exists to provide.
+"""
+
+from .events import DEFAULT_PRIORITY, EventHandle, Simulator
+from .timers import PeriodicTimer, Timer
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "EventHandle",
+    "PeriodicTimer",
+    "Simulator",
+    "Timer",
+]

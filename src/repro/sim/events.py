@@ -1,0 +1,156 @@
+"""Discrete-event simulation kernel.
+
+The whole testbed — TCP pipes, HTTP/2 endpoints, the browser's parser
+and render loop — runs on one :class:`Simulator`.  It is a classic
+calendar queue: events are ``(time, priority, sequence, callback)``
+tuples ordered by time, then priority, then insertion order, which makes
+every run bit-for-bit deterministic (a property the paper's testbed is
+explicitly built to obtain).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+
+#: Default priority for events; lower runs earlier at equal timestamps.
+DEFAULT_PRIORITY = 10
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (was) scheduled."""
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a millisecond clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print(sim.now))
+        sim.run()
+    """
+
+    def __init__(self):
+        self._queue: List[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ms from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback
+        after all events already queued for the current instant with a
+        lower or equal priority.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        event = _QueuedEvent(self._now + delay, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, callback, priority)
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at the current instant (after queued work)."""
+        return self.schedule(0.0, callback)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        Returns the simulated time at which the run ended.  ``max_events``
+        guards against accidental event loops in model code.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                if self._events_processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; likely a model loop"
+                    )
+                event.callback()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events (for tests/diagnostics)."""
+        return sum(1 for e in self._queue if not e.cancelled)

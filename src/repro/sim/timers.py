@@ -1,0 +1,70 @@
+"""Higher-level timing utilities on top of the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .events import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Used by model code that needs idle/retransmission-style timeouts,
+    e.g. the browser's network-idle detection.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` ms from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """Fires a callback at a fixed period until cancelled."""
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], None]):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._handle = self._sim.schedule(self._period, self._tick)
+
+    def cancel(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._handle = self._sim.schedule(self._period, self._tick)

@@ -1,0 +1,29 @@
+"""Website corpora: synthetic s1–s10, real-world w1–w20, generated
+Alexa-like populations, and the adoption time-series model."""
+
+from .adoption import MONTHS, AdoptionModel, AdoptionScan
+from .corpus import (
+    RANDOM_100_PROFILE,
+    TOP_100_PROFILE,
+    CorpusProfile,
+    CorpusSite,
+    generate_corpus,
+    generate_site,
+)
+from .realworld import TABLE_1, realworld_sites
+from .synthetic import synthetic_sites
+
+__all__ = [
+    "AdoptionModel",
+    "AdoptionScan",
+    "CorpusProfile",
+    "CorpusSite",
+    "MONTHS",
+    "RANDOM_100_PROFILE",
+    "TABLE_1",
+    "TOP_100_PROFILE",
+    "generate_corpus",
+    "generate_site",
+    "realworld_sites",
+    "synthetic_sites",
+]

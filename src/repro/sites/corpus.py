@@ -1,0 +1,208 @@
+"""Generative website corpus (the paper's Alexa-drawn site sets, §4).
+
+The paper samples two disjoint random sets of 100 HTTPS websites, one
+from the Alexa top 500 ("top-100") and one from the top 1M
+("random-100"), records them, and replays them under different push
+strategies.  Live Alexa sites are unavailable here, so this module
+generates statistically realistic site models instead, calibrated to
+the paper's own aggregate observations:
+
+* pushable share: 52% of top-100 sites (24% of random-100) have less
+  than 20% pushable objects, i.e. popular sites lean far harder on
+  third-party infrastructure (§4.2, "Pushable Objects");
+* object mix and sizes follow the web-complexity literature the paper
+  cites (Butkiewicz et al.): images dominate counts, JS dominates
+  bytes, object counts grow with popularity.
+
+``generate_corpus`` is deterministic in its seed, so every experiment
+sees the same "websites".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..html.resources import ResourceType
+from ..html.spec import ResourceSpec, WebsiteSpec
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Distribution parameters for one site population."""
+
+    name: str
+    #: Range of sub-resource counts.
+    min_objects: int = 15
+    max_objects: int = 60
+    #: Probability that a site is third-party heavy (> 80% external),
+    #: calibrated so P(pushable < 20%) matches the paper's shares.
+    heavy_third_party_prob: float = 0.24
+    #: HTML size range (bytes, compressed).
+    min_html: int = 15_000
+    max_html: int = 220_000
+    #: Number of distinct third-party domains.
+    min_tp_domains: int = 2
+    max_tp_domains: int = 12
+
+
+TOP_100_PROFILE = CorpusProfile(
+    name="top-100",
+    min_objects=35,
+    max_objects=95,
+    heavy_third_party_prob=0.52,
+    min_html=30_000,
+    max_html=300_000,
+    min_tp_domains=4,
+    max_tp_domains=20,
+)
+
+RANDOM_100_PROFILE = CorpusProfile(
+    name="random-100",
+    min_objects=12,
+    max_objects=60,
+    heavy_third_party_prob=0.24,
+    min_html=10_000,
+    max_html=180_000,
+    min_tp_domains=1,
+    max_tp_domains=8,
+)
+
+
+@dataclass
+class CorpusSite:
+    """A generated site plus its as-deployed push configuration."""
+
+    spec: WebsiteSpec
+    #: What the live deployment pushes (for Fig. 2's "push as in the
+    #: Internet" comparison); a subset of the pushable objects.
+    deployed_push_urls: List[str] = field(default_factory=list)
+
+
+def _size_for(rtype: ResourceType, rng: random.Random) -> int:
+    if rtype == ResourceType.CSS:
+        return int(rng.lognormvariate(10.2, 0.8))  # ~27 KB median
+    if rtype == ResourceType.JS:
+        return int(rng.lognormvariate(10.6, 0.9))  # ~40 KB median
+    if rtype == ResourceType.IMAGE:
+        return int(rng.lognormvariate(9.9, 1.0))   # ~20 KB median
+    if rtype == ResourceType.FONT:
+        return int(rng.lognormvariate(10.3, 0.4))
+    return int(rng.lognormvariate(9.5, 0.8))
+
+
+_TYPE_MIX = [
+    (ResourceType.CSS, 0.09),
+    (ResourceType.JS, 0.17),
+    (ResourceType.IMAGE, 0.58),
+    (ResourceType.FONT, 0.05),
+    (ResourceType.OTHER, 0.11),
+]
+
+
+def _pick_type(rng: random.Random) -> ResourceType:
+    roll = rng.random()
+    cumulative = 0.0
+    for rtype, share in _TYPE_MIX:
+        cumulative += share
+        if roll < cumulative:
+            return rtype
+    return ResourceType.OTHER
+
+
+def _third_party_share(profile: CorpusProfile, rng: random.Random) -> float:
+    if rng.random() < profile.heavy_third_party_prob:
+        return rng.uniform(0.80, 0.97)
+    return rng.uniform(0.10, 0.80)
+
+
+def generate_site(profile: CorpusProfile, index: int, rng: random.Random) -> CorpusSite:
+    """Generate one website model from a population profile."""
+    domain = f"site{index}.{profile.name.replace('-', '')}.example"
+    object_count = rng.randint(profile.min_objects, profile.max_objects)
+    tp_share = _third_party_share(profile, rng)
+    tp_domain_count = rng.randint(profile.min_tp_domains, profile.max_tp_domains)
+    tp_domains = [f"tp{d}.{domain}" for d in range(tp_domain_count)]
+    domain_ips = {d: f"10.2.{index % 200}.{d_index + 2}" for d_index, d in enumerate(tp_domains)}
+
+    resources: List[ResourceSpec] = []
+    extension = {
+        ResourceType.CSS: "css",
+        ResourceType.JS: "js",
+        ResourceType.IMAGE: "jpg",
+        ResourceType.FONT: "woff2",
+        ResourceType.OTHER: "bin",
+    }
+    atf_images_left = rng.randint(2, 6)
+    for obj in range(object_count):
+        rtype = _pick_type(rng)
+        size = max(_size_for(rtype, rng), 1_000)
+        third_party = rng.random() < tp_share
+        res_domain: Optional[str] = rng.choice(tp_domains) if third_party else None
+        in_head = False
+        exec_ms = 0.0
+        visual_weight = 0.0
+        above_fold = False
+        is_async = False
+        if rtype == ResourceType.CSS:
+            in_head = not third_party and rng.random() < 0.85
+            exec_ms = size / 2_500  # CSSOM build cost scales with bytes
+        elif rtype == ResourceType.JS:
+            in_head = not third_party and rng.random() < 0.4
+            exec_ms = size / 2_000
+            is_async = third_party or rng.random() < 0.35
+        elif rtype == ResourceType.IMAGE:
+            if atf_images_left > 0 and rng.random() < 0.4:
+                atf_images_left -= 1
+                visual_weight = rng.uniform(2.0, 10.0)
+                above_fold = True
+        elif rtype == ResourceType.FONT:
+            visual_weight = rng.uniform(2.0, 8.0)
+            above_fold = True
+        resources.append(
+            ResourceSpec(
+                name=f"r{obj}.{extension[rtype]}",
+                rtype=rtype,
+                size=size,
+                domain=res_domain,
+                in_head=in_head,
+                body_fraction=rng.random(),
+                async_script=is_async,
+                exec_ms=exec_ms,
+                visual_weight=visual_weight,
+                above_fold=above_fold,
+                critical_fraction=rng.uniform(0.1, 0.4),
+            )
+        )
+
+    spec = WebsiteSpec(
+        name=f"{profile.name}-site{index}",
+        primary_domain=domain,
+        html_size=rng.randint(profile.min_html, profile.max_html),
+        html_visual_weight=rng.uniform(15, 45),
+        atf_text_fraction=rng.choice([0.125, 0.25, 0.375, 0.5]),
+        head_inline_script_ms=rng.uniform(0, 15) if rng.random() < 0.4 else 0.0,
+        resources=resources,
+        domain_ips=domain_ips,
+        primary_ip=f"10.3.{index % 200}.1",
+    )
+    # Real deployments push deliberately: operators who enabled push
+    # overwhelmingly pushed stylesheets/scripts/fonts they considered
+    # critical (cf. the paper's adoption study), not random objects.
+    rank = {ResourceType.CSS: 0, ResourceType.JS: 1, ResourceType.FONT: 2}
+    pushable = sorted(
+        spec.pushable_resources(),
+        key=lambda res: (rank.get(res.rtype, 3), rng.random()),
+    )
+    count = rng.randint(0, min(len(pushable), 12))
+    deployed = [res.url(spec.primary_domain) for res in pushable[:count]]
+    return CorpusSite(spec=spec, deployed_push_urls=deployed)
+
+
+def generate_corpus(
+    profile: CorpusProfile, count: int = 100, seed: int = 2018
+) -> List[CorpusSite]:
+    """Generate a deterministic corpus of ``count`` sites."""
+    rng = random.Random(f"{profile.name}-{seed}")
+    return [generate_site(profile, index, rng) for index in range(count)]

@@ -1,0 +1,236 @@
+"""Synthetic websites s1–s10 (§4.3).
+
+Snapshots of websites or templates with all content relocated to a
+single server.  Each model encodes the structural mechanism the paper
+discusses; s1, s5, and s8 implement the paper's three case studies:
+
+* **s1** — a loading screen fades once the DOM is ready; content is
+  gated on blocking JS/CSS and on fonts hidden inside the CSS.
+  Pushing those (~300 KB) matches push-all (~1 MB) performance.
+* **s5** — computation-bound: a blocking JS referenced late in the
+  ``<body>`` needs the CSSOM; constructing it takes longer than the
+  transfer, so the browser is CPU- not network-bound and push gains
+  nothing.
+* **s8** — the HTML needs multiple round trips, but its six
+  render-critical resources are referenced in the first chunk, so the
+  browser requests them as fast as the server could push them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..html.resources import ResourceType
+from ..html.spec import ResourceSpec, WebsiteSpec
+
+CSS = ResourceType.CSS
+JS = ResourceType.JS
+IMG = ResourceType.IMAGE
+FONT = ResourceType.FONT
+
+
+def _images(count: int, size: int, atf_count: int, start_fraction: float = 0.1) -> List[ResourceSpec]:
+    """A block of images, the first ``atf_count`` above the fold."""
+    images = []
+    for index in range(count):
+        fraction = min(start_fraction + 0.85 * index / max(count - 1, 1), 1.0)
+        atf = index < atf_count
+        images.append(
+            ResourceSpec(
+                f"img{index}.jpg",
+                IMG,
+                size,
+                body_fraction=fraction,
+                visual_weight=6.0 if atf else 0.0,
+                above_fold=atf,
+            )
+        )
+    return images
+
+
+def s1_loading_screen() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s1",
+        primary_domain="s1.site",
+        html_size=28_000,
+        html_visual_weight=10,  # mostly the loading icon; real content gated
+        resources=[
+            ResourceSpec("app.css", CSS, 90_000, in_head=True, exec_ms=8, critical_fraction=0.3),
+            ResourceSpec("app.js", JS, 160_000, in_head=True, exec_ms=45, visual_weight=25),
+            ResourceSpec("heading.woff2", FONT, 30_000, loaded_by="app.css", visual_weight=12),
+            ResourceSpec("body.woff2", FONT, 28_000, loaded_by="app.css", visual_weight=8),
+        ]
+        + _images(12, 62_000, atf_count=3, start_fraction=0.3),
+    )
+
+
+def s2_landing() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s2",
+        primary_domain="s2.site",
+        html_size=18_000,
+        html_visual_weight=25,
+        resources=[
+            ResourceSpec("style.css", CSS, 40_000, in_head=True, exec_ms=4),
+            ResourceSpec("hero.jpg", IMG, 180_000, body_fraction=0.05, visual_weight=30),
+            ResourceSpec("cta.png", IMG, 25_000, body_fraction=0.15, visual_weight=8),
+        ]
+        + _images(6, 40_000, atf_count=0, start_fraction=0.5),
+    )
+
+
+def s3_blog() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s3",
+        primary_domain="s3.site",
+        html_size=45_000,
+        html_visual_weight=35,
+        atf_text_fraction=0.375,
+        resources=[
+            ResourceSpec("theme.css", CSS, 55_000, in_head=True, exec_ms=5, critical_fraction=0.2),
+            ResourceSpec("serif.woff2", FONT, 42_000, loaded_by="theme.css", visual_weight=15),
+            ResourceSpec("comments.js", JS, 35_000, body_fraction=0.95, exec_ms=12, defer_script=True),
+        ]
+        + _images(5, 55_000, atf_count=1, start_fraction=0.25),
+    )
+
+
+def s4_shop() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s4",
+        primary_domain="s4.site",
+        html_size=80_000,
+        html_visual_weight=20,
+        atf_text_fraction=0.25,
+        resources=[
+            ResourceSpec("shop.css", CSS, 70_000, in_head=True, exec_ms=7, critical_fraction=0.25),
+            ResourceSpec("shop.js", JS, 120_000, in_head=True, exec_ms=35),
+            ResourceSpec("cart.js", JS, 30_000, body_fraction=0.9, async_script=True, exec_ms=8),
+        ]
+        + _images(20, 35_000, atf_count=6, start_fraction=0.1),
+    )
+
+
+def s5_computation_bound() -> WebsiteSpec:
+    """The §4.3 case study: CPU-bound, no network idle time."""
+    return WebsiteSpec(
+        name="s5",
+        primary_domain="s5.site",
+        html_size=130_000,
+        html_visual_weight=40,
+        atf_text_fraction=0.25,
+        resources=[
+            # Four render-critical resources...
+            ResourceSpec("base.css", CSS, 48_000, in_head=True, exec_ms=90, critical_fraction=0.3),
+            ResourceSpec("grid.css", CSS, 30_000, in_head=True, exec_ms=55, critical_fraction=0.3),
+            ResourceSpec("head.js", JS, 60_000, in_head=True, exec_ms=70),
+            ResourceSpec("brand.woff2", FONT, 35_000, loaded_by="base.css", visual_weight=10),
+            # ...and a blocking JS referenced late in <body>, which must
+            # wait for the CSSOM: the computation dominates the transfer.
+            ResourceSpec("widgets.js", JS, 55_000, body_fraction=0.75, exec_ms=160),
+        ]
+        + _images(8, 45_000, atf_count=2, start_fraction=0.2),
+    )
+
+
+def s6_gallery() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s6",
+        primary_domain="s6.site",
+        html_size=12_000,
+        html_visual_weight=8,
+        resources=[
+            ResourceSpec("gallery.css", CSS, 18_000, in_head=True, exec_ms=2),
+        ]
+        + _images(30, 48_000, atf_count=6, start_fraction=0.05),
+    )
+
+
+def s7_docs() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s7",
+        primary_domain="s7.site",
+        html_size=60_000,
+        html_visual_weight=45,
+        atf_text_fraction=0.25,
+        resources=[
+            ResourceSpec("docs.css", CSS, 25_000, in_head=True, exec_ms=3, critical_fraction=0.2),
+            ResourceSpec("mono.woff2", FONT, 38_000, loaded_by="docs.css", visual_weight=10),
+        ],
+    )
+
+
+def s8_early_references() -> WebsiteSpec:
+    """The §4.3 case study: multi-RTT HTML, critical refs in chunk one."""
+    return WebsiteSpec(
+        name="s8",
+        primary_domain="s8.site",
+        html_size=95_000,
+        html_visual_weight=30,
+        atf_text_fraction=0.25,
+        resources=[
+            # Six render-critical resources, all referenced in <head> —
+            # i.e. inside the first ~14 KB the initial window delivers.
+            ResourceSpec("reset.css", CSS, 12_000, in_head=True, exec_ms=2),
+            ResourceSpec("layout.css", CSS, 30_000, in_head=True, exec_ms=5, critical_fraction=0.3),
+            ResourceSpec("theme.css", CSS, 22_000, in_head=True, exec_ms=3, critical_fraction=0.3),
+            ResourceSpec("core.js", JS, 48_000, in_head=True, exec_ms=25),
+            ResourceSpec("ui.js", JS, 36_000, in_head=True, exec_ms=18),
+            ResourceSpec("icons.woff2", FONT, 26_000, loaded_by="layout.css", visual_weight=8),
+        ]
+        + _images(10, 40_000, atf_count=3, start_fraction=0.2),
+    )
+
+
+def s9_spa_shell() -> WebsiteSpec:
+    return WebsiteSpec(
+        name="s9",
+        primary_domain="s9.site",
+        html_size=6_000,
+        html_visual_weight=2,
+        resources=[
+            ResourceSpec("bundle.js", JS, 420_000, in_head=True, exec_ms=120, visual_weight=40),
+            ResourceSpec("bundle.css", CSS, 30_000, in_head=True, exec_ms=5),
+            ResourceSpec("data.json", ResourceType.OTHER, 60_000, loaded_by="bundle.js"),
+            ResourceSpec("avatar.png", IMG, 22_000, loaded_by="bundle.js", visual_weight=5),
+        ],
+    )
+
+
+def s10_ad_template() -> WebsiteSpec:
+    """Ad-heavy template with everything relocated to one server."""
+    return WebsiteSpec(
+        name="s10",
+        primary_domain="s10.site",
+        html_size=70_000,
+        html_visual_weight=30,
+        atf_text_fraction=0.25,
+        body_inline_script_ms=25,
+        body_inline_fraction=0.4,
+        resources=[
+            ResourceSpec("site.css", CSS, 45_000, in_head=True, exec_ms=5, critical_fraction=0.25),
+            ResourceSpec("main.js", JS, 80_000, in_head=True, exec_ms=30),
+            ResourceSpec("ads.js", JS, 90_000, body_fraction=0.2, exec_ms=40),
+            ResourceSpec("ad1.jpg", IMG, 95_000, loaded_by="ads.js", visual_weight=4),
+            ResourceSpec("ad2.jpg", IMG, 85_000, loaded_by="ads.js"),
+            ResourceSpec("analytics.js", JS, 25_000, body_fraction=0.98, async_script=True),
+        ]
+        + _images(9, 50_000, atf_count=3, start_fraction=0.3),
+    )
+
+
+def synthetic_sites() -> Dict[str, WebsiteSpec]:
+    """All ten synthetic sites, keyed s1..s10."""
+    sites = [
+        s1_loading_screen(),
+        s2_landing(),
+        s3_blog(),
+        s4_shop(),
+        s5_computation_bound(),
+        s6_gallery(),
+        s7_docs(),
+        s8_early_references(),
+        s9_spa_shell(),
+        s10_ad_template(),
+    ]
+    return {site.name: site for site in sites}

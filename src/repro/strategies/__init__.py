@@ -1,0 +1,29 @@
+"""Server Push strategies and the push-order computation."""
+
+from .base import AuthorityCheck, PushPlan, PushStrategy
+from .hints import HintAndPushStrategy, PreloadHintStrategy
+from .order import DependencyNode, DependencyTree, computed_push_order, majority_vote_order
+from .simple import (
+    NoPushStrategy,
+    PushAllStrategy,
+    PushByTypeStrategy,
+    PushFirstNStrategy,
+    PushListStrategy,
+)
+
+__all__ = [
+    "AuthorityCheck",
+    "DependencyNode",
+    "DependencyTree",
+    "HintAndPushStrategy",
+    "NoPushStrategy",
+    "PreloadHintStrategy",
+    "PushAllStrategy",
+    "PushByTypeStrategy",
+    "PushFirstNStrategy",
+    "PushListStrategy",
+    "PushPlan",
+    "PushStrategy",
+    "computed_push_order",
+    "majority_vote_order",
+]

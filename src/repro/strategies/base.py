@@ -1,0 +1,75 @@
+"""Push strategy interface.
+
+A strategy answers the question the HTTP/2 standard leaves open (§1):
+*what to push when*.  Given the request for the base document and the
+record database, it produces a :class:`PushPlan` — an ordered list of
+URLs to push, optionally split into a critical prefix that the
+interleaving scheduler weaves into the HTML at a byte offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..replay.recorddb import RecordDatabase
+
+#: Predicate deciding whether the serving origin may push a URL
+#: (certificate + IP authority, RFC 7540 §8.2).
+AuthorityCheck = Callable[[str], bool]
+
+
+@dataclass
+class PushPlan:
+    """What a server pushes alongside one base-document response."""
+
+    #: URLs pushed in order; with the default scheduler they drain
+    #: after the parent stream (h2o child placement).
+    urls: List[str] = field(default_factory=list)
+    #: Prefix of ``urls`` to interleave *into* the HTML at
+    #: ``interleave_offset`` (the paper's §5 scheduler modification).
+    critical_urls: List[str] = field(default_factory=list)
+    #: HTML byte offset at which the server pauses the base document
+    #: and switches to the critical pushes.  ``None`` = no interleaving.
+    interleave_offset: Optional[int] = None
+    #: URLs announced as ``link: rel=preload`` response headers instead
+    #: of being pushed (MetaPush / Vroom style server-aided discovery).
+    #: Unlike pushes, hints may name resources on *other* servers.
+    hint_urls: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        missing = [url for url in self.critical_urls if url not in self.urls]
+        if missing:
+            # Critical URLs are implicitly part of the pushed set.
+            self.urls = self.critical_urls + [
+                url for url in self.urls if url not in self.critical_urls
+            ]
+
+    @property
+    def push_count(self) -> int:
+        return len(self.urls)
+
+    @property
+    def interleaving(self) -> bool:
+        return self.interleave_offset is not None and bool(self.critical_urls)
+
+
+class PushStrategy:
+    """Base class for all push strategies."""
+
+    #: Human-readable name used in experiment reports.
+    name = "base"
+
+    #: Whether the *client* should enable Server Push for this strategy.
+    client_push_enabled = True
+
+    def plan(
+        self,
+        main_url: str,
+        db: RecordDatabase,
+        is_authoritative: AuthorityCheck,
+    ) -> PushPlan:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

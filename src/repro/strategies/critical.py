@@ -1,0 +1,141 @@
+"""The six §5 strategy deployments.
+
+For a given website the paper evaluates:
+
+1. *no push* — baseline, client disables push;
+2. *no push optimized* — critical CSS in ``<head>``, all other CSS at
+   the end of ``<body>`` (penthouse transformation), still no push;
+3. *push all* — push every authoritative resource;
+4. *push all optimized* — critical CSS + critical ATF resources
+   interleaved into the HTML, all other pushable resources after it;
+5. *push critical* — push only resources critical for above-the-fold
+   content (no deployment rewrite, default scheduler);
+6. *push critical optimized* — 5 + the critical-CSS rewrite + the
+   interleaving scheduler.
+
+Since the optimized strategies change the *deployment* (the rewritten
+site) as well as the server behaviour, each entry carries both the spec
+to deploy and the strategy to configure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..critcss.rewriter import CRITICAL_PREFIX, REST_PREFIX, optimize_spec
+from ..html.builder import build_site
+from ..html.resources import ResourceType
+from ..html.spec import ResourceSpec, WebsiteSpec
+from .base import PushStrategy
+from .simple import NoPushStrategy, PushAllStrategy, PushListStrategy
+
+
+def _is_pushable(spec: WebsiteSpec, res: ResourceSpec) -> bool:
+    domain = spec.domain_of(res)
+    return domain == spec.primary_domain or domain in spec.coalesced_domains
+
+
+def critical_resource_specs(spec: WebsiteSpec) -> List[ResourceSpec]:
+    """Resources critical for above-the-fold rendering (§4.3's manual
+    inspection): render-blocking CSS, parser-blocking head scripts,
+    ATF fonts, and ATF images — pushable ones only."""
+    critical: List[ResourceSpec] = []
+    for res in spec.resources:
+        if not _is_pushable(spec, res):
+            continue
+        if res.rtype == ResourceType.CSS and res.in_head and not res.media_print:
+            critical.append(res)
+        elif (
+            res.rtype == ResourceType.JS
+            and res.in_head
+            and not (res.async_script or res.defer_script)
+        ):
+            critical.append(res)
+        elif res.rtype == ResourceType.FONT and res.above_fold and res.visual_weight > 0:
+            critical.append(res)
+        elif res.rtype == ResourceType.IMAGE and res.above_fold and res.visual_weight > 0:
+            critical.append(res)
+    # CSS first, then blocking JS, then fonts, then images: the order
+    # that unblocks the render pipeline fastest.
+    rank = {ResourceType.CSS: 0, ResourceType.JS: 1, ResourceType.FONT: 2}
+    critical.sort(key=lambda r: (rank.get(r.rtype, 3), r.name))
+    return critical
+
+
+def critical_urls(spec: WebsiteSpec) -> List[str]:
+    return [res.url(spec.primary_domain) for res in critical_resource_specs(spec)]
+
+
+@dataclass
+class StrategyDeployment:
+    """One (site deployment, push strategy) measurement configuration."""
+
+    name: str
+    spec: WebsiteSpec
+    strategy: PushStrategy
+    #: The HTML pause offset when the interleaving scheduler is used.
+    interleave_offset: Optional[int] = None
+
+
+def build_strategy_suite(
+    spec: WebsiteSpec,
+    interleave_offset: Optional[int] = None,
+    push_all_order: Optional[List[str]] = None,
+) -> List[StrategyDeployment]:
+    """Construct the paper's six deployments for one website.
+
+    ``interleave_offset`` defaults to just past ``</head>`` of the
+    (optimized) document — the paper picks a few KB into the HTML,
+    which is where the head ends on its sites.
+    """
+    optimized, _splits = optimize_spec(spec)
+    built_optimized = build_site(optimized)
+    offset = interleave_offset
+    if offset is None:
+        offset = built_optimized.head_end_offset
+
+    critical_plain = critical_urls(spec)
+    critical_opt = critical_urls(optimized)
+    # Only the critical halves of split stylesheets are interleaved.
+    critical_opt = [
+        url for url in critical_opt if not url.rsplit("/", 1)[-1].startswith(REST_PREFIX)
+    ]
+    all_opt_urls = [
+        res.url(optimized.primary_domain)
+        for res in optimized.resources
+        if _is_pushable(optimized, res)
+    ]
+
+    return [
+        StrategyDeployment("no_push", spec, NoPushStrategy()),
+        StrategyDeployment("no_push_optimized", optimized, NoPushStrategy()),
+        StrategyDeployment("push_all", spec, PushAllStrategy(order=push_all_order)),
+        StrategyDeployment(
+            "push_all_optimized",
+            optimized,
+            PushListStrategy(
+                urls=critical_opt + [u for u in all_opt_urls if u not in critical_opt],
+                critical_urls=critical_opt,
+                interleave_offset=offset,
+                name="push_all_optimized",
+            ),
+            interleave_offset=offset,
+        ),
+        StrategyDeployment(
+            "push_critical",
+            spec,
+            PushListStrategy(urls=critical_plain, name="push_critical"),
+        ),
+        StrategyDeployment(
+            "push_critical_optimized",
+            optimized,
+            PushListStrategy(
+                urls=critical_opt,
+                critical_urls=critical_opt,
+                interleave_offset=offset,
+                name="push_critical_optimized",
+            ),
+            interleave_offset=offset,
+        ),
+    ]

@@ -1,0 +1,73 @@
+"""Server-aided discovery strategies (MetaPush [20] / Vroom [32]).
+
+The paper's related work proposes an alternative to pushing content:
+push *hints* so the client can request critical resources earlier.
+Hints travel as ``link: rel=preload`` response headers on the base
+document, reach the client one round trip before any HTML byte is
+parsed, and — unlike pushes — may name resources on third-party
+servers the origin has no authority over.
+
+Two strategies:
+
+* :class:`PreloadHintStrategy` — hints only; zero pushed bytes, no
+  bandwidth risk, works across origins;
+* :class:`HintAndPushStrategy` — Vroom's combination: push what the
+  origin is authoritative for, hint everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..replay.recorddb import RecordDatabase
+from .base import AuthorityCheck, PushPlan, PushStrategy
+
+
+class PreloadHintStrategy(PushStrategy):
+    """Announce resources via link headers; push nothing."""
+
+    name = "preload_hints"
+
+    def __init__(self, urls: Optional[Sequence[str]] = None):
+        #: URLs to hint; ``None`` = every recorded sub-resource.
+        self.urls = list(urls) if urls is not None else None
+
+    def plan(
+        self,
+        main_url: str,
+        db: RecordDatabase,
+        is_authoritative: AuthorityCheck,
+    ) -> PushPlan:
+        hints = self.urls
+        if hints is None:
+            hints = [record.url for record in db if record.url != main_url]
+        return PushPlan(hint_urls=list(hints))
+
+
+class HintAndPushStrategy(PushStrategy):
+    """Push authoritative resources, hint the third-party rest (Vroom)."""
+
+    name = "hint_and_push"
+
+    def __init__(
+        self,
+        push_urls: Optional[Sequence[str]] = None,
+        hint_urls: Optional[Sequence[str]] = None,
+    ):
+        self.push_urls = list(push_urls) if push_urls is not None else None
+        self.hint_urls = list(hint_urls) if hint_urls is not None else None
+
+    def plan(
+        self,
+        main_url: str,
+        db: RecordDatabase,
+        is_authoritative: AuthorityCheck,
+    ) -> PushPlan:
+        candidates = [record.url for record in db if record.url != main_url]
+        pushes = self.push_urls
+        if pushes is None:
+            pushes = [url for url in candidates if is_authoritative(url)]
+        hints = self.hint_urls
+        if hints is None:
+            hints = [url for url in candidates if not is_authoritative(url)]
+        return PushPlan(urls=list(pushes), hint_urls=list(hints))

@@ -1,0 +1,121 @@
+"""Computing the push order (§4.2, "Computing the Push Order").
+
+The paper loads each site 31 times *without push*, traces requests and
+their HTTP/2 priorities, builds a dependency tree, and traverses it to
+recover the browser's desired request order.  Because client-side
+processing makes the order unstable across runs, a majority vote
+combines the per-run orders.
+
+This module implements all three steps over the browser model's
+request traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..browser.timings import PageTimeline, RequestTrace
+
+
+@dataclass
+class DependencyNode:
+    """One resource in the dependency tree."""
+
+    url: str
+    weight: int = 16
+    position: float = 0.0  # request timestamp, breaks ties
+    parent: Optional["DependencyNode"] = None
+    children: List["DependencyNode"] = field(default_factory=list)
+
+
+class DependencyTree:
+    """Request dependency tree of one page load.
+
+    Parents come from initiator relationships (a font discovered inside
+    a stylesheet depends on that stylesheet); document-discovered
+    resources depend on the base document.  Traversal visits children
+    by descending H2 priority weight, then request time — the order the
+    browser *wants* its objects.
+    """
+
+    def __init__(self, root_url: str):
+        self.root = DependencyNode(url=root_url, weight=256)
+        self._nodes: Dict[str, DependencyNode] = {root_url: self.root}
+
+    @classmethod
+    def from_timeline(cls, timeline: PageTimeline, main_url: str) -> "DependencyTree":
+        tree = cls(main_url)
+        for trace in sorted(timeline.requests, key=lambda t: (t.requested_at, t.url)):
+            if trace.url == main_url or trace.pushed:
+                continue
+            tree.add(trace)
+        return tree
+
+    def add(self, trace: RequestTrace) -> DependencyNode:
+        if trace.url in self._nodes:
+            return self._nodes[trace.url]
+        parent = self.root
+        if trace.initiator_url is not None:
+            parent = self._nodes.get(trace.initiator_url, self.root)
+        node = DependencyNode(
+            url=trace.url,
+            weight=trace.weight,
+            position=trace.requested_at,
+            parent=parent,
+        )
+        parent.children.append(node)
+        self._nodes[trace.url] = node
+        return node
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes) - 1  # excluding the root document
+
+    def traverse(self) -> List[str]:
+        """Priority-first traversal (excludes the base document)."""
+        order: List[str] = []
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            if node is not self.root:
+                order.append(node.url)
+            queue.extend(
+                sorted(node.children, key=lambda child: (-child.weight, child.position))
+            )
+        return order
+
+
+def majority_vote_order(orders: Sequence[Sequence[str]]) -> List[str]:
+    """Combine per-run orders into one (Borda-count majority vote).
+
+    Each URL's score is its average rank across runs; URLs missing
+    from a run are ranked last for that run.  Ties break by URL for
+    determinism.
+    """
+    if not orders:
+        return []
+    all_urls = sorted({url for order in orders for url in order})
+    scores: Dict[str, float] = {}
+    for url in all_urls:
+        total = 0.0
+        for order in orders:
+            try:
+                total += order.index(url)
+            except ValueError:
+                total += len(order)
+        scores[url] = total / len(orders)
+    return sorted(all_urls, key=lambda url: (scores[url], url))
+
+
+def computed_push_order(
+    timelines: Sequence[PageTimeline], main_url: str
+) -> List[str]:
+    """The paper's full §4.2 pipeline: trees, traversal, majority vote."""
+    orders = [
+        DependencyTree.from_timeline(timeline, main_url).traverse()
+        for timeline in timelines
+    ]
+    return majority_vote_order(orders)

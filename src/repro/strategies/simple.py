@@ -1,0 +1,126 @@
+"""The paper's basic strategy family (§4.2).
+
+* :class:`NoPushStrategy` — the baseline; the *client* disables push
+  via ``SETTINGS_ENABLE_PUSH = 0`` (§2.1).
+* :class:`PushAllStrategy` — push every object the server is
+  authoritative for, in a computed order (Rosen et al.'s "push as much
+  as possible" guideline).
+* :class:`PushFirstNStrategy` — push only the first *n* objects of the
+  order (Bergan et al.'s "push just enough to fill idle network time").
+* :class:`PushByTypeStrategy` — push only objects of given types
+  (the CSS / JS / images / combinations analysis of §4.2.1).
+* :class:`PushListStrategy` — push an explicit URL list; with
+  ``critical_urls`` and ``interleave_offset`` it expresses the paper's
+  custom and interleaving strategies (§4.3, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..html.resources import ResourceType
+from ..replay.recorddb import RecordDatabase
+from .base import AuthorityCheck, PushPlan, PushStrategy
+
+
+def _ordered_candidates(
+    main_url: str,
+    db: RecordDatabase,
+    is_authoritative: AuthorityCheck,
+    order: Optional[Sequence[str]],
+) -> List[str]:
+    """All pushable URLs: the given order first, the rest appended
+    deterministically (recorded order)."""
+    candidates = [
+        record.url
+        for record in db
+        if record.url != main_url and is_authoritative(record.url)
+    ]
+    if not order:
+        return candidates
+    candidate_set = set(candidates)
+    ordered = [url for url in order if url in candidate_set]
+    ordered += [url for url in candidates if url not in set(ordered)]
+    return ordered
+
+
+class NoPushStrategy(PushStrategy):
+    """Client-side SETTINGS_ENABLE_PUSH=0; the server never pushes."""
+
+    name = "no_push"
+    client_push_enabled = False
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        return PushPlan()
+
+
+class PushAllStrategy(PushStrategy):
+    """Push every authoritative object in the computed request order."""
+
+    name = "push_all"
+
+    def __init__(self, order: Optional[Sequence[str]] = None):
+        self.order = list(order) if order else None
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        return PushPlan(urls=_ordered_candidates(main_url, db, is_authoritative, self.order))
+
+
+class PushFirstNStrategy(PushStrategy):
+    """Push only the first ``n`` objects of the order (Fig. 3b)."""
+
+    def __init__(self, n: int, order: Optional[Sequence[str]] = None):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self.order = list(order) if order else None
+        self.name = f"push_{n}"
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        urls = _ordered_candidates(main_url, db, is_authoritative, self.order)
+        return PushPlan(urls=urls[: self.n])
+
+
+class PushByTypeStrategy(PushStrategy):
+    """Push only objects of the given resource types (§4.2.1)."""
+
+    def __init__(
+        self,
+        types: Iterable[ResourceType],
+        order: Optional[Sequence[str]] = None,
+    ):
+        self.types: Set[ResourceType] = set(types)
+        self.order = list(order) if order else None
+        self.name = "push_" + "+".join(sorted(t.value for t in self.types))
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        urls = _ordered_candidates(main_url, db, is_authoritative, self.order)
+        wanted = {
+            record.url for record in db if record.rtype in self.types
+        }
+        return PushPlan(urls=[url for url in urls if url in wanted])
+
+
+class PushListStrategy(PushStrategy):
+    """Push an explicit list; optionally interleave a critical prefix."""
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        critical_urls: Sequence[str] = (),
+        interleave_offset: Optional[int] = None,
+        name: str = "push_list",
+    ):
+        self.urls = list(urls)
+        self.critical_urls = list(critical_urls)
+        self.interleave_offset = interleave_offset
+        self.name = name
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        urls = [url for url in self.urls if is_authoritative(url)]
+        critical = [url for url in self.critical_urls if is_authoritative(url)]
+        return PushPlan(
+            urls=urls,
+            critical_urls=critical,
+            interleave_offset=self.interleave_offset,
+        )

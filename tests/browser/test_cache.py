@@ -1,0 +1,42 @@
+"""Tests for the browser cache."""
+
+from repro.browser.cache import BrowserCache
+
+
+def test_store_and_lookup():
+    cache = BrowserCache()
+    cache.store("https://x.example/a.css", b"body{}")
+    assert "https://x.example/a.css" in cache
+    assert cache.lookup("https://x.example/a.css") == b"body{}"
+
+
+def test_miss_returns_none():
+    cache = BrowserCache()
+    assert cache.lookup("https://x.example/missing") is None
+
+
+def test_hit_miss_counters():
+    cache = BrowserCache()
+    cache.store("u", b"1")
+    cache.lookup("u")
+    cache.lookup("v")
+    cache.lookup("u")
+    assert cache.hits == 2
+    assert cache.misses == 1
+
+
+def test_size_of_and_len():
+    cache = BrowserCache()
+    cache.store("a", b"12345")
+    cache.store("b", b"")
+    assert cache.size_of("a") == 5
+    assert len(cache) == 2
+
+
+def test_urls_and_clear():
+    cache = BrowserCache()
+    cache.store("a", b"x")
+    cache.store("b", b"y")
+    assert cache.urls() == {"a", "b"}
+    cache.clear()
+    assert len(cache) == 0

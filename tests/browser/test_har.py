@@ -1,0 +1,76 @@
+"""Tests for HAR export."""
+
+import json
+
+import pytest
+
+from repro.browser.har import save_har, to_har
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import PushAllStrategy
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = WebsiteSpec(
+        name="har-site",
+        primary_domain="har.example",
+        html_size=20_000,
+        resources=[
+            ResourceSpec("a.css", ResourceType.CSS, 8_000, in_head=True),
+            ResourceSpec("b.jpg", ResourceType.IMAGE, 12_000, body_fraction=0.4,
+                         visual_weight=5),
+        ],
+    )
+    return ReplayTestbed(built=build_site(spec), strategy=PushAllStrategy()).run()
+
+
+def test_har_structure(result):
+    har = to_har(result)
+    assert har["log"]["version"] == "1.2"
+    assert len(har["log"]["pages"]) == 1
+    assert len(har["log"]["entries"]) == 3  # html + css + image
+
+
+def test_entries_sorted_by_start(result):
+    entries = to_har(result)["log"]["entries"]
+    starts = [entry["_startedOffsetMs"] for entry in entries]
+    assert starts == sorted(starts)
+
+
+def test_page_timings(result):
+    timings = to_har(result)["log"]["pages"][0]["pageTimings"]
+    assert timings["onLoad"] > 0
+    assert timings["_speedIndex"] == pytest.approx(result.speed_index_ms, abs=0.01)
+    assert timings["_firstPaint"] > 0
+
+
+def test_push_annotations(result):
+    har = to_har(result)
+    pushed = [e for e in har["log"]["entries"] if e["_wasPushed"]]
+    assert len(pushed) == 2
+    assert har["log"]["_pushSummary"]["received"] == 2
+    assert har["log"]["_pushSummary"]["pushedBytes"] == 20_000
+
+
+def test_sizes_match_resources(result):
+    entries = {e["request"]["url"]: e for e in to_har(result)["log"]["entries"]}
+    css = entries["https://har.example/a.css"]
+    assert css["response"]["bodySize"] == 8_000
+
+
+def test_timings_consistent(result):
+    for entry in to_har(result)["log"]["entries"]:
+        timings = entry["timings"]
+        assert timings["wait"] >= 0
+        assert timings["receive"] >= 0
+        assert entry["time"] == pytest.approx(
+            timings["send"] + timings["wait"] + timings["receive"], abs=0.01
+        )
+
+
+def test_save_har_round_trips(result, tmp_path):
+    path = tmp_path / "load.har"
+    save_har(result, path)
+    loaded = json.loads(path.read_text())
+    assert loaded["log"]["creator"]["name"] == "repro"

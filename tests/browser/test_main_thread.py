@@ -1,0 +1,94 @@
+"""Tests for the browser main-thread model."""
+
+import random
+
+import pytest
+
+from repro.browser.main_thread import MainThread
+from repro.sim import Simulator
+
+
+def test_tasks_run_sequentially():
+    sim = Simulator()
+    thread = MainThread(sim)
+    done = []
+    thread.submit(10, lambda: done.append(("a", sim.now)))
+    thread.submit(5, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 10.0), ("b", 15.0)]
+
+
+def test_zero_duration_tasks_allowed():
+    sim = Simulator()
+    thread = MainThread(sim)
+    done = []
+    thread.submit(0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_negative_duration_rejected():
+    thread = MainThread(Simulator())
+    with pytest.raises(ValueError):
+        thread.submit(-1, lambda: None)
+
+
+def test_idle_and_pending():
+    sim = Simulator()
+    thread = MainThread(sim)
+    assert thread.idle
+    thread.submit(10, lambda: None)
+    thread.submit(10, lambda: None)
+    assert not thread.idle
+    assert thread.pending_tasks == 2
+    sim.run()
+    assert thread.idle
+
+
+def test_busy_accounting():
+    sim = Simulator()
+    thread = MainThread(sim)
+    thread.submit(12, lambda: None)
+    thread.submit(8, lambda: None)
+    sim.run()
+    assert thread.busy_ms == pytest.approx(20.0)
+    assert thread.tasks_run == 2
+
+
+def test_on_idle_fires_when_queue_drains():
+    sim = Simulator()
+    thread = MainThread(sim)
+    idles = []
+    thread.on_idle = lambda: idles.append(sim.now)
+    thread.submit(5, lambda: None)
+    thread.submit(5, lambda: None)
+    sim.run()
+    assert idles == [10.0]
+
+
+def test_tasks_submitted_from_tasks():
+    sim = Simulator()
+    thread = MainThread(sim)
+    done = []
+    thread.submit(5, lambda: thread.submit(5, lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [10.0]
+
+
+def test_jitter_perturbs_durations():
+    sim = Simulator()
+    thread = MainThread(sim, rng=random.Random(3), jitter=0.2)
+    done = []
+    thread.submit(100, lambda: done.append(sim.now))
+    sim.run()
+    assert done[0] != 100.0
+    assert 80.0 <= done[0] <= 120.0
+
+
+def test_no_jitter_without_rng():
+    sim = Simulator()
+    thread = MainThread(sim, rng=None, jitter=0.5)
+    done = []
+    thread.submit(100, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [100.0]

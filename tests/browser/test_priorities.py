@@ -1,0 +1,34 @@
+"""Tests for the Chromium-like priority mapping."""
+
+from repro.browser.priorities import (
+    WEIGHT_ASYNC_JS,
+    WEIGHT_CSS,
+    WEIGHT_FONT,
+    WEIGHT_IMAGE,
+    WEIGHT_MAIN,
+    WEIGHT_SYNC_JS,
+    weight_for,
+)
+from repro.html.resources import ResourceType
+
+
+def test_html_is_highest():
+    assert weight_for(ResourceType.HTML) == WEIGHT_MAIN == 256
+
+
+def test_class_ordering_matches_chromium():
+    # HTML > CSS = FONT > sync JS > async JS > images.
+    assert WEIGHT_MAIN > WEIGHT_CSS == WEIGHT_FONT > WEIGHT_SYNC_JS
+    assert WEIGHT_SYNC_JS > WEIGHT_ASYNC_JS > WEIGHT_IMAGE
+
+
+def test_async_flag_lowers_js():
+    assert weight_for(ResourceType.JS, is_async=False) == WEIGHT_SYNC_JS
+    assert weight_for(ResourceType.JS, is_async=True) == WEIGHT_ASYNC_JS
+
+
+def test_other_types():
+    assert weight_for(ResourceType.CSS) == WEIGHT_CSS
+    assert weight_for(ResourceType.FONT) == WEIGHT_FONT
+    assert weight_for(ResourceType.IMAGE) == WEIGHT_IMAGE
+    assert weight_for(ResourceType.OTHER) == WEIGHT_IMAGE

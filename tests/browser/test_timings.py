@@ -1,0 +1,51 @@
+"""Tests for the page timeline and visual progress."""
+
+import pytest
+
+from repro.browser.timings import PageTimeline, RequestTrace
+
+
+def test_plt_requires_completion():
+    timeline = PageTimeline()
+    with pytest.raises(ValueError):
+        _ = timeline.plt_ms
+    timeline.connect_end = 150.0
+    timeline.onload = 650.0
+    assert timeline.plt_ms == 500.0
+
+
+def test_first_paint_recorded_once():
+    timeline = PageTimeline()
+    timeline.record_paint(200.0, 5.0, "text")
+    timeline.record_paint(300.0, 5.0, "img")
+    assert timeline.first_paint == 200.0
+
+
+def test_zero_weight_paints_ignored():
+    timeline = PageTimeline()
+    timeline.record_paint(200.0, 0.0, "nothing")
+    assert timeline.paints == []
+    assert timeline.first_paint is None
+
+
+def test_visual_progress_normalized_and_relative():
+    timeline = PageTimeline()
+    timeline.connect_end = 100.0
+    timeline.record_paint(200.0, 30.0, "text")
+    timeline.record_paint(400.0, 10.0, "img")
+    progress = timeline.visual_progress()
+    assert progress == [(100.0, pytest.approx(0.75)), (300.0, pytest.approx(1.0))]
+
+
+def test_visual_progress_empty_without_paints():
+    timeline = PageTimeline()
+    timeline.connect_end = 100.0
+    assert timeline.visual_progress() == []
+
+
+def test_request_order_sorted_by_time():
+    timeline = PageTimeline()
+    timeline.requests.append(RequestTrace("b", 20.0, 110, False, "preload"))
+    timeline.requests.append(RequestTrace("a", 10.0, 220, False, "preload"))
+    timeline.requests.append(RequestTrace("c", 20.0, 110, False, "preload"))
+    assert timeline.request_order() == ["a", "b", "c"]

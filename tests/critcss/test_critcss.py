@@ -1,0 +1,157 @@
+"""Tests for the critical-CSS model, extractor, and rewriter."""
+
+import pytest
+
+from repro.critcss import (
+    CRITICAL_PREFIX,
+    REST_PREFIX,
+    extract_critical,
+    critical_urls,
+    optimize_spec,
+    parse_stylesheet,
+    serialize,
+    split_stylesheets,
+)
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+
+SAMPLE_CSS = """/* exec:8 */
+@font-face{font-family:atff0;src:url(https://c.example/f.woff2);/*vw:4*/}
+.atf0{color:#111;margin:0}
+.atf1{display:flex}
+.btf0{color:#222}
+.btf1{padding:4px}
+.btfbg0{background-image:url(https://c.example/bg.jpg);/*vw:0*/}
+"""
+
+
+class TestCssModel:
+    def test_parse_rule_kinds(self):
+        rules = parse_stylesheet(SAMPLE_CSS)
+        comments = [r for r in rules if r.is_comment]
+        fonts = [r for r in rules if r.is_font_face]
+        assert len(comments) == 1
+        assert len(fonts) == 1
+
+    def test_atf_detection(self):
+        rules = parse_stylesheet(SAMPLE_CSS)
+        atf = [r for r in rules if r.above_fold and not r.is_comment]
+        assert len(atf) == 3  # font-face + .atf0 + .atf1
+
+    def test_rule_urls(self):
+        rules = parse_stylesheet(SAMPLE_CSS)
+        urls = [url for rule in rules for url in rule.urls]
+        assert urls == ["https://c.example/f.woff2", "https://c.example/bg.jpg"]
+
+    def test_serialize_round_trips_rules(self):
+        rules = parse_stylesheet(SAMPLE_CSS)
+        text = serialize(rules)
+        assert parse_stylesheet(text) == parse_stylesheet(serialize(parse_stylesheet(text)))
+
+
+class TestExtractor:
+    def test_split_sizes(self):
+        split = extract_critical(SAMPLE_CSS)
+        assert split.critical_size > 0
+        assert split.rest_size > 0
+        assert split.critical_rules == 3
+        assert split.total_rules == 6
+
+    def test_critical_contains_atf_and_fonts(self):
+        split = extract_critical(SAMPLE_CSS)
+        assert ".atf0" in split.critical_text
+        assert "@font-face" in split.critical_text
+        assert ".btf0" not in split.critical_text
+
+    def test_rest_contains_btf(self):
+        split = extract_critical(SAMPLE_CSS)
+        assert ".btf0" in split.rest_text
+        assert ".atf0" not in split.rest_text
+
+    def test_exec_hint_stays_critical(self):
+        split = extract_critical(SAMPLE_CSS)
+        assert "exec:8" in split.critical_text
+
+    def test_critical_urls_split(self):
+        critical_refs, rest_refs = critical_urls(SAMPLE_CSS)
+        assert critical_refs == ["https://c.example/f.woff2"]
+        assert rest_refs == ["https://c.example/bg.jpg"]
+
+    def test_bytes_saved(self):
+        split = extract_critical(SAMPLE_CSS)
+        assert split.bytes_saved_from_critical_path == split.rest_size
+        assert 0 < split.critical_share < 1
+
+
+def rewrite_spec():
+    return WebsiteSpec(
+        name="rw",
+        primary_domain="rw.example",
+        html_size=20_000,
+        resources=[
+            ResourceSpec("main.css", ResourceType.CSS, 20_000, in_head=True,
+                         exec_ms=10, critical_fraction=0.25),
+            ResourceSpec("late.css", ResourceType.CSS, 5_000, body_fraction=0.9),
+            ResourceSpec("f.woff2", ResourceType.FONT, 4_000, loaded_by="main.css",
+                         visual_weight=5),
+            ResourceSpec("bg.jpg", ResourceType.IMAGE, 6_000, loaded_by="main.css",
+                         visual_weight=0, above_fold=False),
+        ],
+    )
+
+
+class TestRewriter:
+    def test_split_stylesheets_covers_blocking_only(self):
+        splits = split_stylesheets(rewrite_spec())
+        assert set(splits) == {"main.css"}
+
+    def test_optimize_splits_blocking_css(self):
+        optimized, splits = optimize_spec(rewrite_spec())
+        names = {res.name for res in optimized.resources}
+        assert CRITICAL_PREFIX + "main.css" in names
+        assert REST_PREFIX + "main.css" in names
+        assert "late.css" in names  # untouched
+
+    def test_critical_part_stays_in_head(self):
+        optimized, _ = optimize_spec(rewrite_spec())
+        critical = optimized.resource(CRITICAL_PREFIX + "main.css")
+        rest = optimized.resource(REST_PREFIX + "main.css")
+        assert critical.in_head
+        assert not rest.in_head
+        assert rest.body_fraction == 1.0
+
+    def test_sizes_follow_extraction(self):
+        optimized, splits = optimize_spec(rewrite_spec())
+        split = splits["main.css"]
+        critical = optimized.resource(CRITICAL_PREFIX + "main.css")
+        rest = optimized.resource(REST_PREFIX + "main.css")
+        assert critical.size == pytest.approx(split.critical_size, abs=200)
+        assert rest.size == pytest.approx(split.rest_size, abs=200)
+        assert critical.size < rest.size  # critical is the small part
+
+    def test_children_reassigned_by_visibility(self):
+        optimized, _ = optimize_spec(rewrite_spec())
+        font = optimized.resource("f.woff2")
+        background = optimized.resource("bg.jpg")
+        assert font.loaded_by == CRITICAL_PREFIX + "main.css"
+        assert background.loaded_by == REST_PREFIX + "main.css"
+
+    def test_exec_cost_split_proportionally(self):
+        optimized, _ = optimize_spec(rewrite_spec())
+        critical = optimized.resource(CRITICAL_PREFIX + "main.css")
+        rest = optimized.resource(REST_PREFIX + "main.css")
+        assert critical.exec_ms + rest.exec_ms == pytest.approx(10.0, abs=0.01)
+        assert critical.exec_ms < rest.exec_ms
+
+    def test_no_blocking_css_returns_spec_unchanged(self):
+        spec = WebsiteSpec(
+            name="plain", primary_domain="p.example", html_size=5_000,
+            resources=[ResourceSpec("a.js", ResourceType.JS, 1_000, in_head=True)],
+        )
+        optimized, splits = optimize_spec(spec)
+        assert optimized is spec
+        assert splits == {}
+
+    def test_optimized_spec_builds(self):
+        optimized, _ = optimize_spec(rewrite_spec())
+        built = build_site(optimized)
+        assert built.bodies  # builds without error

@@ -1,0 +1,23 @@
+"""Tests for the network-characteristics sweep."""
+
+from repro.experiments import SweepConfig, run_network_sweep
+
+
+def test_sweep_covers_grid():
+    config = SweepConfig(rtts_ms=(25, 100), bandwidths_mbit=(16,), runs=2)
+    result = run_network_sweep(config)
+    assert len(result.cells) == 2
+    assert {cell.rtt_ms for cell in result.cells} == {25, 100}
+
+
+def test_gain_grows_with_rtt():
+    config = SweepConfig(rtts_ms=(25, 200), bandwidths_mbit=(16,), runs=2)
+    result = run_network_sweep(config)
+    gains = result.gains_by_rtt(16)
+    assert gains[-1] > gains[0]
+
+
+def test_render_contains_grid():
+    config = SweepConfig(rtts_ms=(25,), bandwidths_mbit=(4, 64), runs=2)
+    text = run_network_sweep(config).render()
+    assert "RTT ms" in text and "gain %" in text

@@ -1,0 +1,45 @@
+"""Tests for the report rendering helpers."""
+
+from repro.experiments.report import (
+    render_bar_row,
+    render_cdf,
+    render_cdf_table,
+    render_fraction,
+    render_series,
+)
+
+
+def test_render_cdf_includes_quantiles():
+    line = render_cdf("ΔPLT", [1.0, 2.0, 3.0, 4.0, 5.0])
+    assert "p50=" in line and "n=5" in line and "ΔPLT" in line
+
+
+def test_render_cdf_table_one_line_per_series():
+    text = render_cdf_table({"a": [1.0], "b": [2.0, 3.0]})
+    assert len(text.splitlines()) == 2
+
+
+def test_render_fraction_formats_percent():
+    assert "42.0%" in render_fraction("some share", 0.42)
+
+
+def test_render_bar_row_sign_and_ci():
+    row = render_bar_row("w1 crit", -59.19, 1.5, extra="pushed 78 KB")
+    assert "-59.19%" in row and "± " in row and "pushed 78 KB" in row
+
+
+def test_render_series_alignment():
+    text = render_series(
+        ("name", "value"),
+        [("a", 1), ("long-name", 12345)],
+        title="title",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    # Columns align: every row has the same width.
+    assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+def test_render_series_empty_rows():
+    text = render_series(("x",), [])
+    assert "x" in text

@@ -1,0 +1,238 @@
+"""Integration tests for H2Connection over the simulated network."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.h2 import ErrorCode, H2Connection, PriorityData, Settings
+from repro.netsim import DSL_TESTBED, Topology
+from repro.sim import Simulator
+
+
+def make_pair(client_settings=None, server_chunk=1400):
+    """An established client/server H2 connection pair."""
+    sim = Simulator()
+    topo = Topology(sim, DSL_TESTBED)
+    topo.add_host("1.1.1.1", ["example.com"])
+    topo.prewarm_dns("example.com")
+    pair = {}
+
+    def on_conn(tcp):
+        pair["server"] = H2Connection(tcp.server, "server", chunk_size=server_chunk)
+        pair["client"] = H2Connection(
+            tcp.client,
+            "client",
+            settings=client_settings or Settings(initial_window_size=6 * 1024 * 1024),
+        )
+
+    topo.open_connection("example.com", on_conn)
+    sim.run()
+    return sim, pair["client"], pair["server"]
+
+
+REQUEST = [
+    (":method", "GET"),
+    (":scheme", "https"),
+    (":authority", "example.com"),
+    (":path", "/"),
+]
+
+
+def test_role_validation():
+    sim, client, server = make_pair()
+    with pytest.raises(ProtocolError):
+        server.request(REQUEST)
+    with pytest.raises(ProtocolError):
+        client.push(1, REQUEST)
+
+
+def test_request_response_round_trip():
+    sim, client, server = make_pair()
+    log = []
+
+    def on_request(sid, headers, prio):
+        log.append(("request", sid, dict(headers)[":path"]))
+        server.respond(sid, [(":status", "200")])
+        server.send_body(sid, b"response-body", end_stream=True)
+
+    server.on_request = on_request
+    body = []
+    client.on_data = lambda sid, data: body.append(data)
+    client.on_stream_end = lambda sid: log.append(("end", sid))
+    client.on_response = lambda sid, headers: log.append(
+        ("response", sid, dict(headers)[":status"])
+    )
+    client.request(REQUEST)
+    sim.run()
+    assert ("request", 1, "/") in log
+    assert ("response", 1, "200") in log
+    assert ("end", 1) in log
+    assert b"".join(body) == b"response-body"
+
+
+def test_client_stream_ids_are_odd_and_increasing():
+    sim, client, server = make_pair()
+    server.on_request = lambda sid, h, p: server.respond(sid, [(":status", "200")], end_stream=True)
+    ids = [client.request(REQUEST) for _ in range(3)]
+    assert ids == [1, 3, 5]
+
+
+def test_push_stream_ids_are_even():
+    sim, client, server = make_pair()
+    promised = []
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        pid = server.push(sid, REQUEST[:-1] + [(":path", "/pushed.css")])
+        promised.append(pid)
+        server.respond(pid, [(":status", "200")])
+        server.send_body(sid, b"html", end_stream=True)
+        server.send_body(pid, b"css", end_stream=True)
+
+    server.on_request = on_request
+    client.request(REQUEST)
+    sim.run()
+    assert promised == [2]
+
+
+def test_push_promise_delivered_before_pushed_data():
+    sim, client, server = make_pair()
+    events = []
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        pid = server.push(sid, REQUEST[:-1] + [(":path", "/pushed.css")])
+        server.send_body(sid, b"h" * 5000, end_stream=True)
+        server.respond(pid, [(":status", "200")])
+        server.send_body(pid, b"c" * 5000, end_stream=True)
+
+    server.on_request = on_request
+    client.on_push_promise = lambda parent, pid, headers: events.append(("promise", pid))
+    client.on_data = lambda sid, data: events.append(("data", sid))
+    client.request(REQUEST)
+    sim.run()
+    promise_index = events.index(("promise", 2))
+    first_pushed_data = events.index(("data", 2))
+    assert promise_index < first_pushed_data
+
+
+def test_push_disabled_by_settings():
+    sim, client, server = make_pair(
+        client_settings=Settings(enable_push=0, initial_window_size=1 << 20)
+    )
+
+    def on_request(sid, headers, prio):
+        assert not server.remote_settings.enable_push
+        with pytest.raises(ProtocolError):
+            server.push(sid, REQUEST)
+        server.respond(sid, [(":status", "200")], end_stream=True)
+
+    server.on_request = on_request
+    client.request(REQUEST)
+    sim.run()
+
+
+def test_client_cancels_push_with_rst():
+    sim, client, server = make_pair()
+    resets = []
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        pid = server.push(sid, REQUEST[:-1] + [(":path", "/dup.css")])
+        server.respond(pid, [(":status", "200")])
+        server.send_body(sid, b"h" * 200_000, end_stream=True)
+        server.send_body(pid, b"c" * 50_000, end_stream=True)
+
+    server.on_request = on_request
+    client.on_push_promise = lambda parent, pid, headers: client.reset_stream_raw(
+        pid, ErrorCode.CANCEL
+    )
+    server.on_reset = lambda sid, code: resets.append((sid, code))
+    client.request(REQUEST)
+    sim.run()
+    assert resets == [(2, ErrorCode.CANCEL)]
+
+
+def test_h2o_scheduling_parent_before_pushed_child():
+    """Fig. 5a: the default scheduler drains the HTML before the push."""
+    sim, client, server = make_pair()
+    finished = []
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        pid = server.push(sid, REQUEST[:-1] + [(":path", "/style.css")])
+        server.respond(pid, [(":status", "200")])
+        server.send_body(sid, b"h" * 100_000, end_stream=True)
+        server.send_body(pid, b"c" * 30_000, end_stream=True)
+
+    server.on_request = on_request
+    client.on_stream_end = lambda sid: finished.append(sid)
+    client.request(REQUEST, priority=PriorityData(depends_on=0, weight=256))
+    sim.run()
+    assert finished == [1, 2]
+
+
+def test_flow_control_limits_inflight_data():
+    # A tiny client window throttles the server.
+    sim, client, server = make_pair(
+        client_settings=Settings(initial_window_size=16_384)
+    )
+    done = {}
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        server.send_body(sid, b"x" * 200_000, end_stream=True)
+
+    server.on_request = on_request
+    client.on_stream_end = lambda sid: done.setdefault("t", sim.now)
+    client.request(REQUEST)
+    sim.run()
+    assert "t" in done
+    # 200 KB with a 16 KB window needs many RTT-limited rounds: much
+    # slower than the bandwidth-limited ~100 ms + handshake.
+    assert done["t"] > 500.0
+
+
+def test_large_headers_use_continuation():
+    sim, client, server = make_pair()
+    received = {}
+    big_headers = REQUEST + [(f"x-big-{i}", "v" * 800) for i in range(40)]
+
+    def on_request(sid, headers, prio):
+        received["headers"] = headers
+        server.respond(sid, [(":status", "200")], end_stream=True)
+
+    server.on_request = on_request
+    client.request(big_headers)
+    sim.run()
+    assert dict(received["headers"])["x-big-39"] == "v" * 800
+
+
+def test_settings_ack_exchanged():
+    sim, client, server = make_pair()
+    # Both sides sent SETTINGS and an ACK; no protocol errors occurred.
+    assert client.frames_received >= 1
+    assert server.frames_received >= 1
+
+
+def test_ping_is_acked():
+    sim, client, server = make_pair()
+    client.ping(b"12345678")
+    sim.run()
+    # A PING + ACK round trip occurred (no assertion error = pass);
+    # check counters moved.
+    assert server.frames_received >= 2
+
+
+def test_wire_bytes_include_frame_overhead():
+    sim, client, server = make_pair()
+
+    def on_request(sid, headers, prio):
+        server.respond(sid, [(":status", "200")])
+        server.send_body(sid, b"x" * 10_000, end_stream=True)
+
+    server.on_request = on_request
+    got = []
+    client.on_data = lambda sid, data: got.append(len(data))
+    client.request(REQUEST)
+    sim.run()
+    assert sum(got) == 10_000

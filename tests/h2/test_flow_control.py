@@ -1,0 +1,75 @@
+"""Tests for flow-control windows."""
+
+import pytest
+
+from repro.errors import FlowControlError
+from repro.h2.constants import MAX_WINDOW_SIZE
+from repro.h2.flow_control import FlowControlWindow, ReceiveWindow
+
+
+class TestFlowControlWindow:
+    def test_default_initial_window(self):
+        assert FlowControlWindow().available == 65_535
+
+    def test_consume_and_replenish(self):
+        window = FlowControlWindow(1000)
+        window.consume(400)
+        assert window.available == 600
+        window.replenish(200)
+        assert window.available == 800
+
+    def test_consume_beyond_window_rejected(self):
+        window = FlowControlWindow(100)
+        with pytest.raises(FlowControlError):
+            window.consume(101)
+
+    def test_negative_consume_rejected(self):
+        with pytest.raises(FlowControlError):
+            FlowControlWindow().consume(-1)
+
+    def test_zero_increment_rejected(self):
+        with pytest.raises(FlowControlError):
+            FlowControlWindow().replenish(0)
+
+    def test_overflow_rejected(self):
+        window = FlowControlWindow(MAX_WINDOW_SIZE)
+        with pytest.raises(FlowControlError):
+            window.replenish(1)
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(FlowControlError):
+            FlowControlWindow(-5)
+        with pytest.raises(FlowControlError):
+            FlowControlWindow(MAX_WINDOW_SIZE + 1)
+
+    def test_adjust_initial_can_go_negative(self):
+        # §6.9.2: a SETTINGS decrease may drive windows negative.
+        window = FlowControlWindow(100)
+        window.consume(100)
+        window.adjust_initial(-50)
+        assert window.available == -50
+        window.adjust_initial(200)
+        assert window.available == 150
+
+
+class TestReceiveWindow:
+    def test_no_update_below_half(self):
+        window = ReceiveWindow(1000)
+        assert window.on_data(400) == 0
+
+    def test_update_past_half(self):
+        window = ReceiveWindow(1000)
+        assert window.on_data(400) == 0
+        increment = window.on_data(200)
+        assert increment == 600
+
+    def test_counter_resets_after_update(self):
+        window = ReceiveWindow(1000)
+        window.on_data(600)
+        assert window.on_data(100) == 0
+
+    def test_grow_returns_increment(self):
+        window = ReceiveWindow(1000)
+        assert window.grow(5000) == 4000
+        assert window.capacity == 5000
+        assert window.grow(1000) == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the HTTP/1.1 connection layer."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.h1.connection import (
+    H1ClientConnection,
+    H1ServerConnection,
+    _content_length,
+    _parse_request_head,
+    _parse_response_head,
+)
+from repro.netsim import DSL_TESTBED, Topology
+from repro.sim import Simulator
+
+
+def make_pair(handler):
+    sim = Simulator()
+    topo = Topology(sim, DSL_TESTBED)
+    topo.add_host("1.1.1.1", ["h1.example"])
+    topo.prewarm_dns("h1.example")
+    pair = {}
+
+    def on_conn(tcp):
+        pair["server"] = H1ServerConnection(tcp.server, handler)
+        pair["client"] = H1ClientConnection(tcp.client)
+
+    topo.open_connection("h1.example", on_conn)
+    sim.run()
+    return sim, pair["client"]
+
+
+def echo_handler(method, url, headers):
+    body = f"{method} {url}".encode("ascii")
+    return 200, [("content-type", "text/plain")], body
+
+
+def test_request_response_round_trip():
+    sim, client = make_pair(echo_handler)
+    got = {}
+    client.on_response = lambda status, headers: got.setdefault("status", status)
+    chunks = []
+    client.on_data = lambda data: chunks.append(data)
+    client.on_complete = lambda: got.setdefault("done", sim.now)
+    client.request("GET", "/index.html", "h1.example")
+    sim.run()
+    assert got["status"] == 200
+    assert b"".join(chunks) == b"GET https://h1.example/index.html"
+    assert "done" in got
+
+
+def test_serial_requests_reuse_connection():
+    sim, client = make_pair(echo_handler)
+    results = []
+
+    def send_next(path):
+        client.on_response = lambda status, headers: None
+        chunks = []
+        client.on_data = chunks.append
+
+        def complete():
+            results.append(b"".join(chunks))
+            if len(results) == 1:
+                send_next("/second")
+
+        client.on_complete = complete
+        client.request("GET", path, "h1.example")
+
+    send_next("/first")
+    sim.run()
+    assert len(results) == 2
+    assert b"/first" in results[0]
+    assert b"/second" in results[1]
+
+
+def test_concurrent_request_rejected():
+    sim, client = make_pair(echo_handler)
+    client.on_response = lambda *args: None
+    client.on_data = lambda data: None
+    client.on_complete = lambda: None
+    client.request("GET", "/a", "h1.example")
+    with pytest.raises(ProtocolError):
+        client.request("GET", "/b", "h1.example")
+
+
+def test_large_body_streams_through():
+    big = b"z" * 300_000
+
+    def handler(method, url, headers):
+        return 200, [("content-type", "application/octet-stream")], big
+
+    sim, client = make_pair(handler)
+    received = []
+    client.on_response = lambda *args: None
+    client.on_data = received.append
+    done = {}
+    client.on_complete = lambda: done.setdefault("t", sim.now)
+    client.request("GET", "/big", "h1.example")
+    sim.run()
+    assert sum(map(len, received)) == len(big)
+    assert "t" in done
+
+
+def test_404_status_propagated():
+    def handler(method, url, headers):
+        return 404, [("content-type", "text/plain")], b"nope"
+
+    sim, client = make_pair(handler)
+    got = {}
+    client.on_response = lambda status, headers: got.setdefault("status", status)
+    client.on_data = lambda data: None
+    client.on_complete = lambda: None
+    client.request("GET", "/missing", "h1.example")
+    sim.run()
+    assert got["status"] == 404
+
+
+class TestParsers:
+    def test_response_head(self):
+        status, headers = _parse_response_head(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/css\r\nX-A: b"
+        )
+        assert status == 200
+        assert ("content-type", "text/css") in headers
+
+    def test_request_head(self):
+        method, path, headers = _parse_request_head(
+            "GET /x/y HTTP/1.1\r\nHost: h.example"
+        )
+        assert method == "GET"
+        assert path == "/x/y"
+        assert ("host", "h.example") in headers
+
+    def test_malformed_status_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            _parse_response_head("garbage")
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            _parse_request_head("GET /missing-version")
+
+    def test_content_length(self):
+        assert _content_length([("content-length", "42")]) == 42
+        assert _content_length([]) == 0
+        with pytest.raises(ProtocolError):
+            _content_length([("content-length", "abc")])

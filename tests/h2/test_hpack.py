@@ -1,0 +1,221 @@
+"""Tests for HPACK: integers, Huffman, tables, and the codec."""
+
+import pytest
+
+from repro.errors import HpackError
+from repro.h2.hpack import (
+    STATIC_TABLE_SIZE,
+    DynamicTable,
+    HpackDecoder,
+    HpackEncoder,
+    decode_integer,
+    encode_integer,
+    entry_size,
+    huffman_decode,
+    huffman_encode,
+    huffman_encoded_length,
+    lookup_exact,
+    lookup_name,
+)
+
+
+class TestIntegers:
+    def test_rfc_example_10_in_5_bits(self):
+        # RFC 7541 C.1.1: encoding 10 with a 5-bit prefix -> 0x0A.
+        assert encode_integer(10, 5) == b"\x0a"
+
+    def test_rfc_example_1337_in_5_bits(self):
+        # RFC 7541 C.1.2: 1337 -> 1F 9A 0A.
+        assert encode_integer(1337, 5) == b"\x1f\x9a\x0a"
+
+    def test_rfc_example_42_in_8_bits(self):
+        # RFC 7541 C.1.3.
+        assert encode_integer(42, 8) == b"\x2a"
+
+    def test_prefix_payload_preserved(self):
+        assert encode_integer(2, 7, 0x80) == b"\x82"
+
+    def test_round_trip_various(self):
+        for value in (0, 1, 30, 31, 32, 127, 128, 16383, 1_000_000):
+            for prefix in (4, 5, 6, 7, 8):
+                wire = encode_integer(value, prefix)
+                decoded, consumed = decode_integer(wire, 0, prefix)
+                assert decoded == value
+                assert consumed == len(wire)
+
+    def test_negative_rejected(self):
+        with pytest.raises(HpackError):
+            encode_integer(-1, 5)
+
+    def test_truncated_input_rejected(self):
+        wire = encode_integer(1337, 5)
+        with pytest.raises(HpackError):
+            decode_integer(wire[:1], 0, 5)
+
+    def test_oversized_integer_rejected(self):
+        malicious = b"\x1f" + b"\xff" * 12 + b"\x7f"
+        with pytest.raises(HpackError):
+            decode_integer(malicious, 0, 5)
+
+
+class TestHuffman:
+    def test_round_trip_ascii(self):
+        for text in (b"", b"a", b"www.example.com", b"no-cache", b"/index.html"):
+            assert huffman_decode(huffman_encode(text)) == text
+
+    def test_round_trip_all_byte_values(self):
+        data = bytes(range(256))
+        assert huffman_decode(huffman_encode(data)) == data
+
+    def test_compresses_header_like_text(self):
+        text = b"https://example.com/assets/css/main-v3.css"
+        assert len(huffman_encode(text)) < len(text)
+
+    def test_encoded_length_matches(self):
+        for text in (b"hello", b"x" * 100, b"%&/()="):
+            assert huffman_encoded_length(text) == len(huffman_encode(text))
+
+    def test_invalid_padding_rejected(self):
+        wire = bytearray(huffman_encode(b"hello"))
+        wire.append(0x00)  # a full zero byte cannot be valid padding
+        with pytest.raises(HpackError):
+            huffman_decode(bytes(wire) + b"\x00" * 5)
+
+
+class TestStaticTable:
+    def test_size_is_61(self):
+        assert STATIC_TABLE_SIZE == 61
+
+    def test_known_entries(self):
+        assert lookup_exact(":method", "GET") == 2
+        assert lookup_exact(":path", "/") == 4
+        assert lookup_exact(":status", "200") == 8
+        assert lookup_exact("accept-encoding", "gzip, deflate") == 16
+
+    def test_name_only_lookup(self):
+        assert lookup_name(":authority") == 1
+        assert lookup_name("cookie") == 32
+        assert lookup_name("user-agent") == 58
+
+    def test_unknown_returns_none(self):
+        assert lookup_exact("x-custom", "1") is None
+        assert lookup_name("x-custom") is None
+
+
+class TestDynamicTable:
+    def test_entry_size_includes_overhead(self):
+        # RFC 7541 §4.1: name + value + 32.
+        assert entry_size("ab", "cde") == 37
+
+    def test_insertion_and_absolute_indexing(self):
+        table = DynamicTable()
+        table.add("x-a", "1")
+        table.add("x-b", "2")
+        # Most recent entry has the lowest dynamic index.
+        assert table.get(STATIC_TABLE_SIZE + 1) == ("x-b", "2")
+        assert table.get(STATIC_TABLE_SIZE + 2) == ("x-a", "1")
+
+    def test_eviction_at_capacity(self):
+        table = DynamicTable(max_size=80)  # fits two tiny entries
+        table.add("a", "1")  # 34
+        table.add("b", "2")  # 34
+        table.add("c", "3")  # evicts "a"
+        assert len(table) == 2
+        assert table.get(STATIC_TABLE_SIZE + 2) == ("b", "2")
+
+    def test_oversized_entry_clears_table(self):
+        table = DynamicTable(max_size=50)
+        table.add("a", "1")
+        table.add("huge-name", "x" * 100)
+        assert len(table) == 0
+
+    def test_resize_evicts(self):
+        table = DynamicTable(max_size=200)
+        for index in range(4):
+            table.add(f"h{index}", "v")
+        table.resize(40)
+        assert table.size <= 40
+
+    def test_resize_above_protocol_max_rejected(self):
+        table = DynamicTable(max_size=100)
+        with pytest.raises(HpackError):
+            table.resize(200)
+
+    def test_find(self):
+        table = DynamicTable()
+        table.add("x", "1")
+        table.add("x", "2")
+        exact, name_only = table.find("x", "1")
+        assert exact == STATIC_TABLE_SIZE + 2
+        assert name_only == STATIC_TABLE_SIZE + 1
+
+    def test_out_of_range_index_rejected(self):
+        table = DynamicTable()
+        with pytest.raises(HpackError):
+            table.get(STATIC_TABLE_SIZE + 1)
+
+
+class TestCodec:
+    REQUEST = [
+        (":method", "GET"),
+        (":scheme", "https"),
+        (":authority", "www.example.com"),
+        (":path", "/style/main.css"),
+        ("accept-encoding", "gzip, deflate"),
+        ("user-agent", "repro/1.0"),
+    ]
+
+    def test_round_trip(self):
+        encoder, decoder = HpackEncoder(), HpackDecoder()
+        block = encoder.encode(self.REQUEST)
+        assert decoder.decode(block) == self.REQUEST
+
+    def test_compression_beats_plaintext(self):
+        encoder = HpackEncoder()
+        block = encoder.encode(self.REQUEST)
+        plain = sum(len(n) + len(v) + 4 for n, v in self.REQUEST)
+        assert len(block) < plain
+
+    def test_second_block_smaller_via_dynamic_table(self):
+        encoder, decoder = HpackEncoder(), HpackDecoder()
+        first = encoder.encode(self.REQUEST)
+        second = encoder.encode(self.REQUEST)
+        assert len(second) < len(first)
+        decoder.decode(first)
+        assert decoder.decode(second) == self.REQUEST
+
+    def test_many_blocks_stay_consistent(self):
+        encoder, decoder = HpackEncoder(), HpackDecoder()
+        for index in range(50):
+            headers = self.REQUEST + [("x-request-id", str(index))]
+            assert decoder.decode(encoder.encode(headers)) == headers
+
+    def test_sensitive_headers_never_indexed(self):
+        encoder, decoder = HpackEncoder(), HpackDecoder()
+        headers = [(":method", "GET"), ("cookie", "secret=1")]
+        block1 = encoder.encode(headers, sensitive=["cookie"])
+        block2 = encoder.encode(headers, sensitive=["cookie"])
+        assert decoder.decode(block1) == headers
+        assert decoder.decode(block2) == headers
+        # Not indexed: the cookie bytes repeat in both blocks.
+        assert len(block2) >= len(block1) - 1
+
+    def test_header_names_lowercased(self):
+        encoder, decoder = HpackEncoder(), HpackDecoder()
+        block = encoder.encode([("Content-Type", "text/html")])
+        assert decoder.decode(block) == [("content-type", "text/html")]
+
+    def test_table_size_update_emitted_and_applied(self):
+        encoder = HpackEncoder(max_table_size=4096)
+        decoder = HpackDecoder(max_table_size=4096)
+        # The decoder must see every block to stay synchronized.
+        decoder.decode(encoder.encode(self.REQUEST))
+        encoder.set_max_table_size(1024)
+        block = encoder.encode(self.REQUEST)
+        assert decoder.decode(block) == self.REQUEST
+        assert decoder.table.max_size <= 1024
+
+    def test_decode_garbage_rejected(self):
+        decoder = HpackDecoder()
+        with pytest.raises(HpackError):
+            decoder.decode(b"\x80")  # indexed field with index 0

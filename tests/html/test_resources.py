@@ -1,0 +1,58 @@
+"""Tests for resource classification and URL helpers."""
+
+from repro.html.resources import (
+    FetchedResource,
+    ResourceType,
+    classify_content_type,
+    classify_url,
+    make_url,
+    split_url,
+)
+
+
+def test_classify_content_type():
+    assert classify_content_type("text/html; charset=utf-8") == ResourceType.HTML
+    assert classify_content_type("text/css") == ResourceType.CSS
+    assert classify_content_type("application/javascript") == ResourceType.JS
+    assert classify_content_type("image/png") == ResourceType.IMAGE
+    assert classify_content_type("font/woff2") == ResourceType.FONT
+    assert classify_content_type("application/x-thing") == ResourceType.OTHER
+    assert classify_content_type(None) == ResourceType.OTHER
+
+
+def test_classify_url():
+    assert classify_url("https://x.example/a/b.css") == ResourceType.CSS
+    assert classify_url("https://x.example/app.js?v=2") == ResourceType.JS
+    assert classify_url("https://x.example/pic.JPEG") == ResourceType.IMAGE
+    assert classify_url("https://x.example/f.woff2") == ResourceType.FONT
+    assert classify_url("https://x.example/") == ResourceType.HTML
+    assert classify_url("https://x.example/page") == ResourceType.HTML
+    assert classify_url("https://x.example/data.bin") == ResourceType.OTHER
+
+
+def test_split_url():
+    assert split_url("https://a.example/x/y?z=1") == ("a.example", "/x/y?z=1")
+    assert split_url("a.example/x") == ("a.example", "/x")
+    assert split_url("https://a.example") == ("a.example", "/")
+
+
+def test_make_url():
+    assert make_url("a.example", "style.css") == "https://a.example/style.css"
+    assert make_url("a.example", "/style.css") == "https://a.example/style.css"
+
+
+def test_fetched_resource_timing():
+    res = FetchedResource(
+        url="https://a.example/x.css",
+        rtype=ResourceType.CSS,
+        requested_at=100.0,
+        finished_at=175.5,
+    )
+    assert res.load_time_ms == 75.5
+    assert res.domain == "a.example"
+    assert res.path == "/x.css"
+
+
+def test_fetched_resource_incomplete_timing():
+    res = FetchedResource(url="https://a.example/x.css", rtype=ResourceType.CSS)
+    assert res.load_time_ms is None

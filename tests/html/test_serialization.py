@@ -1,0 +1,66 @@
+"""Tests for spec JSON persistence."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.html.serialization import (
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.sites.realworld import w16_twitter
+from repro.sites.synthetic import s1_loading_screen, synthetic_sites
+
+
+def test_round_trip_preserves_everything():
+    spec = s1_loading_screen()
+    restored = spec_from_dict(spec_to_dict(spec))
+    assert restored.name == spec.name
+    assert restored.html_size == spec.html_size
+    assert len(restored.resources) == len(spec.resources)
+    for a, b in zip(restored.resources, spec.resources):
+        assert (a.name, a.rtype, a.size, a.loaded_by) == (
+            b.name, b.rtype, b.size, b.loaded_by
+        )
+
+
+def test_round_trip_all_synthetic_sites():
+    for spec in synthetic_sites().values():
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.total_bytes() == spec.total_bytes()
+        assert restored.total_visual_weight() == pytest.approx(
+            spec.total_visual_weight()
+        )
+
+
+def test_round_trip_preserves_coalescing():
+    spec = w16_twitter()
+    restored = spec_from_dict(spec_to_dict(spec))
+    assert restored.coalesced_domains == spec.coalesced_domains
+    assert restored.domain_ips == spec.domain_ips
+
+
+def test_file_round_trip(tmp_path):
+    spec = s1_loading_screen()
+    path = tmp_path / "s1.json"
+    save_spec(spec, path)
+    assert load_spec(path).name == spec.name
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(ConfigError):
+        load_spec(tmp_path / "nope.json")
+
+
+def test_malformed_dict_rejected():
+    with pytest.raises(ConfigError):
+        spec_from_dict({"name": "x"})
+
+
+def test_restored_spec_replays_identically():
+    from repro.replay import replay_site
+
+    spec = s1_loading_screen()
+    restored = spec_from_dict(spec_to_dict(spec))
+    assert replay_site(spec).plt_ms == replay_site(restored).plt_ms

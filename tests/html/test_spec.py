@@ -1,0 +1,102 @@
+"""Tests for website specifications."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec
+
+
+def minimal_spec(**kwargs):
+    defaults = dict(name="t", primary_domain="t.example", html_size=10_000)
+    defaults.update(kwargs)
+    return WebsiteSpec(**defaults)
+
+
+def test_duplicate_resource_names_rejected():
+    with pytest.raises(ConfigError):
+        minimal_spec(
+            resources=[
+                ResourceSpec("a.css", ResourceType.CSS, 100),
+                ResourceSpec("a.css", ResourceType.CSS, 200),
+            ]
+        )
+
+
+def test_unknown_loaded_by_rejected():
+    with pytest.raises(ConfigError):
+        minimal_spec(
+            resources=[ResourceSpec("f.woff2", ResourceType.FONT, 100, loaded_by="nope")]
+        )
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ConfigError):
+        minimal_spec(resources=[ResourceSpec("a.css", ResourceType.CSS, 0)])
+
+
+def test_body_fraction_range():
+    with pytest.raises(ConfigError):
+        minimal_spec(
+            resources=[ResourceSpec("a.css", ResourceType.CSS, 100, body_fraction=1.5)]
+        )
+
+
+def test_tiny_html_rejected():
+    with pytest.raises(ConfigError):
+        minimal_spec(html_size=100)
+
+
+def test_coalesced_domains_get_primary_ip():
+    spec = minimal_spec(coalesced_domains={"static.t.example"})
+    assert spec.ip_of_domain("static.t.example") == spec.primary_ip
+
+
+def test_third_party_needs_ip():
+    spec = minimal_spec(
+        resources=[ResourceSpec("x.js", ResourceType.JS, 100, domain="cdn.other.example")],
+        domain_ips={"cdn.other.example": "10.9.9.9"},
+    )
+    assert spec.ip_of_domain("cdn.other.example") == "10.9.9.9"
+    with pytest.raises(ConfigError):
+        spec.ip_of_domain("unmapped.example")
+
+
+def test_pushable_resources():
+    spec = minimal_spec(
+        coalesced_domains={"cdn.t.example"},
+        resources=[
+            ResourceSpec("own.css", ResourceType.CSS, 100),
+            ResourceSpec("cdn.js", ResourceType.JS, 100, domain="cdn.t.example"),
+            ResourceSpec("ext.js", ResourceType.JS, 100, domain="other.example"),
+        ],
+        domain_ips={"other.example": "10.0.0.9"},
+    )
+    names = {res.name for res in spec.pushable_resources()}
+    assert names == {"own.css", "cdn.js"}
+    assert spec.pushable_share() == pytest.approx(2 / 3)
+
+
+def test_all_domains():
+    spec = minimal_spec(
+        coalesced_domains={"cdn.t.example"},
+        resources=[ResourceSpec("x.js", ResourceType.JS, 100, domain="o.example")],
+        domain_ips={"o.example": "10.0.0.7"},
+    )
+    assert spec.all_domains() == {"t.example", "cdn.t.example", "o.example"}
+
+
+def test_totals():
+    spec = minimal_spec(
+        html_visual_weight=10,
+        resources=[
+            ResourceSpec("a.jpg", ResourceType.IMAGE, 5_000, visual_weight=3),
+            ResourceSpec("b.jpg", ResourceType.IMAGE, 5_000, visual_weight=4, above_fold=False),
+        ],
+    )
+    assert spec.total_bytes() == 20_000
+    assert spec.total_visual_weight() == 13  # below-fold weight excluded
+
+
+def test_url_of():
+    spec = minimal_spec(resources=[ResourceSpec("deep/a.css", ResourceType.CSS, 10)])
+    assert spec.url_of("deep/a.css") == "https://t.example/deep/a.css"

@@ -1,0 +1,143 @@
+"""Tests for the incremental HTML tokenizer and content scanners."""
+
+from repro.html.tokenizer import (
+    DocumentEndToken,
+    FontToken,
+    HeadEndToken,
+    HtmlTokenizer,
+    ImageToken,
+    ScriptToken,
+    StylesheetToken,
+    TextToken,
+    scan_css,
+    scan_exec_hint,
+    scan_js,
+)
+
+SAMPLE = b"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>t</title>
+<link rel="stylesheet" href="https://x.example/a.css" data-exec="4">
+<link rel="stylesheet" href="https://x.example/print.css" media="print">
+<link rel="preload" as="font" href="https://x.example/f.woff2" data-vw="7" data-atf="1">
+<script src="https://x.example/a.js" data-exec="20" data-vw="3" async></script>
+<script data-exec="5">var inline = loadResource("https://x.example/h.jpg");</script>
+</head>
+<body>
+<p data-vw="2.5">hello world text</p>
+<img src="https://x.example/i.jpg" data-vw="9" data-atf="0">
+<script src="https://x.example/d.js" data-exec="1" defer></script>
+</body></html>"""
+
+
+def tokenize(data=SAMPLE, chunk=None):
+    tokenizer = HtmlTokenizer()
+    if chunk is None:
+        return tokenizer.feed(data)
+    tokens = []
+    for index in range(0, len(data), chunk):
+        tokens.extend(tokenizer.feed(data[index : index + chunk]))
+    return tokens
+
+
+def test_all_token_kinds_found():
+    kinds = [type(token).__name__ for token in tokenize()]
+    assert kinds == [
+        "StylesheetToken",
+        "StylesheetToken",
+        "FontToken",
+        "ScriptToken",
+        "ScriptToken",
+        "HeadEndToken",
+        "TextToken",
+        "ImageToken",
+        "ScriptToken",
+        "DocumentEndToken",
+    ]
+
+
+def test_stylesheet_attributes():
+    tokens = tokenize()
+    css = [t for t in tokens if isinstance(t, StylesheetToken)]
+    assert css[0].url == "https://x.example/a.css"
+    assert css[0].exec_ms == 4.0
+    assert not css[0].media_print
+    assert css[1].media_print
+
+
+def test_font_preload():
+    font = next(t for t in tokenize() if isinstance(t, FontToken))
+    assert font.url == "https://x.example/f.woff2"
+    assert font.visual_weight == 7.0
+    assert font.above_fold
+
+
+def test_script_attributes():
+    scripts = [t for t in tokenize() if isinstance(t, ScriptToken)]
+    external, inline, deferred = scripts
+    assert external.url == "https://x.example/a.js"
+    assert external.is_async and not external.is_defer
+    assert external.exec_ms == 20.0
+    assert inline.url is None
+    assert "loadResource" in inline.content
+    assert deferred.is_defer and not deferred.is_async
+
+
+def test_image_attributes():
+    image = next(t for t in tokenize() if isinstance(t, ImageToken))
+    assert image.url == "https://x.example/i.jpg"
+    assert image.visual_weight == 9.0
+    assert not image.above_fold
+
+
+def test_text_token_weight():
+    text = next(t for t in tokenize() if isinstance(t, TextToken))
+    assert text.visual_weight == 2.5
+
+
+def test_offsets_are_monotonic_and_within_document():
+    tokens = tokenize()
+    offsets = [t.offset for t in tokens]
+    assert offsets == sorted(offsets)
+    assert offsets[-1] <= len(SAMPLE)
+
+
+def test_byte_at_a_time_feeding_matches_bulk():
+    bulk = [(type(t).__name__, t.offset) for t in tokenize()]
+    trickle = [(type(t).__name__, t.offset) for t in tokenize(chunk=1)]
+    assert bulk == trickle
+
+
+def test_incomplete_tag_waits_for_more_bytes():
+    tokenizer = HtmlTokenizer()
+    assert tokenizer.feed(b'<link rel="stylesheet" hr') == []
+    tokens = tokenizer.feed(b'ef="https://x.example/late.css">')
+    assert len(tokens) == 1
+    assert tokens[0].url == "https://x.example/late.css"
+
+
+def test_inline_script_waits_for_closing_tag():
+    tokenizer = HtmlTokenizer()
+    assert tokenizer.feed(b'<script data-exec="9">var x = 1;') == []
+    tokens = tokenizer.feed(b"</script>")
+    assert len(tokens) == 1
+    assert tokens[0].exec_ms == 9.0
+
+
+def test_head_end_offset():
+    head_end = next(t for t in tokenize() if isinstance(t, HeadEndToken))
+    assert SAMPLE[: head_end.offset].endswith(b"</head>")
+
+
+def test_scan_css_extracts_absolute_urls():
+    css = '@font-face{src:url(https://x.example/f.woff2);} .a{background:url("relative.png")}'
+    assert scan_css(css) == ["https://x.example/f.woff2"]
+
+
+def test_scan_js():
+    js = 'loadResource("https://x.example/one.js");\nloadResource(\'https://x.example/two.png\')'
+    assert scan_js(js) == ["https://x.example/one.js", "https://x.example/two.png"]
+
+
+def test_scan_exec_hint():
+    assert scan_exec_hint("/* exec:12.5 */ .a{}") == 12.5
+    assert scan_exec_hint(".a{}") == 0.0

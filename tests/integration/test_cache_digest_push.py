@@ -1,0 +1,68 @@
+"""Integration: cache digests eliminate the §2.1 wasted-push pathology."""
+
+from repro.browser.cache import BrowserCache
+from repro.browser.engine import BrowserConfig
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import PushAllStrategy
+
+
+def make_spec():
+    return WebsiteSpec(
+        name="digest",
+        primary_domain="d.example",
+        html_size=50_000,
+        html_visual_weight=30,
+        resources=[
+            ResourceSpec("app.css", ResourceType.CSS, 30_000, in_head=True),
+            ResourceSpec("app.js", ResourceType.JS, 40_000, in_head=True, exec_ms=10),
+        ],
+    )
+
+
+def run_repeat_view(send_digest: bool):
+    built = build_site(make_spec())
+    config = BrowserConfig(send_cache_digest=send_digest)
+    testbed = ReplayTestbed(
+        built=built, strategy=PushAllStrategy(), browser_config=config
+    )
+    cache = BrowserCache()
+    testbed.run(cache=cache)          # cold view fills the cache
+    return testbed.run(cache=cache)   # warm view
+
+
+def test_without_digest_pushes_are_wasted():
+    warm = run_repeat_view(send_digest=False)
+    # The server pushed cached objects; the client cancelled, too late.
+    assert warm.timeline.pushes_received == 2
+    assert warm.timeline.pushes_cancelled == 2
+    assert warm.pushed_bytes > 0
+
+
+def test_with_digest_no_wasted_pushes():
+    warm = run_repeat_view(send_digest=True)
+    assert warm.timeline.pushes_received == 0
+    assert warm.pushed_bytes == 0
+
+
+def test_digest_saves_downlink_bytes():
+    # Here the pushed bodies queue *behind* the 50 KB HTML, so the
+    # client's RST_STREAM wins the race for most of the payload; the
+    # digest still saves the in-flight remainder and the PUSH_PROMISE
+    # overhead.  (With interleaved pushes the §2.1 waste is far larger —
+    # see the warm-cache ablation benchmark.)
+    without = run_repeat_view(send_digest=False)
+    with_digest = run_repeat_view(send_digest=True)
+    assert with_digest.downlink_bytes < without.downlink_bytes
+
+
+def test_digest_does_not_break_cold_view():
+    built = build_site(make_spec())
+    config = BrowserConfig(send_cache_digest=True)
+    testbed = ReplayTestbed(
+        built=built, strategy=PushAllStrategy(), browser_config=config
+    )
+    cold = testbed.run(cache=BrowserCache())
+    # Empty cache -> no digest header -> all pushes proceed.
+    assert cold.timeline.pushes_received == 2
+    assert cold.plt_ms > 0

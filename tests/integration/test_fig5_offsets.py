@@ -1,0 +1,55 @@
+"""Integration: interleaving offset semantics on the Fig. 5 test page."""
+
+import pytest
+
+from repro.experiments.fig5_interleaving import make_test_site
+from repro.html import build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import NoPushStrategy, PushListStrategy
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_site(make_test_site(60))
+
+
+def run_with_offset(built, offset):
+    spec = built.spec
+    css = spec.url_of("style.css")
+    strategy = PushListStrategy(
+        [css], critical_urls=[css], interleave_offset=offset, name=f"off{offset}"
+    )
+    return ReplayTestbed(built=built, strategy=strategy).run()
+
+
+def test_head_offset_beats_late_offset(built):
+    early = run_with_offset(built, built.head_end_offset)
+    late = run_with_offset(built, 55_000)
+    assert early.speed_index_ms < late.speed_index_ms
+
+
+def test_any_offset_beats_no_push(built):
+    baseline = ReplayTestbed(built=built, strategy=NoPushStrategy()).run()
+    early = run_with_offset(built, built.head_end_offset)
+    assert early.speed_index_ms < baseline.speed_index_ms
+
+
+def test_offset_beyond_document_degenerates_to_default(built):
+    # A pause point past the HTML never triggers: behaves like plain push.
+    spec = built.spec
+    css = spec.url_of("style.css")
+    plain = ReplayTestbed(
+        built=built, strategy=PushListStrategy([css], name="push")
+    ).run()
+    beyond = run_with_offset(built, 10_000_000)
+    assert beyond.speed_index_ms == pytest.approx(plain.speed_index_ms, rel=0.05)
+
+
+def test_css_arrival_tracks_offset(built):
+    spec = built.spec
+    css = spec.url_of("style.css")
+    early = run_with_offset(built, 2_000)
+    late = run_with_offset(built, 40_000)
+    early_done = early.timeline.resources[css].finished_at
+    late_done = late.timeline.resources[css].finished_at
+    assert early_done < late_done

@@ -1,0 +1,78 @@
+"""Integration tests for the HTTP/1.1 baseline."""
+
+import pytest
+
+from repro.h1 import MAX_CONNECTIONS_PER_ORIGIN
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import NoPushStrategy
+
+CSS = ResourceType.CSS
+IMG = ResourceType.IMAGE
+
+
+def many_objects_spec():
+    resources = [ResourceSpec("main.css", CSS, 10_000, in_head=True, exec_ms=2)]
+    resources += [
+        ResourceSpec(f"i{n}.jpg", IMG, 15_000, body_fraction=0.1 + n * 0.03,
+                     visual_weight=1.0 if n < 6 else 0.0, above_fold=n < 6)
+        for n in range(24)
+    ]
+    return WebsiteSpec(
+        name="h1-many",
+        primary_domain="h1.example",
+        html_size=30_000,
+        html_visual_weight=20,
+        resources=resources,
+    )
+
+
+def run(protocol):
+    built = build_site(many_objects_spec())
+    return ReplayTestbed(built=built, protocol=protocol).run()
+
+
+def test_h1_load_completes_with_all_resources():
+    result = run("h1")
+    assert result.plt_ms > 0
+    finished = [r for r in result.timeline.resources.values() if r.finished_at]
+    assert len(finished) == 26
+
+
+def test_h1_opens_parallel_connections():
+    result = run("h1")
+    # Up to six parallel connections per origin, definitely more than 1.
+    assert 2 <= result.connections <= MAX_CONNECTIONS_PER_ORIGIN
+
+
+def test_h2_uses_one_connection_h1_many():
+    h1 = run("h1")
+    h2 = run("h2")
+    assert h2.connections == 1
+    assert h1.connections > h2.connections
+
+
+def test_h2_faster_for_many_small_objects():
+    """Wang et al.: H2 multiplexing wins for many small objects."""
+    h1 = run("h1")
+    h2 = run("h2")
+    assert h2.plt_ms < h1.plt_ms
+
+
+def test_h1_never_receives_pushes():
+    result = run("h1")
+    assert result.timeline.pushes_received == 0
+    assert result.pushed_bytes == 0
+
+
+def test_h1_metrics_sane():
+    result = run("h1")
+    assert result.speed_index_ms > 0
+    assert result.timeline.connect_end is not None
+    assert result.first_paint_ms > 0
+
+
+def test_h1_deterministic():
+    built = build_site(many_objects_spec())
+    testbed = ReplayTestbed(built=built, protocol="h1")
+    assert testbed.run(seed=3).plt_ms == testbed.run(seed=3).plt_ms

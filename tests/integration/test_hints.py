@@ -1,0 +1,99 @@
+"""Integration tests for preload hints (MetaPush / Vroom strategies)."""
+
+import pytest
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import NoPushStrategy
+from repro.strategies.hints import HintAndPushStrategy, PreloadHintStrategy
+
+CSS = ResourceType.CSS
+JS = ResourceType.JS
+IMG = ResourceType.IMAGE
+
+
+def third_party_spec():
+    """Critical content on a third-party server: push cannot reach it."""
+    return WebsiteSpec(
+        name="hints",
+        primary_domain="origin.example",
+        html_size=80_000,
+        html_visual_weight=20,
+        atf_text_fraction=0.25,
+        resources=[
+            ResourceSpec("main.css", CSS, 15_000, in_head=True, exec_ms=3),
+            # The hero is hosted on an uncoalesced third-party CDN and
+            # referenced late in the document: discovery is slow.
+            ResourceSpec("hero.jpg", IMG, 120_000, domain="cdn.other.example",
+                         body_fraction=0.6, visual_weight=30),
+        ],
+        domain_ips={"cdn.other.example": "10.0.0.77"},
+    )
+
+
+def run(strategy):
+    return ReplayTestbed(built=build_site(third_party_spec()), strategy=strategy).run()
+
+
+def test_hints_accelerate_third_party_discovery():
+    spec = third_party_spec()
+    hero = spec.url_of("hero.jpg")
+    baseline = run(NoPushStrategy())
+    hinted = run(PreloadHintStrategy([hero]))
+    hero_base = baseline.timeline.resources[hero]
+    hero_hint = hinted.timeline.resources[hero]
+    # The hint arrives with the response headers, well before the
+    # parser/scanner reaches the late reference.
+    assert hero_hint.requested_at < hero_base.requested_at - 10
+    assert hero_hint.finished_at < hero_base.finished_at - 10
+    assert hinted.speed_index_ms < baseline.speed_index_ms
+
+
+def test_hints_push_no_bytes():
+    spec = third_party_spec()
+    hinted = run(PreloadHintStrategy([spec.url_of("hero.jpg")]))
+    assert hinted.pushed_bytes == 0
+    assert hinted.timeline.pushes_received == 0
+
+
+def test_hint_request_traced_with_initiator():
+    spec = third_party_spec()
+    hinted = run(PreloadHintStrategy([spec.url_of("hero.jpg")]))
+    trace = next(
+        t for t in hinted.timeline.requests if t.url == spec.url_of("hero.jpg")
+    )
+    assert trace.initiator == "hint"
+
+
+def test_default_hint_strategy_hints_everything():
+    hinted = run(PreloadHintStrategy())
+    # Both sub-resources requested (one early via hint) and none pushed.
+    assert hinted.requests == 3
+    assert hinted.pushed_bytes == 0
+
+
+def test_hint_and_push_combination():
+    spec = third_party_spec()
+    result = run(HintAndPushStrategy())
+    # The origin-hosted CSS was pushed; the third-party hero was hinted.
+    css = result.timeline.resources[spec.url_of("main.css")]
+    hero = result.timeline.resources[spec.url_of("hero.jpg")]
+    assert css.pushed
+    assert not hero.pushed
+    assert result.pushed_bytes == 15_000
+    baseline = run(NoPushStrategy())
+    assert (
+        hero.finished_at
+        < baseline.timeline.resources[spec.url_of("hero.jpg")].finished_at
+    )
+
+
+def test_hints_and_duplicate_discovery_deduplicated():
+    # The parser later reaches the <img> tag for the hinted hero; it
+    # must not be fetched twice.
+    spec = third_party_spec()
+    result = run(PreloadHintStrategy([spec.url_of("hero.jpg")]))
+    hero_requests = [
+        t for t in result.timeline.requests if t.url == spec.url_of("hero.jpg")
+    ]
+    assert len(hero_requests) == 1

@@ -1,0 +1,79 @@
+"""Tests for SpeedIndex computation."""
+
+import pytest
+
+from repro.browser.timings import PageTimeline
+from repro.metrics.speedindex import (
+    first_visual_change,
+    speed_index,
+    speed_index_of,
+    visual_complete_time,
+)
+
+
+def test_instant_paint_gives_zero():
+    assert speed_index([(0.0, 1.0)]) == 0.0
+
+
+def test_single_step():
+    # Nothing visible until t=100, then complete: SI = 100.
+    assert speed_index([(100.0, 1.0)]) == 100.0
+
+
+def test_two_steps():
+    # Half the page at t=100, rest at t=200: 100*1 + 100*0.5 = 150.
+    assert speed_index([(100.0, 0.5), (200.0, 1.0)]) == 150.0
+
+
+def test_earlier_progress_lowers_index():
+    late = speed_index([(100.0, 0.1), (200.0, 1.0)])
+    early = speed_index([(100.0, 0.9), (200.0, 1.0)])
+    assert early < late
+
+
+def test_empty_progress():
+    assert speed_index([]) == 0.0
+
+
+def test_non_monotonic_time_rejected():
+    with pytest.raises(ValueError):
+        speed_index([(100.0, 0.5), (50.0, 1.0)])
+
+
+def test_decreasing_completeness_rejected():
+    with pytest.raises(ValueError):
+        speed_index([(100.0, 0.8), (200.0, 0.5)])
+
+
+def make_timeline():
+    timeline = PageTimeline()
+    timeline.connect_end = 100.0
+    timeline.onload = 500.0
+    timeline.record_paint(200.0, 6.0, "text")
+    timeline.record_paint(400.0, 4.0, "img")
+    return timeline
+
+
+def test_speed_index_of_timeline():
+    timeline = make_timeline()
+    # Steps: t=100 rel -> 0.6, t=300 rel -> 1.0.
+    assert speed_index_of(timeline) == pytest.approx(100 + 200 * 0.4)
+
+
+def test_speed_index_falls_back_to_plt_for_blank_pages():
+    timeline = PageTimeline()
+    timeline.connect_end = 100.0
+    timeline.onload = 350.0
+    assert speed_index_of(timeline) == 250.0
+
+
+def test_visual_complete_time():
+    timeline = make_timeline()
+    assert visual_complete_time(timeline) == pytest.approx(300.0)
+    assert visual_complete_time(timeline, threshold=0.5) == pytest.approx(100.0)
+
+
+def test_first_visual_change():
+    timeline = make_timeline()
+    assert first_visual_change(timeline) == pytest.approx(100.0)
+    assert first_visual_change(PageTimeline()) is None

@@ -1,0 +1,81 @@
+"""Tests for experiment statistics."""
+
+import pytest
+
+from repro.metrics import (
+    cdf_points,
+    confidence_interval,
+    fraction_below,
+    mean,
+    median,
+    percentile,
+    relative_change,
+    std_error,
+    stdev,
+)
+
+
+def test_mean_median_basics():
+    assert mean([1, 2, 3, 4]) == 2.5
+    assert median([1, 2, 3]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+
+
+def test_empty_rejected():
+    for func in (mean, median):
+        with pytest.raises(ValueError):
+            func([])
+
+
+def test_stdev_and_std_error():
+    values = [2, 4, 4, 4, 5, 5, 7, 9]
+    assert stdev(values) == pytest.approx(2.138, abs=0.01)
+    assert std_error(values) == pytest.approx(2.138 / 8**0.5, abs=0.01)
+    assert stdev([5]) == 0.0
+
+
+def test_confidence_interval_levels():
+    values = [10.0] * 10
+    center, half = confidence_interval(values, 0.95)
+    assert center == 10.0
+    assert half == 0.0
+    with pytest.raises(ValueError):
+        confidence_interval(values, 0.5)
+
+
+def test_ci_width_grows_with_level():
+    values = [1, 2, 3, 4, 5, 6, 7, 8]
+    _c, narrow = confidence_interval(values, 0.95)
+    _c, wide = confidence_interval(values, 0.995)
+    assert wide > narrow
+
+
+def test_percentile():
+    values = list(range(1, 101))
+    assert percentile(values, 50) == pytest.approx(50.5)
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert percentile([7], 95) == 7
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_cdf_points():
+    points = cdf_points([3, 1, 2])
+    assert points == [(1, pytest.approx(1 / 3)), (2, pytest.approx(2 / 3)), (3, 1.0)]
+
+
+def test_fraction_below():
+    assert fraction_below([-10, -5, 0, 5], 0) == 0.5
+    with pytest.raises(ValueError):
+        fraction_below([], 0)
+
+
+def test_relative_change():
+    # The paper's Δ: negative is an improvement.
+    assert relative_change(80, 100) == pytest.approx(-20.0)
+    assert relative_change(130, 100) == pytest.approx(30.0)
+    with pytest.raises(ValueError):
+        relative_change(1, 0)

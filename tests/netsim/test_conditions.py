@@ -1,0 +1,76 @@
+"""Tests for network condition profiles."""
+
+import random
+
+import pytest
+
+from repro.netsim.conditions import (
+    CABLE,
+    CELLULAR,
+    DSL_TESTBED,
+    FixedConditions,
+    InternetConditions,
+    NetworkConditions,
+)
+
+
+def test_dsl_testbed_matches_paper():
+    # §4.1: 50 ms RTT, 16 Mbit/s down, 1 Mbit/s up, deterministic.
+    assert DSL_TESTBED.rtt_ms == 50.0
+    assert DSL_TESTBED.downlink_bytes_per_ms == pytest.approx(2000.0)
+    assert DSL_TESTBED.uplink_bytes_per_ms == pytest.approx(125.0)
+    assert DSL_TESTBED.loss_rate == 0.0
+    assert DSL_TESTBED.jitter_ms == 0.0
+
+
+def test_one_way_is_half_rtt():
+    assert DSL_TESTBED.one_way_ms == 25.0
+
+
+def test_with_rtt_returns_new_instance():
+    faster = DSL_TESTBED.with_rtt(20.0)
+    assert faster.rtt_ms == 20.0
+    assert DSL_TESTBED.rtt_ms == 50.0
+    assert faster.downlink_bytes_per_ms == DSL_TESTBED.downlink_bytes_per_ms
+
+
+def test_profiles_are_distinct():
+    assert CABLE.downlink_bytes_per_ms > DSL_TESTBED.downlink_bytes_per_ms
+    assert CELLULAR.rtt_ms > DSL_TESTBED.rtt_ms
+
+
+def test_fixed_conditions_always_identical():
+    sampler = FixedConditions(DSL_TESTBED)
+    rng = random.Random(0)
+    assert sampler.sample(rng) is DSL_TESTBED
+    assert sampler.sample(rng) is DSL_TESTBED
+
+
+def test_internet_conditions_vary_per_run():
+    sampler = InternetConditions()
+    rng = random.Random(42)
+    samples = [sampler.sample(rng) for _ in range(10)]
+    rtts = {round(sample.rtt_ms, 3) for sample in samples}
+    assert len(rtts) == 10  # all different
+
+
+def test_internet_conditions_bounded_loss():
+    sampler = InternetConditions(max_loss=0.01)
+    rng = random.Random(1)
+    for _ in range(50):
+        sample = sampler.sample(rng)
+        assert 0.0 <= sample.loss_rate <= 0.01
+        assert sample.rtt_ms > 0
+        assert sample.downlink_bytes_per_ms > 0
+
+
+def test_internet_conditions_deterministic_given_rng():
+    sampler = InternetConditions()
+    a = sampler.sample(random.Random(7))
+    b = sampler.sample(random.Random(7))
+    assert a == b
+
+
+def test_conditions_immutable():
+    with pytest.raises(Exception):
+        DSL_TESTBED.rtt_ms = 1  # frozen dataclass

@@ -1,0 +1,93 @@
+"""Unit tests for the HTTP/1.1 connection pool."""
+
+from repro.h1.pool import MAX_CONNECTIONS_PER_ORIGIN, H1PoolManager
+from repro.h1.server import H1ReplayServer
+from repro.netsim import DSL_TESTBED, Topology
+from repro.replay.matcher import RequestMatcher
+from repro.replay.recorddb import RecordDatabase, ResponseRecord
+from repro.sim import Simulator
+
+
+def make_env(record_count=12):
+    sim = Simulator()
+    topo = Topology(sim, DSL_TESTBED)
+    topo.add_host("1.1.1.1", ["pool.example"])
+    topo.prewarm_dns("pool.example")
+    db = RecordDatabase()
+    for index in range(record_count):
+        db.add(
+            ResponseRecord(
+                url=f"https://pool.example/r{index}",
+                headers=[("content-type", "text/plain")],
+                body=b"x" * 5_000,
+            )
+        )
+    server = H1ReplayServer(ip="1.1.1.1", matcher=RequestMatcher(db))
+    manager = H1PoolManager(topo, lambda ip: server.accept)
+    return sim, manager, server
+
+
+def fetch_all(sim, manager, count):
+    finished = []
+    pool = manager.pool_for("pool.example")
+    for index in range(count):
+        url = f"https://pool.example/r{index}"
+        pool.fetch(
+            url,
+            on_response=lambda status, headers: None,
+            on_data=lambda data: None,
+            on_complete=lambda u=url: finished.append((u, sim.now)),
+        )
+    sim.run()
+    return pool, finished
+
+
+def test_all_requests_complete():
+    sim, manager, server = make_env()
+    pool, finished = fetch_all(sim, manager, 12)
+    assert len(finished) == 12
+    assert server.requests_served == 12
+
+
+def test_connection_cap_respected():
+    sim, manager, _server = make_env()
+    pool, _finished = fetch_all(sim, manager, 12)
+    assert pool.connection_count <= MAX_CONNECTIONS_PER_ORIGIN
+
+
+def test_single_request_uses_one_connection():
+    sim, manager, _server = make_env(record_count=1)
+    pool, finished = fetch_all(sim, manager, 1)
+    assert pool.connection_count == 1
+    assert len(finished) == 1
+
+
+def test_connections_are_reused_across_waves():
+    sim, manager, _server = make_env(record_count=12)
+    pool, _ = fetch_all(sim, manager, 12)
+    first_wave = pool.connection_count
+    # A second wave reuses the warm pool instead of reconnecting.
+    pool2, finished = fetch_all(sim, manager, 6)
+    assert pool2 is pool
+    assert pool.connection_count == first_wave
+
+
+def test_first_established_fires_once():
+    sim, manager, _server = make_env()
+    pool = manager.pool_for("pool.example")
+    events = []
+    pool.on_first_established = lambda: events.append(sim.now)
+    for index in range(4):
+        pool.fetch(
+            f"https://pool.example/r{index}",
+            on_response=lambda *a: None,
+            on_data=lambda d: None,
+            on_complete=lambda: None,
+        )
+    sim.run()
+    assert len(events) == 1
+
+
+def test_pool_manager_caches_pools():
+    sim, manager, _server = make_env()
+    assert manager.pool_for("pool.example") is manager.pool_for("pool.example")

@@ -1,0 +1,30 @@
+"""Tests for the connection-establishment model."""
+
+import pytest
+
+from repro.netsim.conditions import DSL_TESTBED
+from repro.netsim.handshake import TLS12_HANDSHAKE, TLS13_HANDSHAKE, HandshakeModel
+
+
+def test_tls12_costs_three_rtts_plus_dns():
+    # DNS (1) + TCP (1) + TLS 1.2 (2) = 4 RTTs uncached.
+    assert TLS12_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=False) == pytest.approx(200.0)
+
+
+def test_dns_cache_saves_one_rtt():
+    uncached = TLS12_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=False)
+    cached = TLS12_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True)
+    assert uncached - cached == pytest.approx(DSL_TESTBED.rtt_ms)
+
+
+def test_tls13_saves_one_rtt():
+    old = TLS12_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True)
+    new = TLS13_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True)
+    assert old - new == pytest.approx(DSL_TESTBED.rtt_ms)
+
+
+def test_custom_model():
+    model = HandshakeModel(dns_rtts=0.5, tcp_rtts=1, tls_rtts=0)
+    assert model.connect_ms(DSL_TESTBED, dns_cached=False) == pytest.approx(75.0)
+    assert model.dns_ms(DSL_TESTBED, cached=False) == pytest.approx(25.0)
+    assert model.dns_ms(DSL_TESTBED, cached=True) == 0.0

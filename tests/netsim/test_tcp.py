@@ -1,0 +1,173 @@
+"""Tests for the TCP model."""
+
+import random
+
+import pytest
+
+from repro.netsim.conditions import DSL_TESTBED, NetworkConditions
+from repro.netsim.link import SharedLink
+from repro.netsim.tcp import (
+    DEFAULT_SEND_BUFFER,
+    INITIAL_WINDOW_SEGMENTS,
+    MSS,
+    TcpConnection,
+)
+from repro.sim import Simulator
+
+
+def make_connection(conditions=DSL_TESTBED, seed=0):
+    sim = Simulator()
+    rng = random.Random(seed)
+    down = SharedLink(sim, conditions.downlink_bytes_per_ms, conditions.one_way_ms, rng=rng)
+    up = SharedLink(sim, conditions.uplink_bytes_per_ms, conditions.one_way_ms, rng=rng)
+    conn = TcpConnection(sim, downlink=down, uplink=up, conditions=conditions, rng=rng)
+    return sim, conn
+
+
+def transfer(sim, conn, size, sender="server"):
+    """Send `size` bytes with backpressure; return completion time."""
+    received = []
+    done = {}
+    src = getattr(conn, sender)
+    dst = conn.client if sender == "server" else conn.server
+
+    def on_data(data):
+        received.append(len(data))
+        if sum(received) >= size:
+            done["time"] = sim.now
+
+    dst.on_data = on_data
+    state = {"left": size}
+
+    def write():
+        while state["left"] > 0:
+            chunk = min(4096, state["left"])
+            accepted = src.send(b"x" * chunk)
+            state["left"] -= accepted
+            if accepted < chunk:
+                return
+
+    src.on_writable = write
+    write()
+    sim.run()
+    assert done, "transfer did not complete"
+    assert sum(received) == size
+    return done["time"]
+
+
+def test_small_transfer_fits_initial_window():
+    sim, conn = make_connection()
+    finish = transfer(sim, conn, 10_000)
+    # One-way 25 ms + ~5 ms serialization; well under a second RTT.
+    assert finish < 40.0
+
+
+def test_initial_window_is_ten_segments():
+    sim, conn = make_connection()
+    # More than IW10 requires at least one extra round trip.
+    just_fits = transfer(sim, conn, INITIAL_WINDOW_SEGMENTS * MSS - 100)
+    sim2, conn2 = make_connection()
+    needs_more = transfer(sim2, conn2, INITIAL_WINDOW_SEGMENTS * MSS + 5 * MSS)
+    assert needs_more > just_fits + 20.0  # a round trip apart
+
+
+def test_large_transfer_approaches_link_rate():
+    sim, conn = make_connection()
+    size = 1_000_000
+    finish = transfer(sim, conn, size)
+    serialization = size / DSL_TESTBED.downlink_bytes_per_ms
+    # Finish within 2.2x of pure serialization (slow start overhead).
+    assert serialization < finish < serialization * 2.2
+
+
+def test_upload_uses_slower_uplink():
+    sim, conn = make_connection()
+    down_time = transfer(sim, conn, 100_000, sender="server")
+    sim2, conn2 = make_connection()
+    up_time = transfer(sim2, conn2, 100_000, sender="client")
+    # Uplink is 16x slower.
+    assert up_time > down_time * 5
+
+
+def test_send_buffer_backpressure():
+    _sim, conn = make_connection()
+    sent = conn.server.send(b"z" * (DEFAULT_SEND_BUFFER + 1000))
+    # Only a socket buffer's worth is accepted in one call...
+    assert sent == DEFAULT_SEND_BUFFER
+    # ...then the pump moves up to one congestion window into flight,
+    # freeing exactly that much space again.
+    assert conn.server.send_buffer_space == INITIAL_WINDOW_SEGMENTS * MSS
+    more = conn.server.send(b"z" * DEFAULT_SEND_BUFFER)
+    assert more == INITIAL_WINDOW_SEGMENTS * MSS
+    # Now both the window and the buffer are full: nothing is accepted.
+    assert conn.server.send(b"z") == 0
+
+
+def test_set_send_buffer_validates():
+    _sim, conn = make_connection()
+    with pytest.raises(Exception):
+        conn.set_send_buffer(100)
+
+
+def test_delivery_is_in_order():
+    sim, conn = make_connection()
+    chunks = []
+    conn.client.on_data = lambda d: chunks.append(bytes(d))
+    payload = bytes(range(256)) * 100
+    state = {"off": 0}
+
+    def write():
+        while state["off"] < len(payload):
+            accepted = conn.server.send(payload[state["off"] : state["off"] + 2048])
+            if accepted == 0:
+                return
+            state["off"] += accepted
+
+    conn.server.on_writable = write
+    write()
+    sim.run()
+    assert b"".join(chunks) == payload
+
+
+def test_lossy_transfer_still_completes():
+    lossy = NetworkConditions(
+        rtt_ms=50.0,
+        downlink_bytes_per_ms=DSL_TESTBED.downlink_bytes_per_ms,
+        uplink_bytes_per_ms=DSL_TESTBED.uplink_bytes_per_ms,
+        loss_rate=0.02,
+    )
+    sim, conn = make_connection(conditions=lossy, seed=7)
+    finish = transfer(sim, conn, 200_000)
+    # Slower than loss-free but it must finish correctly.
+    assert finish > 100.0
+
+
+def test_loss_free_transfer_is_deterministic():
+    times = set()
+    for _ in range(3):
+        sim, conn = make_connection()
+        times.add(transfer(sim, conn, 123_456))
+    assert len(times) == 1
+
+
+def test_bytes_counters():
+    sim, conn = make_connection()
+    transfer(sim, conn, 50_000)
+    assert conn.server.bytes_sent == 50_000
+    assert conn.client.bytes_received == 50_000
+
+
+def test_fast_retransmit_recovers_quickly():
+    """A single lost segment is repaired by dup ACKs, not a 1s RTO."""
+    lossy = NetworkConditions(
+        rtt_ms=50.0,
+        downlink_bytes_per_ms=DSL_TESTBED.downlink_bytes_per_ms,
+        uplink_bytes_per_ms=DSL_TESTBED.uplink_bytes_per_ms,
+        loss_rate=0.02,
+    )
+    sim, conn = make_connection(conditions=lossy, seed=11)
+    finish = transfer(sim, conn, 400_000)
+    # 400 KB is ~200 ms of serialization; with fast retransmit most
+    # losses cost round trips.  Losses at the very tail of the stream
+    # still need the RTO (no dup ACKs follow them), so allow a couple.
+    assert finish < 3_000.0

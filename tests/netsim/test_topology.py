@@ -1,0 +1,86 @@
+"""Tests for the testbed topology."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import DSL_TESTBED, Topology
+from repro.sim import Simulator
+
+
+def make_topology():
+    sim = Simulator()
+    topo = Topology(sim, DSL_TESTBED)
+    topo.add_host("10.0.0.1", ["example.com", "cdn.example.com"])
+    topo.add_host("10.0.0.2", ["ads.example.net"])
+    return sim, topo
+
+
+def test_resolve_known_domains():
+    _sim, topo = make_topology()
+    assert topo.resolve("example.com") == "10.0.0.1"
+    assert topo.resolve("cdn.example.com") == "10.0.0.1"
+    assert topo.resolve("ads.example.net") == "10.0.0.2"
+
+
+def test_resolve_unknown_domain_raises():
+    _sim, topo = make_topology()
+    with pytest.raises(NetworkError):
+        topo.resolve("unknown.example")
+
+
+def test_conflicting_domain_mapping_rejected():
+    _sim, topo = make_topology()
+    with pytest.raises(NetworkError):
+        topo.add_host("10.0.0.3", ["example.com"])
+
+
+def test_same_ip_hosts_merge():
+    _sim, topo = make_topology()
+    host = topo.add_host("10.0.0.1", ["static.example.com"])
+    assert host.domains == {"example.com", "cdn.example.com", "static.example.com"}
+
+
+def test_connection_established_after_handshake():
+    sim, topo = make_topology()
+    established = []
+    topo.open_connection("example.com", lambda conn: established.append(sim.now))
+    sim.run()
+    # 4 RTTs uncached DNS: 200 ms.
+    assert established == [pytest.approx(200.0)]
+
+
+def test_dns_prewarm_and_caching():
+    sim, topo = make_topology()
+    topo.prewarm_dns("example.com")
+    times = []
+    topo.open_connection("example.com", lambda conn: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(150.0)]  # DNS cached: 3 RTTs
+    # The second connection to a now-cached domain is also 3 RTTs.
+    topo.open_connection("ads.example.net", lambda conn: times.append(sim.now))
+    sim.run()
+    assert times[1] - 150.0 == pytest.approx(200.0)
+    topo.open_connection("ads.example.net", lambda conn: times.append(sim.now))
+    sim.run()
+    assert times[2] - times[1] == pytest.approx(150.0)
+
+
+def test_connection_counter():
+    sim, topo = make_topology()
+    topo.open_connection("example.com", lambda conn: None)
+    topo.open_connection("ads.example.net", lambda conn: None)
+    assert topo.connections_opened == 2
+
+
+def test_connections_share_access_links():
+    sim, topo = make_topology()
+    conns = []
+    topo.open_connection("example.com", conns.append)
+    topo.open_connection("ads.example.net", conns.append)
+    sim.run()
+    # Both connections transmit over the same downlink object.
+    before = topo.downlink.bytes_transmitted
+    for conn in conns:
+        conn.server.send(b"x" * 1000)
+    sim.run()
+    assert topo.downlink.bytes_transmitted >= before + 2000

@@ -1,0 +1,120 @@
+"""Property-based tests: site specs round-trip through build + tokenize."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import (
+    HtmlTokenizer,
+    ResourceSpec,
+    ResourceType,
+    WebsiteSpec,
+    build_site,
+)
+from repro.html.tokenizer import (
+    FontToken,
+    ImageToken,
+    ScriptToken,
+    StylesheetToken,
+    TextToken,
+)
+
+_NAME = st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=10)
+
+
+@st.composite
+def website_specs(draw):
+    count = draw(st.integers(0, 10))
+    resources = []
+    used_names = set()
+    for index in range(count):
+        rtype = draw(
+            st.sampled_from(
+                [ResourceType.CSS, ResourceType.JS, ResourceType.IMAGE, ResourceType.FONT]
+            )
+        )
+        extension = {
+            ResourceType.CSS: "css",
+            ResourceType.JS: "js",
+            ResourceType.IMAGE: "jpg",
+            ResourceType.FONT: "woff2",
+        }[rtype]
+        name = f"{draw(_NAME)}{index}.{extension}"
+        if name in used_names:
+            continue
+        used_names.add(name)
+        resources.append(
+            ResourceSpec(
+                name=name,
+                rtype=rtype,
+                size=draw(st.integers(600, 50_000)),
+                in_head=draw(st.booleans()) and rtype in (ResourceType.CSS, ResourceType.JS),
+                body_fraction=draw(st.floats(0, 1, allow_nan=False)),
+                exec_ms=draw(st.floats(0, 50, allow_nan=False)),
+                visual_weight=draw(st.floats(0, 20, allow_nan=False)),
+                above_fold=draw(st.booleans()),
+                async_script=draw(st.booleans()) and rtype == ResourceType.JS,
+            )
+        )
+    return WebsiteSpec(
+        name="prop",
+        primary_domain="prop.example",
+        html_size=draw(st.integers(2_000, 120_000)),
+        html_visual_weight=draw(st.floats(1, 60, allow_nan=False)),
+        atf_text_fraction=draw(st.sampled_from([0.125, 0.25, 0.5, 1.0])),
+        resources=resources,
+    )
+
+
+@given(spec=website_specs())
+@settings(max_examples=40, deadline=None)
+def test_every_direct_reference_is_tokenized(spec):
+    """Each document-referenced resource appears exactly once as a token."""
+    built = build_site(spec)
+    tokens = HtmlTokenizer().feed(built.html)
+    urls = []
+    for token in tokens:
+        if isinstance(token, (StylesheetToken, ImageToken, FontToken)):
+            urls.append(token.url)
+        elif isinstance(token, ScriptToken) and token.url:
+            urls.append(token.url)
+    expected = [
+        res.url(spec.primary_domain)
+        for res in spec.resources
+        if res.loaded_by is None
+    ]
+    assert sorted(urls) == sorted(expected)
+
+
+@given(spec=website_specs())
+@settings(max_examples=40, deadline=None)
+def test_html_size_accuracy(spec):
+    built = build_site(spec)
+    # References can push a document past its target; otherwise the
+    # builder pads to within a few bytes.
+    skeleton_min = len(built.html)
+    assert skeleton_min >= spec.html_size - 8 or skeleton_min > spec.html_size
+
+
+@given(spec=website_specs())
+@settings(max_examples=40, deadline=None)
+def test_text_weight_conserved(spec):
+    built = build_site(spec)
+    tokens = HtmlTokenizer().feed(built.html)
+    text_weight = sum(
+        t.visual_weight for t in tokens if isinstance(t, TextToken)
+    )
+    assert abs(text_weight - spec.html_visual_weight) < 0.1
+
+
+@given(spec=website_specs(), chunk=st.integers(1, 997))
+@settings(max_examples=25, deadline=None)
+def test_tokenization_independent_of_chunking(spec, chunk):
+    built = build_site(spec)
+    bulk = [(type(t).__name__, t.offset) for t in HtmlTokenizer().feed(built.html)]
+    trickle_tokenizer = HtmlTokenizer()
+    trickle = []
+    for index in range(0, len(built.html), chunk):
+        trickle.extend(trickle_tokenizer.feed(built.html[index : index + chunk]))
+    assert bulk == [(type(t).__name__, t.offset) for t in trickle]

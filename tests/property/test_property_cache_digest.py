@@ -1,0 +1,42 @@
+"""Property-based tests for cache digests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.h2.cache_digest import CacheDigest
+
+_URLS = st.lists(
+    st.text(alphabet="abcdefghij0123456789/-.", min_size=1, max_size=40).map(
+        lambda path: f"https://pd.example/{path}"
+    ),
+    max_size=80,
+    unique=True,
+)
+
+
+@given(urls=_URLS, p_exp=st.integers(1, 10))
+@settings(max_examples=60)
+def test_no_false_negatives(urls, p_exp):
+    digest = CacheDigest.from_urls(urls, p=2**p_exp)
+    for url in urls:
+        assert digest.contains(url)
+
+
+@given(urls=_URLS, p_exp=st.integers(2, 8))
+@settings(max_examples=40)
+def test_wire_round_trip_preserves_membership(urls, p_exp):
+    digest = CacheDigest.from_urls(urls, p=2**p_exp)
+    restored = CacheDigest.from_header_value(digest.to_header_value())
+    for url in urls:
+        assert restored.contains(url)
+    assert restored.n == digest.n
+    assert restored.p == digest.p
+
+
+@given(urls=_URLS)
+@settings(max_examples=40)
+def test_encoding_is_compact(urls):
+    digest = CacheDigest.from_urls(urls)
+    # ~ (log2 P + 2) bits/entry plus the 10-bit preamble.
+    bound = len(urls) * 3 + 4
+    assert digest.wire_size <= bound

@@ -1,0 +1,89 @@
+"""Property-based tests for the frame codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.h2.constants import ErrorCode, Flag
+from repro.h2.frames import (
+    DataFrame,
+    FrameReader,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityData,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+    parse_frame,
+)
+
+_STREAM_ID = st.integers(min_value=1, max_value=2**31 - 1)
+
+
+@given(stream_id=_STREAM_ID, data=st.binary(max_size=2000), pad=st.integers(0, 255))
+def test_data_frame_round_trip(stream_id, data, pad):
+    frame = DataFrame(stream_id=stream_id, data=data, pad_length=pad)
+    parsed, consumed = parse_frame(frame.serialize())
+    assert parsed.stream_id == stream_id
+    assert parsed.data == data
+    assert consumed == frame.wire_size
+
+
+@given(
+    stream_id=_STREAM_ID,
+    depends_on=st.integers(0, 2**31 - 1),
+    weight=st.integers(1, 256),
+    exclusive=st.booleans(),
+)
+def test_priority_data_round_trip(stream_id, depends_on, weight, exclusive):
+    original = PriorityData(depends_on=depends_on, weight=weight, exclusive=exclusive)
+    assert PriorityData.parse(original.serialize()) == original
+
+
+@given(settings_map=st.dictionaries(st.integers(1, 6), st.integers(0, 2**31 - 1), max_size=6))
+def test_settings_round_trip(settings_map):
+    frame = SettingsFrame(stream_id=0, settings=settings_map)
+    parsed, _ = parse_frame(frame.serialize())
+    assert parsed.settings == settings_map
+
+
+@given(increment=st.integers(1, 2**31 - 1))
+def test_window_update_round_trip(increment):
+    frame = WindowUpdateFrame(stream_id=0, increment=increment)
+    parsed, _ = parse_frame(frame.serialize())
+    assert parsed.increment == increment
+
+
+@given(
+    frames_spec=st.lists(
+        st.tuples(_STREAM_ID, st.binary(max_size=500)), min_size=1, max_size=10
+    ),
+    chunk=st.integers(1, 64),
+)
+@settings(max_examples=40)
+def test_reader_reassembles_any_chunking(frames_spec, chunk):
+    """Feeding a frame stream in arbitrary chunks loses nothing."""
+    frames = [DataFrame(stream_id=sid, data=data) for sid, data in frames_spec]
+    wire = b"".join(frame.serialize() for frame in frames)
+    reader = FrameReader()
+    parsed = []
+    for index in range(0, len(wire), chunk):
+        parsed.extend(reader.feed(wire[index : index + chunk]))
+    assert [(f.stream_id, f.data) for f in parsed] == frames_spec
+    assert reader.buffered_bytes == 0
+
+
+@given(opaque=st.binary(min_size=8, max_size=8))
+def test_ping_round_trip(opaque):
+    parsed, _ = parse_frame(PingFrame(stream_id=0, opaque=opaque).serialize())
+    assert parsed.opaque == opaque
+
+
+@given(last=st.integers(0, 2**31 - 1), debug=st.binary(max_size=100))
+def test_goaway_round_trip(last, debug):
+    frame = GoAwayFrame(
+        stream_id=0, last_stream_id=last, error_code=ErrorCode.NO_ERROR, debug_data=debug
+    )
+    parsed, _ = parse_frame(frame.serialize())
+    assert parsed.last_stream_id == last
+    assert parsed.debug_data == debug

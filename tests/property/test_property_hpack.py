@@ -1,0 +1,83 @@
+"""Property-based tests for HPACK (round-trips and invariants)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.h2.hpack import (
+    DynamicTable,
+    HpackDecoder,
+    HpackEncoder,
+    decode_integer,
+    encode_integer,
+    huffman_decode,
+    huffman_encode,
+    huffman_encoded_length,
+)
+from repro.h2.hpack.dynamic_table import entry_size
+
+_TOKEN = st.text(alphabet=string.ascii_lowercase + string.digits + "-", min_size=1, max_size=24)
+_VALUE = st.text(
+    alphabet=string.ascii_letters + string.digits + " /.:;=%-_?&",
+    min_size=0,
+    max_size=60,
+)
+_HEADERS = st.lists(st.tuples(_TOKEN, _VALUE), min_size=1, max_size=20)
+
+
+@given(value=st.integers(min_value=0, max_value=2**40), prefix=st.integers(1, 8))
+def test_integer_round_trip(value, prefix):
+    wire = encode_integer(value, prefix)
+    decoded, consumed = decode_integer(wire, 0, prefix)
+    assert decoded == value
+    assert consumed == len(wire)
+
+
+@given(value=st.integers(0, 2**30), prefix=st.integers(1, 8), pad=st.binary(max_size=8))
+def test_integer_decoding_ignores_trailing_bytes(value, prefix, pad):
+    wire = encode_integer(value, prefix)
+    decoded, consumed = decode_integer(wire + pad, 0, prefix)
+    assert decoded == value
+    assert consumed == len(wire)
+
+
+@given(data=st.binary(max_size=300))
+def test_huffman_round_trip(data):
+    assert huffman_decode(huffman_encode(data)) == data
+
+
+@given(data=st.binary(max_size=300))
+def test_huffman_length_prediction(data):
+    assert huffman_encoded_length(data) == len(huffman_encode(data))
+
+
+@given(headers=_HEADERS)
+@settings(max_examples=60)
+def test_codec_round_trip_single_block(headers):
+    encoder, decoder = HpackEncoder(), HpackDecoder()
+    assert decoder.decode(encoder.encode(headers)) == headers
+
+
+@given(blocks=st.lists(_HEADERS, min_size=1, max_size=6))
+@settings(max_examples=30)
+def test_codec_round_trip_block_sequence(blocks):
+    """Encoder and decoder dynamic tables stay synchronized."""
+    encoder, decoder = HpackEncoder(), HpackDecoder()
+    for headers in blocks:
+        assert decoder.decode(encoder.encode(headers)) == headers
+    assert decoder.table.size == encoder.table.size
+
+
+@given(
+    entries=st.lists(st.tuples(_TOKEN, _VALUE), max_size=40),
+    max_size=st.integers(min_value=0, max_value=500),
+)
+def test_dynamic_table_never_exceeds_max(entries, max_size):
+    table = DynamicTable(max_size=max_size)
+    for name, value in entries:
+        table.add(name, value)
+        assert table.size <= max_size
+        assert table.size == sum(
+            entry_size(n, v) for n, v in (table.get(62 + i) for i in range(len(table)))
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for metric invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import cdf_points, mean, median, percentile, speed_index, std_error
+
+
+@st.composite
+def progress_curves(draw):
+    """Monotone visual-progress step functions ending at 1.0."""
+    count = draw(st.integers(1, 12))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0.1, 10_000, allow_nan=False),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    fractions = sorted(
+        draw(
+            st.lists(
+                st.floats(0.01, 0.999, allow_nan=False),
+                min_size=count - 1,
+                max_size=count - 1,
+            )
+        )
+    )
+    completeness = fractions + [1.0]
+    return list(zip(times, completeness))
+
+
+@given(curve=progress_curves())
+def test_speed_index_bounded_by_completion_time(curve):
+    index = speed_index(curve)
+    assert 0.0 <= index <= curve[-1][0] + 1e-6
+
+
+@given(curve=progress_curves(), shift=st.floats(1.0, 1000.0, allow_nan=False))
+def test_speed_index_increases_when_paints_delayed(curve, shift):
+    delayed = [(time + shift, completeness) for time, completeness in curve]
+    assert speed_index(delayed) >= speed_index(curve)
+
+
+@given(curve=progress_curves())
+def test_speed_index_at_least_first_paint_share(curve):
+    # Before the first paint the page is 0% complete.
+    assert speed_index(curve) >= curve[0][0] * (1.0 - 0.0) - 1e-9 - curve[0][0] * 0.0
+    assert speed_index(curve) >= curve[0][0] - 1e-9 if len(curve) == 1 else True
+
+
+_VALUES = st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50)
+
+
+@given(values=_VALUES)
+def test_median_between_min_and_max(values):
+    assert min(values) <= median(values) <= max(values)
+
+
+@given(values=_VALUES)
+def test_mean_between_min_and_max(values):
+    assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+@given(values=_VALUES)
+def test_percentiles_monotone(values):
+    quantiles = [percentile(values, q) for q in (0, 25, 50, 75, 100)]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[0] == min(values)
+    assert quantiles[-1] == max(values)
+
+
+@given(values=_VALUES)
+def test_cdf_ends_at_one(values):
+    points = cdf_points(values)
+    assert points[-1][1] == 1.0
+    fractions = [fraction for _v, fraction in points]
+    assert fractions == sorted(fractions)
+
+
+@given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=50))
+def test_std_error_nonnegative_and_smaller_than_range(values):
+    error = std_error(values)
+    assert error >= 0.0
+    assert error <= (max(values) - min(values)) + 1e-6

@@ -1,0 +1,110 @@
+"""Whole-system property tests: any valid site must load correctly.
+
+These drive the complete testbed (TCP, H2, browser, server) on randomly
+generated websites and check global invariants — the strongest guard
+against model deadlocks and accounting bugs.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import NoPushStrategy, PushAllStrategy
+
+_NAME = st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=8)
+
+
+@st.composite
+def small_sites(draw):
+    count = draw(st.integers(0, 6))
+    resources = []
+    names = set()
+    for index in range(count):
+        rtype = draw(
+            st.sampled_from(
+                [ResourceType.CSS, ResourceType.JS, ResourceType.IMAGE, ResourceType.FONT]
+            )
+        )
+        ext = {ResourceType.CSS: "css", ResourceType.JS: "js",
+               ResourceType.IMAGE: "jpg", ResourceType.FONT: "woff2"}[rtype]
+        name = f"{draw(_NAME)}{index}.{ext}"
+        if name in names:
+            continue
+        names.add(name)
+        third_party = draw(st.booleans()) and draw(st.booleans())
+        resources.append(
+            ResourceSpec(
+                name=name,
+                rtype=rtype,
+                size=draw(st.integers(600, 40_000)),
+                domain="tp.other.example" if third_party else None,
+                in_head=draw(st.booleans()) and rtype in (ResourceType.CSS, ResourceType.JS),
+                body_fraction=draw(st.floats(0, 1, allow_nan=False)),
+                exec_ms=draw(st.floats(0, 30, allow_nan=False)),
+                visual_weight=draw(st.floats(0, 10, allow_nan=False)),
+                above_fold=draw(st.booleans()),
+                async_script=draw(st.booleans()) and rtype == ResourceType.JS,
+            )
+        )
+    return WebsiteSpec(
+        name="prop-load",
+        primary_domain="prop.example",
+        html_size=draw(st.integers(2_000, 60_000)),
+        html_visual_weight=draw(st.floats(5, 40, allow_nan=False)),
+        atf_text_fraction=draw(st.sampled_from([0.25, 0.5, 1.0])),
+        head_inline_script_ms=draw(st.floats(0, 20, allow_nan=False)),
+        resources=resources,
+        domain_ips={"tp.other.example": "10.0.0.99"},
+    )
+
+
+@given(spec=small_sites(), push=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_every_site_loads_to_completion(spec, push):
+    strategy = PushAllStrategy() if push else NoPushStrategy()
+    result = ReplayTestbed(built=build_site(spec), strategy=strategy).run()
+
+    timeline = result.timeline
+    # Core timing invariants.
+    assert timeline.connect_end is not None
+    assert timeline.onload >= timeline.connect_end
+    assert result.plt_ms > 0
+    assert result.speed_index_ms >= 0
+
+    # Every statically discovered resource finished before onload.
+    for resource in timeline.resources.values():
+        assert resource.finished_at is not None
+        assert resource.finished_at <= timeline.onload + 1e-6
+        if resource.requested_at is not None:
+            assert resource.finished_at >= resource.requested_at
+
+    # Visual progress is monotone and ends complete.
+    progress = timeline.visual_progress()
+    completeness = [c for _t, c in progress]
+    assert completeness == sorted(completeness)
+    if completeness:
+        assert completeness[-1] == 1.0
+
+    # Push accounting is internally consistent.
+    assert timeline.pushes_adopted + timeline.pushes_cancelled <= (
+        timeline.pushes_received
+    )
+    if not push:
+        assert timeline.pushes_received == 0
+
+    # The wire carried at least the page's payload bytes.
+    assert result.downlink_bytes >= sum(
+        r.size for r in timeline.resources.values() if not r.from_cache
+    )
+
+
+@given(spec=small_sites())
+@settings(max_examples=10, deadline=None)
+def test_push_all_and_no_push_fetch_same_resources(spec):
+    built = build_site(spec)
+    baseline = ReplayTestbed(built=built, strategy=NoPushStrategy()).run()
+    pushed = ReplayTestbed(built=built, strategy=PushAllStrategy()).run()
+    assert set(baseline.timeline.resources) == set(pushed.timeline.resources)

@@ -1,0 +1,99 @@
+"""Property-based tests for priority-tree invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.h2.priority import PriorityTree
+
+
+@st.composite
+def tree_operations(draw):
+    """A random sequence of insert/remove/reprioritize operations."""
+    operations = []
+    next_id = 1
+    live = []
+    for _ in range(draw(st.integers(1, 40))):
+        choice = draw(st.integers(0, 3))
+        if choice <= 1 or not live:  # bias toward inserts
+            depends = draw(st.sampled_from(live + [0]))
+            weight = draw(st.integers(1, 256))
+            exclusive = draw(st.booleans())
+            operations.append(("insert", next_id, depends, weight, exclusive))
+            live.append(next_id)
+            next_id += 2
+        elif choice == 2:
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            operations.append(("remove", victim, 0, 0, False))
+        else:
+            stream = draw(st.sampled_from(live))
+            depends = draw(st.sampled_from([s for s in live if s != stream] + [0]))
+            weight = draw(st.integers(1, 256))
+            operations.append(("reprioritize", stream, depends, weight, draw(st.booleans())))
+    return operations
+
+
+def apply_operations(operations):
+    tree = PriorityTree()
+    live = set()
+    for op, stream, depends, weight, exclusive in operations:
+        if op == "insert":
+            tree.insert(stream, depends_on=depends, weight=weight, exclusive=exclusive)
+            live.add(stream)
+        elif op == "remove":
+            tree.remove(stream)
+            live.discard(stream)
+        else:
+            tree.reprioritize(stream, depends_on=depends, weight=weight, exclusive=exclusive)
+    return tree, live
+
+
+@given(operations=tree_operations())
+@settings(max_examples=80)
+def test_tree_stays_acyclic_and_connected(operations):
+    tree, live = apply_operations(operations)
+    for stream in live:
+        # Walking up from any node terminates at the root: no cycles.
+        seen = set()
+        current = stream
+        while current != 0:
+            assert current not in seen
+            seen.add(current)
+            current = tree.parent_of(current)
+            assert current is not None
+
+
+@given(operations=tree_operations())
+@settings(max_examples=80)
+def test_select_returns_only_ready_streams(operations):
+    tree, live = apply_operations(operations)
+    ready = {stream for index, stream in enumerate(sorted(live)) if index % 2 == 0}
+    selected = tree.select(ready)
+    if ready:
+        assert selected in ready
+    else:
+        assert selected is None
+
+
+@given(operations=tree_operations())
+@settings(max_examples=60)
+def test_parent_always_beats_descendants(operations):
+    tree, live = apply_operations(operations)
+    for stream in live:
+        parent = tree.parent_of(stream)
+        if parent not in live or parent == 0:
+            continue
+        # When both a parent and its child are ready, the parent wins.
+        assert tree.select({stream, parent}) == parent
+
+
+@given(operations=tree_operations(), charges=st.lists(st.integers(1, 10_000), max_size=30))
+@settings(max_examples=40)
+def test_charging_never_breaks_selection(operations, charges):
+    tree, live = apply_operations(operations)
+    if not live:
+        return
+    ordered = sorted(live)
+    for index, size in enumerate(charges):
+        tree.charge(ordered[index % len(ordered)], size)
+    assert tree.select(live) in live

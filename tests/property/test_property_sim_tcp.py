@@ -1,0 +1,115 @@
+"""Property-based tests for the simulator and TCP byte-stream integrity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.conditions import DSL_TESTBED, NetworkConditions
+from repro.netsim.link import SharedLink
+from repro.netsim.tcp import TcpConnection
+from repro.sim import Simulator
+
+
+@given(delays=st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50))
+def test_simulator_executes_in_nondecreasing_time(delays):
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 5000), min_size=1, max_size=20),
+    rate=st.floats(10, 10_000, allow_nan=False),
+)
+def test_link_deliveries_fifo_and_complete(sizes, rate):
+    sim = Simulator()
+    link = SharedLink(sim, rate, propagation_ms=5.0)
+    order = []
+    for index, size in enumerate(sizes):
+        link.transmit(size, lambda i=index: order.append(i))
+    sim.run()
+    assert order == list(range(len(sizes)))
+    assert link.bytes_transmitted == sum(sizes)
+
+
+@st.composite
+def chunk_lists(draw):
+    count = draw(st.integers(1, 15))
+    return [draw(st.binary(min_size=1, max_size=4000)) for _ in range(count)]
+
+
+@given(chunks=chunk_lists(), loss=st.sampled_from([0.0, 0.0, 0.01, 0.05]))
+@settings(max_examples=30, deadline=None)
+def test_tcp_delivers_exact_bytes_in_order(chunks, loss):
+    """Whatever the chunking and loss, the byte stream is preserved."""
+    conditions = NetworkConditions(
+        rtt_ms=50.0,
+        downlink_bytes_per_ms=2000.0,
+        uplink_bytes_per_ms=125.0,
+        loss_rate=loss,
+    )
+    sim = Simulator()
+    rng = random.Random(1234)
+    down = SharedLink(sim, conditions.downlink_bytes_per_ms, 25.0, rng=rng)
+    up = SharedLink(sim, conditions.uplink_bytes_per_ms, 25.0, rng=rng)
+    conn = TcpConnection(sim, downlink=down, uplink=up, conditions=conditions, rng=rng)
+    payload = b"".join(chunks)
+    received = []
+    conn.client.on_data = lambda data: received.append(bytes(data))
+    state = {"queue": list(chunks), "offset": 0}
+
+    def write():
+        while state["queue"]:
+            head = state["queue"][0]
+            accepted = conn.server.send(head[state["offset"] :])
+            state["offset"] += accepted
+            if state["offset"] < len(head):
+                return
+            state["queue"].pop(0)
+            state["offset"] = 0
+
+    conn.server.on_writable = write
+    write()
+    sim.run()
+    assert b"".join(received) == payload
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_deterministic_transfer_times_per_seed(seed):
+    def run_once():
+        sim = Simulator()
+        rng = random.Random(seed)
+        down = SharedLink(sim, 2000.0, 25.0, rng=rng)
+        up = SharedLink(sim, 125.0, 25.0, rng=rng)
+        conn = TcpConnection(sim, downlink=down, uplink=up, conditions=DSL_TESTBED, rng=rng)
+        done = {}
+        total = 60_000
+        got = []
+
+        def on_data(data):
+            got.append(len(data))
+            if sum(got) >= total:
+                done["t"] = sim.now
+
+        conn.client.on_data = on_data
+        state = {"left": total}
+
+        def write():
+            while state["left"] > 0:
+                accepted = conn.server.send(b"x" * min(4096, state["left"]))
+                state["left"] -= accepted
+                if accepted == 0:
+                    return
+
+        conn.server.on_writable = write
+        write()
+        sim.run()
+        return done["t"]
+
+    assert run_once() == run_once()

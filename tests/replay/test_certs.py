@@ -1,0 +1,47 @@
+"""Tests for the certificate / connection-coalescing model."""
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.replay.certs import Certificate, CertificateAuthority
+
+
+def test_certificate_covers_sans():
+    cert = Certificate(subject="a.example", sans=frozenset({"a.example", "b.example"}))
+    assert cert.covers("a.example")
+    assert cert.covers("b.example")
+    assert not cert.covers("c.example")
+
+
+def test_wildcard_match():
+    cert = Certificate(subject="*.example.com", sans=frozenset({"*.example.com"}))
+    assert cert.covers("img.example.com")
+    assert not cert.covers("example.org")
+
+
+def test_authority_issues_per_ip():
+    ca = CertificateAuthority()
+    cert = ca.issue("10.0.0.1", ["a.example", "cdn.a.example"])
+    assert ca.cert_for_ip("10.0.0.1") is cert
+    assert cert.covers("cdn.a.example")
+
+
+def test_issue_requires_domains():
+    with pytest.raises(ReplayError):
+        CertificateAuthority().issue("10.0.0.1", [])
+
+
+def test_unknown_ip_rejected():
+    with pytest.raises(ReplayError):
+        CertificateAuthority().cert_for_ip("10.9.9.9")
+
+
+def test_coalescing_requires_same_ip_and_san():
+    # RFC 7540 §9.1.1 — the paper's Mahimahi modification (§4.1).
+    ca = CertificateAuthority()
+    ca.issue("10.0.0.1", ["bestbuy.example", "img.bbystatic.example"])
+    assert ca.can_coalesce("10.0.0.1", "img.bbystatic.example", "10.0.0.1")
+    # same cert but different resolved IP: no coalescing
+    assert not ca.can_coalesce("10.0.0.1", "img.bbystatic.example", "10.0.0.2")
+    # same IP but name not in SANs: no coalescing
+    assert not ca.can_coalesce("10.0.0.1", "other.example", "10.0.0.1")

@@ -1,0 +1,50 @@
+"""Tests for request matching."""
+
+from repro.replay.matcher import RequestMatcher
+from repro.replay.recorddb import RecordDatabase, ResponseRecord
+
+
+def make_db():
+    db = RecordDatabase()
+    for url in (
+        "https://x.example/",
+        "https://x.example/a.css",
+        "https://x.example/search?q=old&page=1",
+        "https://y.example/a.css",
+    ):
+        db.add(ResponseRecord(url=url, headers=[("content-type", "text/plain")], body=b"ok"))
+    return db
+
+
+def test_exact_match():
+    matcher = RequestMatcher(make_db())
+    record = matcher.match("https://x.example/a.css")
+    assert record is not None
+    assert matcher.exact_matches == 1
+
+
+def test_fuzzy_match_ignores_query():
+    matcher = RequestMatcher(make_db())
+    record = matcher.match("https://x.example/search?q=new&page=2")
+    assert record is not None
+    assert record.url.startswith("https://x.example/search")
+    assert matcher.fuzzy_matches == 1
+
+
+def test_fuzzy_match_requires_same_domain():
+    matcher = RequestMatcher(make_db())
+    assert matcher.match("https://z.example/a.css") is None
+    assert matcher.misses == 1
+
+
+def test_method_mismatch_misses():
+    matcher = RequestMatcher(make_db())
+    assert matcher.match("https://x.example/a.css", method="POST") is None
+
+
+def test_fuzzy_prefers_longest_shared_prefix():
+    db = RecordDatabase()
+    db.add(ResponseRecord(url="https://x.example/p?a=1", body=b"1"))
+    matcher = RequestMatcher(db)
+    record = matcher.match("https://x.example/p?a=2")
+    assert record.body == b"1"

@@ -1,0 +1,42 @@
+"""Tests for recording built sites."""
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.html.resources import ResourceType as RT
+from repro.replay.recorder import record_site, record_spec
+
+
+def demo_spec():
+    return WebsiteSpec(
+        name="rec",
+        primary_domain="rec.example",
+        html_size=8_000,
+        resources=[
+            ResourceSpec("a.css", ResourceType.CSS, 2_000, in_head=True),
+            ResourceSpec("b.jpg", ResourceType.IMAGE, 3_000),
+        ],
+    )
+
+
+def test_record_contains_all_bodies():
+    spec = demo_spec()
+    db = record_site(build_site(spec))
+    assert len(db) == 3
+    assert db.get("https://rec.example/") is not None
+    assert db.get(spec.url_of("a.css")).rtype == RT.CSS
+    assert db.get(spec.url_of("b.jpg")).size == 3_000
+
+
+def test_records_have_replayable_headers():
+    db = record_spec(demo_spec())
+    record = db.get("https://rec.example/")
+    names = {name for name, _value in record.headers}
+    assert {"content-type", "content-length", "cache-control", "date", "server"} <= names
+
+
+def test_recording_is_deterministic():
+    spec = demo_spec()
+    db1 = record_spec(spec)
+    db2 = record_spec(spec)
+    for record in db1:
+        assert db2.get(record.url).body == record.body
+        assert db2.get(record.url).headers == record.headers

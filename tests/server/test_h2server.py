@@ -1,0 +1,104 @@
+"""Tests for the replay web server."""
+
+import pytest
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.replay import ReplayTestbed
+from repro.strategies import (
+    NoPushStrategy,
+    PushAllStrategy,
+    PushFirstNStrategy,
+    PushListStrategy,
+)
+
+
+def demo_spec(**kwargs):
+    defaults = dict(
+        name="srv",
+        primary_domain="srv.example",
+        html_size=20_000,
+        resources=[
+            ResourceSpec("a.css", ResourceType.CSS, 8_000, in_head=True),
+            ResourceSpec("b.js", ResourceType.JS, 10_000, in_head=True, exec_ms=5),
+            ResourceSpec("c.jpg", ResourceType.IMAGE, 12_000, body_fraction=0.3, visual_weight=5),
+            ResourceSpec("x.js", ResourceType.JS, 6_000, domain="third.example",
+                         body_fraction=0.8, async_script=True),
+        ],
+        domain_ips={"third.example": "10.0.0.2"},
+    )
+    defaults.update(kwargs)
+    return WebsiteSpec(**defaults)
+
+
+def run_with(strategy):
+    testbed = ReplayTestbed(built=build_site(demo_spec()), strategy=strategy)
+    return testbed.run()
+
+
+def test_no_push_serves_all_resources():
+    result = run_with(NoPushStrategy())
+    assert len(result.timeline.resources) == 5  # html + 4 subresources
+    assert result.pushed_bytes == 0
+    assert result.timeline.pushes_received == 0
+
+
+def test_push_all_pushes_only_authoritative():
+    result = run_with(PushAllStrategy())
+    # third.example is beyond the primary server's authority (§4.2).
+    pushed = {url for url, r in result.timeline.resources.items() if r.pushed}
+    assert pushed == {
+        "https://srv.example/a.css",
+        "https://srv.example/b.js",
+        "https://srv.example/c.jpg",
+    }
+    assert result.pushed_bytes == 8_000 + 10_000 + 12_000
+
+
+def test_push_first_n_limits_amount():
+    result = run_with(PushFirstNStrategy(1, order=["https://srv.example/a.css"]))
+    pushed = {url for url, r in result.timeline.resources.items() if r.pushed}
+    assert pushed == {"https://srv.example/a.css"}
+
+
+def test_push_disabled_client_receives_nothing():
+    result = run_with(NoPushStrategy())
+    assert result.timeline.pushes_received == 0
+
+
+def test_404_for_unrecorded_request():
+    # A strategy pushing an unknown URL silently skips it.
+    result = run_with(PushListStrategy(["https://srv.example/ghost.css"]))
+    assert result.pushed_bytes == 0
+
+
+def test_interleaving_plan_applied():
+    spec = demo_spec()
+    built = build_site(spec)
+    css = spec.url_of("a.css")
+    strategy = PushListStrategy(
+        [css], critical_urls=[css], interleave_offset=built.head_end_offset,
+        name="interleave",
+    )
+    testbed = ReplayTestbed(built=built, strategy=strategy)
+    result = testbed.run()
+    css_res = result.timeline.resources[css]
+    html_res = result.timeline.resources["https://srv.example/"]
+    # Interleaved CSS finishes before the HTML despite being its child.
+    assert css_res.finished_at < html_res.finished_at
+
+
+def test_metrics_positive_and_consistent():
+    result = run_with(PushAllStrategy())
+    assert result.plt_ms > 0
+    assert result.speed_index_ms > 0
+    assert result.speed_index_ms <= result.plt_ms * 1.5
+    assert result.connections == 2  # primary + third-party
+    assert result.downlink_bytes > demo_spec().total_bytes()
+
+
+def test_repeated_runs_are_deterministic():
+    testbed = ReplayTestbed(built=build_site(demo_spec()), strategy=PushAllStrategy())
+    a = testbed.run(seed=1)
+    b = testbed.run(seed=1)
+    assert a.plt_ms == b.plt_ms
+    assert a.speed_index_ms == b.speed_index_ms

@@ -1,0 +1,53 @@
+"""Tests for the Fig. 1 adoption model."""
+
+import pytest
+
+from repro.sites.adoption import MONTHS, AdoptionModel
+
+
+def test_twelve_monthly_scans():
+    scans = AdoptionModel().run()
+    assert len(scans) == 12
+    assert [scan.month for scan in scans] == MONTHS
+
+
+def test_monotone_growth():
+    scans = AdoptionModel().run()
+    h2 = [scan.h2_sites for scan in scans]
+    push = [scan.push_sites for scan in scans]
+    assert h2 == sorted(h2)
+    assert push == sorted(push)
+
+
+def test_calibration_to_paper_magnitudes():
+    scans = AdoptionModel().run()
+    # ~120K -> ~240K H2; ~400 -> ~800 push.
+    assert 100_000 <= scans[0].h2_sites <= 140_000
+    assert 210_000 <= scans[-1].h2_sites <= 270_000
+    assert 300 <= scans[0].push_sites <= 500
+    assert 700 <= scans[-1].push_sites <= 900
+
+
+def test_push_orders_of_magnitude_below_h2():
+    scans = AdoptionModel().run()
+    for scan in scans:
+        assert scan.push_share_of_h2 < 0.01
+
+
+def test_deterministic_per_seed():
+    a = AdoptionModel(seed=5).run()
+    b = AdoptionModel(seed=5).run()
+    assert [(s.h2_sites, s.push_sites) for s in a] == [
+        (s.h2_sites, s.push_sites) for s in b
+    ]
+
+
+def test_different_seeds_differ():
+    a = AdoptionModel(seed=1).run()
+    b = AdoptionModel(seed=2).run()
+    assert [s.h2_sites for s in a] != [s.h2_sites for s in b]
+
+
+def test_invalid_shares_rejected():
+    with pytest.raises(ValueError):
+        AdoptionModel(h2_start_share=0.5, h2_end_share=0.2)

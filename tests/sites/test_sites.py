@@ -1,0 +1,124 @@
+"""Tests for the site corpora: synthetic, real-world, generated."""
+
+import pytest
+
+from repro.html import build_site
+from repro.html.resources import ResourceType
+from repro.sites import (
+    RANDOM_100_PROFILE,
+    TABLE_1,
+    TOP_100_PROFILE,
+    generate_corpus,
+    realworld_sites,
+    synthetic_sites,
+)
+
+
+class TestSynthetic:
+    def test_ten_sites(self):
+        sites = synthetic_sites()
+        assert set(sites) == {f"s{i}" for i in range(1, 11)}
+
+    def test_all_single_server(self):
+        # §4.3: content is relocated to a single server.
+        for name, spec in synthetic_sites().items():
+            assert spec.pushable_share() == 1.0, name
+
+    def test_all_build(self):
+        for spec in synthetic_sites().values():
+            built = build_site(spec)
+            assert len(built.bodies) == len(spec.resources) + 1
+
+    def test_s1_has_hidden_fonts(self):
+        spec = synthetic_sites()["s1"]
+        fonts = [r for r in spec.resources if r.rtype == ResourceType.FONT]
+        assert fonts and all(f.loaded_by for f in fonts)
+
+    def test_s5_is_computation_heavy(self):
+        # §4.3 case study: execution dominates.
+        spec = synthetic_sites()["s5"]
+        total_exec = sum(r.exec_ms for r in spec.resources)
+        assert total_exec > 300
+
+    def test_s8_critical_refs_in_head(self):
+        spec = synthetic_sites()["s8"]
+        head_critical = [r for r in spec.resources if r.in_head]
+        assert len(head_critical) >= 5
+        assert spec.html_size > 60_000  # multi-RTT HTML
+
+
+class TestRealWorld:
+    def test_twenty_sites_matching_table1(self):
+        sites = realworld_sites()
+        assert sorted(sites, key=lambda k: int(k[1:])) == [f"w{i}" for i in range(1, 21)]
+        assert len(TABLE_1) == 20
+        assert TABLE_1["w1"].startswith("wikipedia")
+        assert TABLE_1["w16"].startswith("twitter")
+
+    def test_w1_large_html(self):
+        # The paper: 236 KB compressed HTML.
+        assert realworld_sites()["w1"].html_size == 236_000
+
+    def test_w17_scale(self):
+        # 369 requests to 81 servers.
+        spec = realworld_sites()["w17"]
+        assert len(spec.resources) > 300
+        assert len(spec.all_domains()) >= 80
+
+    def test_all_build_and_have_ips(self):
+        for name, spec in realworld_sites().items():
+            build_site(spec)
+            for domain in spec.all_domains():
+                assert spec.ip_of_domain(domain), (name, domain)
+
+    def test_coalescing_configured(self):
+        # The paper unifies same-infrastructure domains (e.g. bestbuy).
+        spec = realworld_sites()["w8"]
+        assert "img.bbystatic.com" in spec.coalesced_domains
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(RANDOM_100_PROFILE, 10)
+        b = generate_corpus(RANDOM_100_PROFILE, 10)
+        for site_a, site_b in zip(a, b):
+            assert site_a.spec.name == site_b.spec.name
+            assert len(site_a.spec.resources) == len(site_b.spec.resources)
+            assert site_a.deployed_push_urls == site_b.deployed_push_urls
+
+    def test_disjoint_profiles(self):
+        top = generate_corpus(TOP_100_PROFILE, 5)
+        rand = generate_corpus(RANDOM_100_PROFILE, 5)
+        assert {s.spec.name for s in top}.isdisjoint({s.spec.name for s in rand})
+
+    def test_pushable_share_calibration(self):
+        # §4.2: 52% (top) / 24% (random) of sites < 20% pushable.
+        top = generate_corpus(TOP_100_PROFILE, 100)
+        rand = generate_corpus(RANDOM_100_PROFILE, 100)
+        top_low = sum(1 for s in top if s.spec.pushable_share() < 0.2) / 100
+        rand_low = sum(1 for s in rand if s.spec.pushable_share() < 0.2) / 100
+        assert 0.35 <= top_low <= 0.70
+        assert 0.10 <= rand_low <= 0.40
+        assert top_low > rand_low
+
+    def test_deployed_push_urls_are_pushable(self):
+        for site in generate_corpus(RANDOM_100_PROFILE, 20):
+            pushable = {
+                res.url(site.spec.primary_domain)
+                for res in site.spec.pushable_resources()
+            }
+            assert set(site.deployed_push_urls) <= pushable
+
+    def test_sites_build_and_validate(self):
+        for site in generate_corpus(TOP_100_PROFILE, 5):
+            built = build_site(site.spec)
+            assert len(built.bodies) == len(site.spec.resources) + 1
+
+    def test_object_mix_dominated_by_images(self):
+        corpus = generate_corpus(RANDOM_100_PROFILE, 30)
+        counts = {}
+        for site in corpus:
+            for res in site.spec.resources:
+                counts[res.rtype] = counts.get(res.rtype, 0) + 1
+        assert counts[ResourceType.IMAGE] > counts[ResourceType.JS]
+        assert counts[ResourceType.JS] > counts[ResourceType.CSS]

@@ -1,0 +1,98 @@
+"""Tests for the §5 strategy suite construction."""
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec
+from repro.strategies.critical import (
+    StrategyDeployment,
+    build_strategy_suite,
+    critical_resource_specs,
+    critical_urls,
+)
+
+
+def demo_spec():
+    return WebsiteSpec(
+        name="crit",
+        primary_domain="c.example",
+        html_size=30_000,
+        resources=[
+            ResourceSpec("main.css", ResourceType.CSS, 10_000, in_head=True),
+            ResourceSpec("print.css", ResourceType.CSS, 2_000, in_head=True, media_print=True),
+            ResourceSpec("app.js", ResourceType.JS, 8_000, in_head=True, exec_ms=5),
+            ResourceSpec("lazy.js", ResourceType.JS, 4_000, body_fraction=0.9, async_script=True),
+            ResourceSpec("hero.jpg", ResourceType.IMAGE, 9_000, body_fraction=0.1, visual_weight=10),
+            ResourceSpec("footer.jpg", ResourceType.IMAGE, 9_000, body_fraction=0.9,
+                         visual_weight=0, above_fold=False),
+            ResourceSpec("f.woff2", ResourceType.FONT, 5_000, loaded_by="main.css", visual_weight=4),
+            ResourceSpec("tp.js", ResourceType.JS, 3_000, domain="x.example", body_fraction=0.5),
+        ],
+        domain_ips={"x.example": "10.0.0.3"},
+    )
+
+
+def test_critical_selection():
+    names = [res.name for res in critical_resource_specs(demo_spec())]
+    # CSS first, then blocking JS, then fonts, then ATF images.
+    assert names == ["main.css", "app.js", "f.woff2", "hero.jpg"]
+
+
+def test_print_css_and_async_js_not_critical():
+    names = [res.name for res in critical_resource_specs(demo_spec())]
+    assert "print.css" not in names
+    assert "lazy.js" not in names
+
+
+def test_third_party_never_critical():
+    names = [res.name for res in critical_resource_specs(demo_spec())]
+    assert "tp.js" not in names
+
+
+def test_critical_urls_absolute():
+    urls = critical_urls(demo_spec())
+    assert urls[0] == "https://c.example/main.css"
+
+
+def test_suite_has_six_deployments():
+    suite = build_strategy_suite(demo_spec())
+    assert [d.name for d in suite] == [
+        "no_push",
+        "no_push_optimized",
+        "push_all",
+        "push_all_optimized",
+        "push_critical",
+        "push_critical_optimized",
+    ]
+    assert all(isinstance(d, StrategyDeployment) for d in suite)
+
+
+def test_optimized_deployments_use_rewritten_spec():
+    suite = build_strategy_suite(demo_spec())
+    by_name = {d.name: d for d in suite}
+    assert by_name["no_push"].spec.name == "crit"
+    assert by_name["no_push_optimized"].spec.name == "crit-optimized"
+    names = {res.name for res in by_name["push_critical_optimized"].spec.resources}
+    assert "critical-main.css" in names
+    assert "rest-main.css" in names
+
+
+def test_interleaving_configured_for_optimized_push():
+    suite = build_strategy_suite(demo_spec())
+    by_name = {d.name: d for d in suite}
+    assert by_name["push_critical_optimized"].interleave_offset is not None
+    plan_strategy = by_name["push_critical_optimized"].strategy
+    assert plan_strategy.interleave_offset == by_name["push_critical_optimized"].interleave_offset
+    # Rest-halves of split stylesheets are never interleaved.
+    assert all("rest-" not in url for url in plan_strategy.critical_urls)
+
+
+def test_no_push_strategies_disable_client_push():
+    suite = build_strategy_suite(demo_spec())
+    by_name = {d.name: d for d in suite}
+    assert not by_name["no_push"].strategy.client_push_enabled
+    assert not by_name["no_push_optimized"].strategy.client_push_enabled
+    assert by_name["push_all"].strategy.client_push_enabled
+
+
+def test_explicit_offset_respected():
+    suite = build_strategy_suite(demo_spec(), interleave_offset=4_096)
+    by_name = {d.name: d for d in suite}
+    assert by_name["push_all_optimized"].interleave_offset == 4_096

@@ -1,0 +1,101 @@
+"""Tests for the push-order computation (§4.2)."""
+
+from repro.browser.timings import PageTimeline, RequestTrace
+from repro.strategies.order import (
+    DependencyTree,
+    computed_push_order,
+    majority_vote_order,
+)
+
+MAIN = "https://o.example/"
+
+
+def timeline_with(requests):
+    timeline = PageTimeline()
+    for index, (url, weight, initiator_url) in enumerate(requests):
+        timeline.requests.append(
+            RequestTrace(
+                url=url,
+                requested_at=float(index),
+                weight=weight,
+                pushed=False,
+                initiator="preload",
+                initiator_url=initiator_url,
+            )
+        )
+    return timeline
+
+
+def test_tree_structure_follows_initiators():
+    timeline = timeline_with(
+        [
+            (MAIN, 256, None),
+            ("https://o.example/a.css", 220, None),
+            ("https://o.example/f.woff2", 220, "https://o.example/a.css"),
+        ]
+    )
+    tree = DependencyTree.from_timeline(timeline, MAIN)
+    assert len(tree) == 2
+    order = tree.traverse()
+    assert order == ["https://o.example/a.css", "https://o.example/f.woff2"]
+
+
+def test_traverse_orders_by_weight_then_time():
+    timeline = timeline_with(
+        [
+            (MAIN, 256, None),
+            ("https://o.example/img.jpg", 110, None),
+            ("https://o.example/a.css", 220, None),
+            ("https://o.example/b.js", 183, None),
+        ]
+    )
+    order = DependencyTree.from_timeline(timeline, MAIN).traverse()
+    assert order == [
+        "https://o.example/a.css",
+        "https://o.example/b.js",
+        "https://o.example/img.jpg",
+    ]
+
+
+def test_pushed_requests_excluded():
+    timeline = timeline_with([(MAIN, 256, None)])
+    timeline.requests.append(
+        RequestTrace("https://o.example/p.css", 1.0, 110, True, "push")
+    )
+    tree = DependencyTree.from_timeline(timeline, MAIN)
+    assert len(tree) == 0
+
+
+def test_majority_vote_stable_case():
+    orders = [["a", "b", "c"]] * 3
+    assert majority_vote_order(orders) == ["a", "b", "c"]
+
+
+def test_majority_vote_outvotes_minority():
+    orders = [["a", "b", "c"], ["a", "b", "c"], ["b", "a", "c"]]
+    assert majority_vote_order(orders) == ["a", "b", "c"]
+
+
+def test_majority_vote_handles_missing_urls():
+    # A URL absent from one run ranks last for that run.
+    orders = [["a", "b"], ["a", "b", "c"]]
+    assert majority_vote_order(orders) == ["a", "b", "c"]
+
+
+def test_majority_vote_empty():
+    assert majority_vote_order([]) == []
+
+
+def test_computed_push_order_end_to_end():
+    timelines = [
+        timeline_with(
+            [
+                (MAIN, 256, None),
+                ("https://o.example/a.css", 220, None),
+                ("https://o.example/b.js", 183, None),
+            ]
+        )
+        for _ in range(3)
+    ]
+    order = computed_push_order(timelines, MAIN)
+    assert order == ["https://o.example/a.css", "https://o.example/b.js"]

@@ -1,0 +1,106 @@
+"""Tests for the basic strategy family."""
+
+from repro.html import ResourceSpec, ResourceType, WebsiteSpec, build_site
+from repro.html.resources import ResourceType as RT
+from repro.replay.recorder import record_site
+from repro.strategies import (
+    NoPushStrategy,
+    PushAllStrategy,
+    PushByTypeStrategy,
+    PushFirstNStrategy,
+    PushListStrategy,
+    PushPlan,
+)
+
+
+def make_db():
+    spec = WebsiteSpec(
+        name="strat",
+        primary_domain="s.example",
+        html_size=5_000,
+        resources=[
+            ResourceSpec("a.css", ResourceType.CSS, 1_000, in_head=True),
+            ResourceSpec("b.js", ResourceType.JS, 1_000, in_head=True),
+            ResourceSpec("c.jpg", ResourceType.IMAGE, 1_000),
+            ResourceSpec("d.jpg", ResourceType.IMAGE, 1_000),
+            ResourceSpec("e.js", ResourceType.JS, 1_000, domain="ext.example",
+                         body_fraction=0.9),
+        ],
+        domain_ips={"ext.example": "10.0.0.9"},
+    )
+    return spec, record_site(build_site(spec))
+
+
+MAIN = "https://s.example/"
+
+
+def authoritative(url):
+    return "s.example/" in url and "ext.example" not in url
+
+
+def test_no_push_plan_empty():
+    _spec, db = make_db()
+    plan = NoPushStrategy().plan(MAIN, db, authoritative)
+    assert plan.urls == []
+    assert not NoPushStrategy().client_push_enabled
+
+
+def test_push_all_excludes_main_and_foreign():
+    _spec, db = make_db()
+    plan = PushAllStrategy().plan(MAIN, db, authoritative)
+    assert MAIN not in plan.urls
+    assert all("ext.example" not in url for url in plan.urls)
+    assert len(plan.urls) == 4
+
+
+def test_push_all_respects_order():
+    _spec, db = make_db()
+    order = ["https://s.example/c.jpg", "https://s.example/a.css"]
+    plan = PushAllStrategy(order=order).plan(MAIN, db, authoritative)
+    assert plan.urls[:2] == order
+    assert len(plan.urls) == 4
+
+
+def test_push_first_n():
+    _spec, db = make_db()
+    order = [
+        "https://s.example/a.css",
+        "https://s.example/b.js",
+        "https://s.example/c.jpg",
+    ]
+    plan = PushFirstNStrategy(2, order=order).plan(MAIN, db, authoritative)
+    assert plan.urls == order[:2]
+    assert PushFirstNStrategy(2).name == "push_2"
+
+
+def test_push_by_type():
+    _spec, db = make_db()
+    plan = PushByTypeStrategy([RT.CSS]).plan(MAIN, db, authoritative)
+    assert plan.urls == ["https://s.example/a.css"]
+    combo = PushByTypeStrategy([RT.CSS, RT.IMAGE]).plan(MAIN, db, authoritative)
+    assert len(combo.urls) == 3
+
+
+def test_push_by_type_name():
+    assert PushByTypeStrategy([RT.CSS, RT.IMAGE]).name == "push_css+image"
+
+
+def test_push_list_filters_authority():
+    _spec, db = make_db()
+    strategy = PushListStrategy(
+        ["https://s.example/a.css", "https://ext.example/e.js"],
+        name="custom",
+    )
+    plan = strategy.plan(MAIN, db, authoritative)
+    assert plan.urls == ["https://s.example/a.css"]
+
+
+def test_plan_critical_urls_merged_into_urls():
+    plan = PushPlan(urls=["b"], critical_urls=["a"], interleave_offset=100)
+    assert plan.urls == ["a", "b"]
+    assert plan.interleaving
+
+
+def test_plan_without_offset_not_interleaving():
+    plan = PushPlan(urls=["a"], critical_urls=["a"])
+    assert not plan.interleaving

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_sites_lists_everything(capsys):
+    code, out, _err = run_cli(capsys, "sites")
+    assert code == 0
+    assert "s1" in out and "s10" in out
+    assert "w1" in out and "wikipedia" in out
+    assert "w20" in out
+
+
+def test_replay_no_push(capsys):
+    code, out, _err = run_cli(capsys, "replay", "s2", "--runs", "2")
+    assert code == 0
+    assert "PLT" in out and "SpeedIndex" in out
+    assert "no_push" in out
+
+
+def test_replay_push_all(capsys):
+    code, out, _err = run_cli(capsys, "replay", "s2", "--strategy", "push_all",
+                              "--runs", "2")
+    assert code == 0
+    assert "pushed bytes" in out
+
+
+def test_replay_unknown_site_fails_cleanly(capsys):
+    code, _out, err = run_cli(capsys, "replay", "nope")
+    assert code == 2
+    assert "unknown site" in err
+
+
+def test_replay_unknown_strategy_fails_cleanly(capsys):
+    code, _out, err = run_cli(capsys, "replay", "s2", "--strategy", "wat")
+    assert code == 2
+    assert "unknown strategy" in err
+
+
+def test_order_command(capsys):
+    code, out, _err = run_cli(capsys, "order", "s2", "--runs", "2")
+    assert code == 0
+    assert "computed push order" in out
+    assert "style.css" in out
+
+
+def test_suite_command(capsys):
+    code, out, _err = run_cli(capsys, "suite", "s7", "--runs", "2")
+    assert code == 0
+    assert "push_critical_optimized" in out
+    assert "baseline" in out
+
+
+def test_fig1_command(capsys):
+    code, out, _err = run_cli(capsys, "fig", "1")
+    assert code == 0
+    assert "HTTP/2 sites" in out
+
+
+def test_fig5_command(capsys):
+    code, out, _err = run_cli(capsys, "fig", "5", "--runs", "2")
+    assert code == 0
+    assert "interleaving" in out
+
+
+def test_fig_unknown_fails(capsys):
+    code, _out, err = run_cli(capsys, "fig", "9")
+    assert code == 2
+    assert "unknown figure" in err
+
+
+def test_push_n_strategy_parsing(capsys):
+    code, out, _err = run_cli(capsys, "replay", "s6", "--strategy", "push_3",
+                              "--runs", "2")
+    assert code == 0
+    assert "push_3" in out
+
+
+def test_waterfall_command(capsys):
+    code, out, _err = run_cli(capsys, "waterfall", "s2", "--strategy", "push_all",
+                              "--width", "40")
+    assert code == 0
+    assert "PUSH" in out
+    assert "first paint" in out

@@ -1,0 +1,41 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_mbit_per_s():
+    # 16 Mbit/s = 2,000,000 bytes/s = 2000 bytes/ms.
+    assert units.mbit_per_s(16) == pytest.approx(2000.0)
+
+
+def test_kbit_per_s():
+    assert units.kbit_per_s(1000) == pytest.approx(125.0)
+
+
+def test_round_trip_bandwidth_conversion():
+    rate = units.mbit_per_s(42.5)
+    assert units.bytes_per_ms_to_mbit(rate) == pytest.approx(42.5)
+
+
+def test_seconds():
+    assert units.seconds(1.5) == 1500.0
+
+
+def test_transmission_delay():
+    # 2000 bytes at 2000 bytes/ms -> 1 ms.
+    assert units.transmission_delay_ms(2000, 2000.0) == pytest.approx(1.0)
+
+
+def test_transmission_delay_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.transmission_delay_ms(1000, 0)
+
+
+def test_fmt_kb():
+    assert units.fmt_kb(309_000) == "309 KB"
+
+
+def test_fmt_ms():
+    assert units.fmt_ms(1038.4) == "1,038 ms"
