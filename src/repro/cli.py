@@ -7,10 +7,15 @@ Usage::
     python -m repro suite w16                    # the six §5 deployments
     python -m repro order s4                     # §4.2 push-order pipeline
     python -m repro fig 5                        # regenerate a figure
+    python -m repro fig 6 --jobs 8 --cache .repro-cache   # parallel + cached
     python -m repro abtest w1                    # §6 CDN A/B selection
 
 Every command prints the same rows/series the corresponding paper
-artefact reports.
+artefact reports.  Measurement commands run on the experiment engine:
+``--jobs N`` fans cells out across processes, ``--cache DIR`` (or
+``$REPRO_CACHE_DIR``) reuses finished cells across invocations,
+``--force`` ignores cached entries, and ``--report`` prints the
+engine's per-grid timing/cache summary to stderr.
 """
 
 from __future__ import annotations
@@ -72,6 +77,58 @@ def _make_strategy(name: str, spec: WebsiteSpec):
     )
 
 
+def _engine_from_args(args):
+    """Build the experiment engine the flags describe."""
+    from pathlib import Path
+
+    from .experiments.engine import (
+        ExperimentEngine,
+        ParallelExecutor,
+        ResultCache,
+        SerialExecutor,
+        default_cache_dir,
+    )
+
+    jobs = getattr(args, "jobs", 1)
+    executor = ParallelExecutor(jobs) if jobs and jobs > 1 else SerialExecutor()
+    cache = None
+    if not getattr(args, "no_cache", False):
+        root = Path(args.cache) if getattr(args, "cache", None) else default_cache_dir()
+        if root is not None:
+            cache = ResultCache(root)
+    return ExperimentEngine(
+        executor=executor, cache=cache, force=getattr(args, "force", False)
+    )
+
+
+def _maybe_report(args, engine) -> None:
+    if getattr(args, "report", False) and engine.reports:
+        print(engine.render_reports(), file=sys.stderr)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("engine")
+    group.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cell execution (default: 1 = serial)",
+    )
+    group.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR; unset = off)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    group.add_argument(
+        "--force", action="store_true",
+        help="ignore cached cells, re-run and overwrite them",
+    )
+    group.add_argument(
+        "--report", action="store_true",
+        help="print the engine progress/timing report to stderr",
+    )
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -86,33 +143,40 @@ def cmd_sites(_args) -> int:
 
 
 def cmd_replay(args) -> int:
-    from .experiments import run_repeated
+    from .experiments.engine import Cell
 
     spec = _resolve_site(args.site)
     strategy = _make_strategy(args.strategy, spec)
-    built = build_site(spec)
-    cell = run_repeated(spec, strategy, runs=args.runs, built=built)
+    engine = _engine_from_args(args)
+    cell = engine.run_cell(Cell(spec=spec, strategy=strategy, runs=args.runs))
     print(
         f"{spec.name} × {args.runs} runs, strategy={strategy.name}\n"
         f"  PLT        median {cell.median_plt:8.1f} ms   σx̄ {cell.plt_std_error:6.2f}\n"
         f"  SpeedIndex median {cell.median_si:8.1f} ms   σx̄ {cell.si_std_error:6.2f}\n"
         f"  pushed bytes      {cell.pushed_bytes / 1000:8.1f} KB"
     )
+    _maybe_report(args, engine)
     return 0
 
 
 def cmd_suite(args) -> int:
-    from .experiments import run_repeated
+    from .experiments.engine import Grid
     from .metrics import confidence_interval, relative_change
     from .strategies.critical import build_strategy_suite
 
     spec = _resolve_site(args.site)
+    engine = _engine_from_args(args)
+    deployments = build_strategy_suite(spec)
+    grid = Grid(name=f"suite/{spec.name}")
+    for deployment in deployments:
+        grid.add(
+            deployment.spec, deployment.strategy, runs=args.runs,
+            label=f"{spec.name}/{deployment.name}",
+        )
+    cells = engine.run(grid)
     baseline = None
     print(f"{spec.name}: the six §5 deployments ({args.runs} runs each)")
-    for deployment in build_strategy_suite(spec):
-        built = build_site(deployment.spec)
-        cell = run_repeated(deployment.spec, deployment.strategy,
-                            runs=args.runs, built=built)
+    for deployment, cell in zip(deployments, cells):
         if deployment.name == "no_push":
             baseline = cell
             print(f"  {deployment.name:<26} SI {cell.median_si:7.0f} ms (baseline)")
@@ -125,40 +189,55 @@ def cmd_suite(args) -> int:
             f"  {deployment.name:<26} ΔSI {center:+7.2f}% ± {half:5.2f}"
             f"   pushed {cell.pushed_bytes / 1000:7.1f} KB"
         )
+    _maybe_report(args, engine)
     return 0
 
 
 def cmd_order(args) -> int:
-    from .experiments import compute_order_for
-
     spec = _resolve_site(args.site)
-    order = compute_order_for(spec, runs=args.runs)
+    engine = _engine_from_args(args)
+    order = engine.order_for(spec, runs=args.runs)
     print(f"computed push order for {spec.name} ({args.runs} traced runs):")
     for position, url in enumerate(order, start=1):
         print(f"  {position:>3}. {url}")
+    _maybe_report(args, engine)
     return 0
 
 
 def cmd_fig(args) -> int:
     from . import experiments as exp
 
+    engine = _engine_from_args(args)
     figure = args.figure
     if figure == "1":
         print(exp.run_fig1().render())
     elif figure == "2":
         print(exp.run_fig2(exp.Fig2Config(sites=args.sites, runs=args.runs)).render())
+    elif figure == "3":
+        config = exp.Fig3Config(sites=args.sites, runs=args.runs)
+        print(exp.run_fig3a(config, engine=engine).render())
+        print(exp.run_fig3b(config, engine=engine).render())
     elif figure == "3a":
-        print(exp.run_fig3a(exp.Fig3Config(sites=args.sites, runs=args.runs)).render())
+        print(
+            exp.run_fig3a(
+                exp.Fig3Config(sites=args.sites, runs=args.runs), engine=engine
+            ).render()
+        )
     elif figure == "3b":
-        print(exp.run_fig3b(exp.Fig3Config(sites=args.sites, runs=args.runs)).render())
+        print(
+            exp.run_fig3b(
+                exp.Fig3Config(sites=args.sites, runs=args.runs), engine=engine
+            ).render()
+        )
     elif figure == "4":
-        print(exp.run_fig4(exp.Fig4Config(runs=args.runs)).render())
+        print(exp.run_fig4(exp.Fig4Config(runs=args.runs), engine=engine).render())
     elif figure == "5":
-        print(exp.run_fig5(exp.Fig5Config(runs=args.runs)).render())
+        print(exp.run_fig5(exp.Fig5Config(runs=args.runs), engine=engine).render())
     elif figure == "6":
-        print(exp.run_fig6(exp.Fig6Config(runs=args.runs)).render())
+        print(exp.run_fig6(exp.Fig6Config(runs=args.runs), engine=engine).render())
     else:
-        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3a, 3b, 4, 5, 6)")
+        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3, 3a, 3b, 4, 5, 6)")
+    _maybe_report(args, engine)
     return 0
 
 
@@ -182,10 +261,12 @@ def cmd_abtest(args) -> int:
     from .experiments.ab_testing import ABTestConfig, StrategySelector
 
     spec = _resolve_site(args.site)
+    engine = _engine_from_args(args)
     selector = StrategySelector(
-        spec, ABTestConfig(lab_runs=args.runs, rum_runs=args.rum_runs)
+        spec, ABTestConfig(lab_runs=args.runs, rum_runs=args.rum_runs), engine=engine
     )
     print(selector.run().render())
+    _maybe_report(args, engine)
     return 0
 
 
@@ -205,22 +286,26 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("site")
     replay.add_argument("--strategy", default="no_push")
     replay.add_argument("--runs", type=int, default=5)
+    _add_engine_options(replay)
     replay.set_defaults(func=cmd_replay)
 
     suite = sub.add_parser("suite", help="run the six §5 deployments on a site")
     suite.add_argument("site")
     suite.add_argument("--runs", type=int, default=5)
+    _add_engine_options(suite)
     suite.set_defaults(func=cmd_suite)
 
     order = sub.add_parser("order", help="compute the §4.2 push order for a site")
     order.add_argument("site")
     order.add_argument("--runs", type=int, default=5)
+    _add_engine_options(order)
     order.set_defaults(func=cmd_order)
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
-    fig.add_argument("figure", help="1, 2, 3a, 3b, 4, 5, or 6")
+    fig.add_argument("figure", help="1, 2, 3, 3a, 3b, 4, 5, or 6")
     fig.add_argument("--sites", type=int, default=10)
     fig.add_argument("--runs", type=int, default=5)
+    _add_engine_options(fig)
     fig.set_defaults(func=cmd_fig)
 
     waterfall = sub.add_parser("waterfall", help="render a load as an ASCII waterfall")
@@ -233,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     abtest.add_argument("site")
     abtest.add_argument("--runs", type=int, default=3)
     abtest.add_argument("--rum-runs", type=int, default=7)
+    _add_engine_options(abtest)
     abtest.set_defaults(func=cmd_abtest)
 
     return parser

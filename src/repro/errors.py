@@ -77,3 +77,11 @@ class BrowserError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment or testbed configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment cell produced inconsistent or unusable results.
+
+    Examples: per-run pushed-byte counts that disagree within one cell,
+    or a cached record that fails integrity checks.
+    """

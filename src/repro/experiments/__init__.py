@@ -1,6 +1,14 @@
 """Experiments reproducing every table and figure of the paper."""
 
 from .ab_testing import ABTestConfig, ABTestResult, StrategySelector
+from .engine import (
+    Cell,
+    ExperimentEngine,
+    Grid,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+)
 from .fig1_adoption import Fig1Config, Fig1Result, run_fig1
 from .fig2_testbed import Fig2Config, Fig2Result, run_fig2
 from .fig3_strategies import Fig3aResult, Fig3bResult, Fig3Config, run_fig3a, run_fig3b
@@ -20,6 +28,12 @@ from .tables import (
 __all__ = [
     "ABTestConfig",
     "ABTestResult",
+    "Cell",
+    "ExperimentEngine",
+    "Grid",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
     "Fig1Config",
     "Fig1Result",
     "Fig2Config",

@@ -25,12 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..html.builder import build_site
 from ..html.spec import WebsiteSpec
-from ..metrics.stats import confidence_interval, median
-from ..netsim.conditions import InternetConditions
+from ..metrics.stats import confidence_interval
+from ..netsim.conditions import FixedConditions, InternetConditions
 from ..strategies.critical import StrategyDeployment, build_strategy_suite
-from .runner import run_repeated
+from .engine import ExperimentEngine, Grid
 
 
 @dataclass
@@ -92,34 +91,33 @@ class StrategySelector:
         spec: WebsiteSpec,
         config: Optional[ABTestConfig] = None,
         candidates: Optional[List[StrategyDeployment]] = None,
+        engine: Optional[ExperimentEngine] = None,
     ):
         self.spec = spec
         self.config = config or ABTestConfig()
         self.candidates = candidates or build_strategy_suite(spec)
-        self._built = {
-            deployment.name: build_site(deployment.spec)
-            for deployment in self.candidates
-        }
+        self.engine = engine or ExperimentEngine()
 
     # ------------------------------------------------------------------
     def lab_phase(self) -> List[LabMeasurement]:
         """Rank every candidate in the deterministic testbed."""
-        measurements = []
+        grid = Grid(name=f"abtest-lab/{self.spec.name}")
         for deployment in self.candidates:
-            cell = run_repeated(
+            grid.add(
                 deployment.spec,
                 deployment.strategy,
                 runs=self.config.lab_runs,
-                built=self._built[deployment.name],
+                label=f"{self.spec.name}/{deployment.name}",
             )
-            measurements.append(
-                LabMeasurement(
-                    deployment=deployment.name,
-                    median_si=cell.median_si,
-                    median_plt=cell.median_plt,
-                    pushed_bytes=cell.pushed_bytes,
-                )
+        measurements = [
+            LabMeasurement(
+                deployment=deployment.name,
+                median_si=cell.median_si,
+                median_plt=cell.median_plt,
+                pushed_bytes=cell.pushed_bytes,
             )
+            for deployment, cell in zip(self.candidates, self.engine.run(grid))
+        ]
         measurements.sort(key=lambda m: m.median_si)
         return measurements
 
@@ -131,33 +129,33 @@ class StrategySelector:
         that remains is genuine strategy-independent variance.
         """
         baseline_deployment = self.candidates[0]  # no_push by suite order
-        deltas: List[float] = []
         # RUM clients behind CDN edges rarely see heavy loss; cap it so
         # a single pathological client does not dominate the A/B test.
         sampler = InternetConditions(max_loss=0.004)
+        grid = Grid(name=f"abtest-rum/{self.spec.name}")
         for run_index in range(self.config.rum_runs):
-            conditions = sampler.sample(_rum_rng(self.spec.name, run_index))
-            from ..netsim.conditions import FixedConditions
-
-            fixed = FixedConditions(conditions)
-            arm_a = run_repeated(
+            fixed = FixedConditions(sampler.sample(_rum_rng(self.spec.name, run_index)))
+            grid.add(
                 baseline_deployment.spec,
                 baseline_deployment.strategy,
                 runs=1,
                 conditions=fixed,
-                built=self._built[baseline_deployment.name],
                 seed_base=1000 + run_index,
+                label=f"rum{run_index}/A",
             )
             # Paired design: both arms share the seed so client-side
             # jitter cancels and only the strategy differs.
-            arm_b = run_repeated(
+            grid.add(
                 winner.spec,
                 winner.strategy,
                 runs=1,
                 conditions=fixed,
-                built=self._built[winner.name],
                 seed_base=1000 + run_index,
+                label=f"rum{run_index}/B",
             )
+        cells = self.engine.run(grid)
+        deltas: List[float] = []
+        for arm_a, arm_b in zip(cells[0::2], cells[1::2]):
             base = arm_a.median_si
             deltas.append((arm_b.median_si - base) / base * 100.0)
         return confidence_interval(deltas, self.config.confidence)

@@ -1,0 +1,30 @@
+"""Unified experiment engine.
+
+Declare measurements as :class:`Cell`/:class:`Grid`, submit them to an
+:class:`ExperimentEngine`, and get results back aligned with the grid —
+executed serially (reference behaviour), in parallel across CPU cores,
+or straight from the content-addressed result cache.
+"""
+
+from .cache import CACHE_ENV_VAR, ResultCache, default_cache_dir
+from .cell import Cell, Grid
+from .core import ExperimentEngine
+from .executors import Executor, ParallelExecutor, SerialExecutor, execute_cell
+from .fingerprint import fingerprint
+from .records import CellRecord, ProgressReport
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "Cell",
+    "CellRecord",
+    "Executor",
+    "ExperimentEngine",
+    "Grid",
+    "ParallelExecutor",
+    "ProgressReport",
+    "ResultCache",
+    "SerialExecutor",
+    "default_cache_dir",
+    "execute_cell",
+    "fingerprint",
+]

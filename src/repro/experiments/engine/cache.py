@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of finished experiment cells.
+
+Layout (under the cache root)::
+
+    cells/<key[:2]>/<key>.pkl     pickled RepeatedResult per cell
+    orders/<key>.json             memoized §4.2 push orders
+    records.jsonl                 one JSON line per finished cell
+
+Keys come from :mod:`.fingerprint`: they cover the spec, strategy,
+conditions, runs, and seed base, so any configuration change yields a
+different key and the stale entry is simply never read again.  Writes
+are atomic (write to a temp file, then :func:`os.replace`) so a killed
+run never leaves a truncated record behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from ..runner import RepeatedResult
+
+#: Environment variable naming the default cache directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache root from ``$REPRO_CACHE_DIR``; ``None`` disables caching."""
+    value = os.environ.get(CACHE_ENV_VAR, "").strip()
+    return Path(value) if value else None
+
+
+class ResultCache:
+    """Store and retrieve finished cells by content-addressed key."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def cell_path(self, key: str) -> Path:
+        return self.root / "cells" / key[:2] / f"{key}.pkl"
+
+    def has(self, key: str) -> bool:
+        return self.cell_path(key).exists()
+
+    def load(self, key: str) -> Optional[RepeatedResult]:
+        data = self.load_bytes(key)
+        if data is None:
+            return None
+        return pickle.loads(data)
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        """Raw stored record; exposed so tests can assert byte identity."""
+        path = self.cell_path(key)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def store(self, key: str, result: RepeatedResult) -> Path:
+        path = self.cell_path(key)
+        self._atomic_write(path, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        return path
+
+    # ------------------------------------------------------------------
+    def order_path(self, key: str) -> Path:
+        return self.root / "orders" / f"{key}.json"
+
+    def load_order(self, key: str) -> Optional[List[str]]:
+        import json
+
+        path = self.order_path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+
+    def store_order(self, key: str, order: List[str]) -> None:
+        import json
+
+        self._atomic_write(self.order_path(key), json.dumps(order).encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    @property
+    def records_path(self) -> Path:
+        return self.root / "records.jsonl"
+
+    def append_records(self, lines: List[str]) -> None:
+        if not lines:
+            return
+        self.records_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.records_path.open("a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,94 @@
+"""Declarative experiment cells and grids.
+
+A :class:`Cell` is the unit of measurement everywhere in the package:
+one (site spec, strategy, network conditions, repetition count, seed)
+tuple, replayed ``runs`` times by :func:`repro.experiments.runner.
+run_repeated`.  A :class:`Grid` is an ordered batch of cells submitted
+to the engine together; executors may run them in any order, but
+results always come back positionally aligned with ``grid.cells``.
+
+Cells carry *data only* — no callables, no pre-built sites — so they
+can be pickled to worker processes and fingerprinted for the result
+cache.  Workers rebuild :class:`BuiltSite` from the spec, which is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ...html.spec import WebsiteSpec
+from ...netsim.conditions import ConditionSampler
+from ...strategies.base import PushStrategy
+from .fingerprint import fingerprint
+
+
+@dataclass
+class Cell:
+    """One (site, strategy, environment) measurement configuration."""
+
+    spec: WebsiteSpec
+    strategy: Optional[PushStrategy]
+    runs: int
+    seed_base: int = 0
+    #: Per-run network sampler; ``None`` = the fixed DSL testbed.
+    conditions: Optional[ConditionSampler] = None
+    #: Free-form tag for experiment-side bookkeeping (e.g. ``"s3/
+    #: baseline"``).  Not part of the cache key.
+    label: str = ""
+
+    def key(self) -> str:
+        """Content-addressed cache key; excludes the display label."""
+        return fingerprint(
+            {
+                "spec": self.spec,
+                "strategy": self.strategy,
+                "conditions": self.conditions,
+                "runs": self.runs,
+                "seed_base": self.seed_base,
+            }
+        )
+
+    @property
+    def strategy_name(self) -> str:
+        return self.strategy.name if self.strategy is not None else "no_push"
+
+    def describe(self) -> str:
+        return self.label or f"{self.spec.name}/{self.strategy_name}"
+
+
+@dataclass
+class Grid:
+    """An ordered batch of cells evaluated together."""
+
+    name: str = "grid"
+    cells: List[Cell] = field(default_factory=list)
+
+    def add(
+        self,
+        spec: WebsiteSpec,
+        strategy: Optional[PushStrategy],
+        runs: int,
+        seed_base: int = 0,
+        conditions: Optional[ConditionSampler] = None,
+        label: str = "",
+    ) -> int:
+        """Append a cell; returns its index into the result list."""
+        self.cells.append(
+            Cell(
+                spec=spec,
+                strategy=strategy,
+                runs=runs,
+                seed_base=seed_base,
+                conditions=conditions,
+                label=label,
+            )
+        )
+        return len(self.cells) - 1
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)

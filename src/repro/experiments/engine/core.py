@@ -1,0 +1,159 @@
+"""The experiment engine: grids in, positionally aligned results out.
+
+``ExperimentEngine`` is the single execution substrate behind every
+figure, table, and CLI command: experiments *declare* their cells as a
+:class:`Grid` and submit it; the engine consults the content-addressed
+result cache, fans the remaining cells out through the configured
+executor, stores fresh results, and keeps structured per-cell records
+plus a progress/timing report.
+
+Determinism contract: a cell's result depends only on the cell itself
+(spec, strategy, conditions, runs, seed base) — never on the executor,
+submission order, or cache state.  The serial executor with a cold
+cache therefore reproduces the historical hand-rolled loops bit for
+bit, and the parallel executor and warm cache are pure speed-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...html.spec import WebsiteSpec
+from ..runner import RepeatedResult
+from .cache import ResultCache, default_cache_dir
+from .cell import Cell, Grid
+from .executors import Executor, SerialExecutor
+from .fingerprint import fingerprint
+from .records import CellRecord, ProgressReport
+
+
+class ExperimentEngine:
+    """Schedule grids of experiment cells over an executor and a cache."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        force: bool = False,
+    ):
+        """``cache=None`` falls back to ``$REPRO_CACHE_DIR`` (no caching
+        when unset).  ``force=True`` ignores existing cache entries but
+        still stores fresh results."""
+        self.executor = executor or SerialExecutor()
+        if cache is None:
+            root = default_cache_dir()
+            cache = ResultCache(root) if root is not None else None
+        self.cache = cache
+        self.force = force
+        self.reports: List[ProgressReport] = []
+        #: In-memory memo of §4.2 push orders shared across experiments.
+        self._orders: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, grid: Grid) -> List[RepeatedResult]:
+        """Evaluate every cell; results align with ``grid.cells``."""
+        report = ProgressReport(grid_name=grid.name, executor=self.executor.name)
+        results: List[Optional[RepeatedResult]] = [None] * len(grid.cells)
+        keys = [cell.key() for cell in grid.cells]
+
+        pending: List[Tuple[int, Cell]] = []
+        for index, cell in enumerate(grid.cells):
+            cached = None
+            if self.cache is not None and not self.force:
+                cached = self.cache.load(keys[index])
+            if cached is not None:
+                results[index] = cached
+                report.records.append(
+                    self._record(index, cell, keys[index], cached, 0.0, hit=True)
+                )
+            else:
+                pending.append((index, cell))
+
+        def on_result(batch_index: int, result: RepeatedResult, wall_ms: float) -> None:
+            index, cell = pending[batch_index]
+            results[index] = result
+            if self.cache is not None:
+                self.cache.store(keys[index], result)
+            report.records.append(
+                self._record(index, cell, keys[index], result, wall_ms, hit=False)
+            )
+
+        self.executor.run([cell for _, cell in pending], on_result)
+        report.finish()
+        report.records.sort(key=lambda record: record.index)
+        if self.cache is not None:
+            self.cache.append_records([record.to_json() for record in report.records])
+        self.reports.append(report)
+        return results  # type: ignore[return-value]
+
+    def run_cell(self, cell: Cell) -> RepeatedResult:
+        """Evaluate a single cell through the cache + executor path."""
+        return self.run(Grid(name=cell.describe(), cells=[cell]))[0]
+
+    # ------------------------------------------------------------------
+    def order_for(self, spec: WebsiteSpec, runs: int = 5) -> List[str]:
+        """§4.2 push-order computation, memoized across experiments.
+
+        The order derives from deterministic no-push loads of the spec,
+        so it is memoized in-memory (shared by every experiment on this
+        engine) and, when a cache is configured, on disk keyed by the
+        (spec, runs) fingerprint.
+        """
+        from ...html.builder import build_site
+        from ...strategies.order import computed_push_order
+        from ...strategies.simple import NoPushStrategy
+
+        key = fingerprint({"order_spec": spec, "order_runs": runs})
+        if key in self._orders:
+            return list(self._orders[key])
+        if self.cache is not None and not self.force:
+            stored = self.cache.load_order(key)
+            if stored is not None:
+                self._orders[key] = stored
+                return list(stored)
+        repeated = self.run_cell(
+            Cell(
+                spec=spec,
+                strategy=NoPushStrategy(),
+                runs=runs,
+                label=f"{spec.name}/order",
+            )
+        )
+        timelines = [result.timeline for result in repeated.results]
+        order = computed_push_order(timelines, build_site(spec).html_url)
+        self._orders[key] = order
+        if self.cache is not None:
+            self.cache.store_order(key, order)
+        return list(order)
+
+    # ------------------------------------------------------------------
+    @property
+    def last_report(self) -> Optional[ProgressReport]:
+        return self.reports[-1] if self.reports else None
+
+    def render_reports(self) -> str:
+        return "\n".join(report.render() for report in self.reports)
+
+    def _record(
+        self,
+        index: int,
+        cell: Cell,
+        key: str,
+        result: RepeatedResult,
+        wall_ms: float,
+        hit: bool,
+    ) -> CellRecord:
+        return CellRecord(
+            index=index,
+            key=key,
+            site=result.site,
+            strategy=result.strategy,
+            label=cell.label,
+            runs=cell.runs,
+            seed_base=cell.seed_base,
+            executor="cache" if hit else self.executor.name,
+            cache_hit=hit,
+            wall_ms=wall_ms,
+            median_plt_ms=result.median_plt,
+            median_si_ms=result.median_si,
+        )

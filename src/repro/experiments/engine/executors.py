@@ -1,0 +1,119 @@
+"""Pluggable cell executors.
+
+* :class:`SerialExecutor` runs cells in submission order in-process —
+  the reference behaviour, bit-for-bit identical to the historical
+  hand-rolled experiment loops.
+* :class:`ParallelExecutor` fans cells out across CPU cores with a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Cells are pickled
+  to workers, which rebuild the :class:`BuiltSite` from the spec and
+  run the same deterministic replay — per-cell seeds depend only on
+  the cell, so results are identical to the serial executor regardless
+  of scheduling order.
+
+Both expose ``run(cells, on_result)``: ``on_result(index, result,
+wall_ms)`` fires as each cell finishes (in completion order for the
+parallel executor), and the returned list is positionally aligned with
+``cells``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..runner import RepeatedResult, run_repeated
+from .cell import Cell
+
+#: Callback fired per finished cell: (cell index, result, wall ms).
+ResultCallback = Callable[[int, RepeatedResult, float], None]
+
+
+def execute_cell(cell: Cell) -> RepeatedResult:
+    """Run one cell to completion (also the worker entry point)."""
+    from ...html.builder import build_site
+
+    built = build_site(cell.spec)
+    return run_repeated(
+        cell.spec,
+        cell.strategy,
+        runs=cell.runs,
+        conditions=cell.conditions,
+        built=built,
+        seed_base=cell.seed_base,
+    )
+
+
+def _timed_execute(cell: Cell) -> Tuple[RepeatedResult, float]:
+    started = time.perf_counter()
+    result = execute_cell(cell)
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+class Executor:
+    """Interface: run a batch of cells, return positionally aligned results."""
+
+    name = "executor"
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[RepeatedResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every cell in submission order in the current process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[RepeatedResult]:
+        results: List[RepeatedResult] = []
+        for index, cell in enumerate(cells):
+            result, wall_ms = _timed_execute(cell)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result, wall_ms)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Fan cells out across worker processes."""
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[RepeatedResult]:
+        if not cells:
+            return []
+        if len(cells) == 1 or self.max_workers == 1:
+            # Pool startup costs more than one cell; degrade gracefully.
+            return SerialExecutor().run(cells, on_result)
+        results: List[Optional[RepeatedResult]] = [None] * len(cells)
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(_timed_execute, cell): index
+                for index, cell in enumerate(cells)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result, wall_ms = future.result()
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result, wall_ms)
+        return results  # type: ignore[return-value]

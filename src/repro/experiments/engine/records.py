@@ -1,0 +1,105 @@
+"""Per-cell records and the grid progress/timing report.
+
+Every finished cell — executed or served from cache — yields one
+:class:`CellRecord`; the engine appends them as JSON lines to the
+cache's ``records.jsonl`` (observability: what ran, how long, which
+cells were hits) and aggregates them into a :class:`ProgressReport`
+whose ``render()`` is the timing summary quoted in PR descriptions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class CellRecord:
+    """Outcome metadata for one cell (not the measurement itself)."""
+
+    index: int
+    key: str
+    site: str
+    strategy: str
+    label: str
+    runs: int
+    seed_base: int
+    executor: str
+    cache_hit: bool
+    wall_ms: float
+    median_plt_ms: float
+    median_si_ms: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "index": self.index,
+                "key": self.key,
+                "site": self.site,
+                "strategy": self.strategy,
+                "label": self.label,
+                "runs": self.runs,
+                "seed_base": self.seed_base,
+                "executor": self.executor,
+                "cache_hit": self.cache_hit,
+                "wall_ms": round(self.wall_ms, 3),
+                "median_plt_ms": round(self.median_plt_ms, 3),
+                "median_si_ms": round(self.median_si_ms, 3),
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass
+class ProgressReport:
+    """Aggregated timing/caching view of one grid submission."""
+
+    grid_name: str
+    executor: str
+    records: List[CellRecord] = field(default_factory=list)
+    started_at: float = field(default_factory=time.perf_counter)
+    wall_ms: float = 0.0
+
+    def finish(self) -> None:
+        self.wall_ms = (time.perf_counter() - self.started_at) * 1000.0
+
+    # ------------------------------------------------------------------
+    @property
+    def cells_done(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def cells_executed(self) -> int:
+        return self.cells_done - self.cache_hits
+
+    @property
+    def executed_wall_ms(self) -> float:
+        """Summed per-cell wall-clock (CPU-seconds across workers)."""
+        return sum(r.wall_ms for r in self.records if not r.cache_hit)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [
+            f"engine report — grid {self.grid_name!r} [{self.executor}]",
+            f"  cells: {self.cells_done} done, {self.cache_hits} cache hits, "
+            f"{self.cells_executed} executed",
+            f"  wall-clock: {self.wall_ms:.0f} ms total, "
+            f"{self.executed_wall_ms:.0f} ms summed over executed cells",
+        ]
+        slowest = sorted(
+            (r for r in self.records if not r.cache_hit),
+            key=lambda r: r.wall_ms,
+            reverse=True,
+        )[:5]
+        for record in slowest:
+            lines.append(
+                f"    {record.wall_ms:8.0f} ms  {record.site}/{record.strategy}"
+                f" × {record.runs} runs"
+            )
+        return "\n".join(lines)

@@ -10,19 +10,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..html.builder import build_site
 from ..metrics.stats import fraction_below
 from ..sites.corpus import (
     RANDOM_100_PROFILE,
     TOP_100_PROFILE,
-    CorpusSite,
     generate_corpus,
 )
 from ..strategies.simple import NoPushStrategy, PushAllStrategy, PushFirstNStrategy
+from .engine import ExperimentEngine, Grid
 from .report import render_cdf_table, render_fraction
-from .runner import compute_order_for, run_repeated
 
 
 @dataclass
@@ -102,55 +100,68 @@ class Fig3bResult:
         return "\n".join(lines)
 
 
-def _delta_for(
-    site: CorpusSite, strategy, baseline, runs: int, seed_base: int
-) -> tuple:
-    built = build_site(site.spec)
-    push = run_repeated(site.spec, strategy, runs=runs, built=built, seed_base=seed_base)
-    return (
-        push.median_plt - baseline.median_plt,
-        push.median_si - baseline.median_si,
-    )
-
-
-def run_fig3a(config: Fig3Config = Fig3Config()) -> Fig3aResult:
+def run_fig3a(
+    config: Fig3Config = Fig3Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig3aResult:
+    engine = engine or ExperimentEngine()
     result = Fig3aResult()
     for profile, delta_si, delta_plt in (
         (TOP_100_PROFILE, result.delta_si_top, result.delta_plt_top),
         (RANDOM_100_PROFILE, result.delta_si_random, result.delta_plt_random),
     ):
         corpus = generate_corpus(profile, config.sites, seed=config.seed)
+        grid = Grid(name=f"fig3a/{profile.name}")
         for index, site in enumerate(corpus):
-            built = build_site(site.spec)
-            order = compute_order_for(site.spec, runs=config.order_runs, built=built)
-            baseline = run_repeated(
-                site.spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+            order = engine.order_for(site.spec, runs=config.order_runs)
+            grid.add(
+                site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
+                label=f"{site.spec.name}/baseline",
             )
-            dplt, dsi = _delta_for(
-                site, PushAllStrategy(order=order), baseline, config.runs, index
+            grid.add(
+                site.spec, PushAllStrategy(order=order),
+                runs=config.runs, seed_base=index,
             )
-            delta_plt.append(dplt)
-            delta_si.append(dsi)
+        cells = engine.run(grid)
+        for baseline, push in zip(cells[0::2], cells[1::2]):
+            delta_plt.append(push.median_plt - baseline.median_plt)
+            delta_si.append(push.median_si - baseline.median_si)
     return result
 
 
-def run_fig3b(config: Fig3Config = Fig3Config()) -> Fig3bResult:
+def run_fig3b(
+    config: Fig3Config = Fig3Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig3bResult:
+    engine = engine or ExperimentEngine()
     corpus = generate_corpus(RANDOM_100_PROFILE, config.sites, seed=config.seed)
     result = Fig3bResult()
     names = [f"push_{n}" for n in config.amounts] + ["push_all"]
     for name in names:
         result.delta_plt[name] = []
         result.delta_si[name] = []
+    grid = Grid(name="fig3b")
     for index, site in enumerate(corpus):
-        built = build_site(site.spec)
-        order = compute_order_for(site.spec, runs=config.order_runs, built=built)
-        baseline = run_repeated(
-            site.spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+        order = engine.order_for(site.spec, runs=config.order_runs)
+        grid.add(
+            site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
+            label=f"{site.spec.name}/baseline",
         )
-        strategies = [PushFirstNStrategy(n, order=order) for n in config.amounts]
-        strategies.append(PushAllStrategy(order=order))
-        for strategy in strategies:
-            dplt, dsi = _delta_for(site, strategy, baseline, config.runs, index)
-            result.delta_plt[strategy.name].append(dplt)
-            result.delta_si[strategy.name].append(dsi)
+        for n in config.amounts:
+            grid.add(
+                site.spec, PushFirstNStrategy(n, order=order),
+                runs=config.runs, seed_base=index,
+            )
+        grid.add(
+            site.spec, PushAllStrategy(order=order),
+            runs=config.runs, seed_base=index,
+        )
+    cells = engine.run(grid)
+    per_site = 1 + len(names)
+    for site_index in range(len(corpus)):
+        baseline = cells[site_index * per_site]
+        for offset, name in enumerate(names, start=1):
+            repeated = cells[site_index * per_site + offset]
+            result.delta_plt[name].append(repeated.median_plt - baseline.median_plt)
+            result.delta_si[name].append(repeated.median_si - baseline.median_si)
     return result

@@ -12,15 +12,14 @@ to *no push*, with 95% confidence intervals.  Reproduction targets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..html.builder import build_site
 from ..metrics.stats import confidence_interval, relative_change
 from ..sites.synthetic import synthetic_sites
 from ..strategies.critical import critical_urls
 from ..strategies.simple import NoPushStrategy, PushAllStrategy, PushListStrategy
+from .engine import ExperimentEngine, Grid
 from .report import render_bar_row
-from .runner import run_repeated
 
 
 @dataclass
@@ -60,22 +59,25 @@ class Fig4Result:
         return "\n".join(lines)
 
 
-def run_fig4(config: Fig4Config = Fig4Config()) -> Fig4Result:
+def run_fig4(
+    config: Fig4Config = Fig4Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig4Result:
+    engine = engine or ExperimentEngine()
     result = Fig4Result()
-    for index, (name, spec) in enumerate(sorted(synthetic_sites().items())):
-        built = build_site(spec)
-        baseline = run_repeated(
-            spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+    sites = sorted(synthetic_sites().items())
+    grid = Grid(name="fig4")
+    for index, (name, spec) in enumerate(sites):
+        grid.add(spec, NoPushStrategy(), runs=config.runs, seed_base=index)
+        grid.add(spec, PushAllStrategy(), runs=config.runs, seed_base=index)
+        grid.add(
+            spec, PushListStrategy(critical_urls(spec), name="custom"),
+            runs=config.runs, seed_base=index,
         )
-        custom_list = critical_urls(spec)
-        strategies = [
-            PushAllStrategy(),
-            PushListStrategy(custom_list, name="custom"),
-        ]
-        for strategy in strategies:
-            repeated = run_repeated(
-                spec, strategy, runs=config.runs, built=built, seed_base=index
-            )
+    cells = engine.run(grid)
+    for index, (name, _spec) in enumerate(sites):
+        baseline = cells[index * 3]
+        for repeated in cells[index * 3 + 1 : index * 3 + 3]:
             deltas_si = [
                 relative_change(value, base)
                 for value, base in zip(repeated.si_values, baseline.si_values)
@@ -88,7 +90,7 @@ def run_fig4(config: Fig4Config = Fig4Config()) -> Fig4Result:
             result.outcomes.append(
                 SiteStrategyOutcome(
                     site=name,
-                    strategy=strategy.name,
+                    strategy=repeated.strategy,
                     mean_delta_si_pct=center,
                     ci_half_width=half_width,
                     mean_delta_plt_pct=sum(deltas_plt) / len(deltas_plt),

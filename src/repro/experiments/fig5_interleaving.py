@@ -18,8 +18,8 @@ from ..html.resources import ResourceType
 from ..html.spec import ResourceSpec, WebsiteSpec
 from ..metrics.stats import mean, stdev
 from ..strategies.simple import NoPushStrategy, PushListStrategy
+from .engine import ExperimentEngine, Grid
 from .report import render_series
-from .runner import run_repeated
 
 
 @dataclass
@@ -90,36 +90,44 @@ class Fig5Result:
         )
 
 
-def run_fig5(config: Fig5Config = Fig5Config()) -> Fig5Result:
+def run_fig5(
+    config: Fig5Config = Fig5Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig5Result:
+    engine = engine or ExperimentEngine()
     result = Fig5Result()
+    grid = Grid(name="fig5")
     for html_kb in config.html_sizes_kb:
         spec = make_test_site(html_kb, config.css_size)
-        built = build_site(spec)
         css_url = spec.url_of("style.css")
-        offset = config.interleave_offset or built.head_end_offset
-        strategies = [
-            NoPushStrategy(),
-            PushListStrategy([css_url], name="push"),
+        offset = config.interleave_offset or build_site(spec).head_end_offset
+        grid.add(spec, NoPushStrategy(), runs=config.runs, seed_base=html_kb)
+        grid.add(
+            spec, PushListStrategy([css_url], name="push"),
+            runs=config.runs, seed_base=html_kb,
+        )
+        grid.add(
+            spec,
             PushListStrategy(
                 [css_url],
                 critical_urls=[css_url],
                 interleave_offset=offset,
                 name="interleaving",
             ),
-        ]
-        cells = [
-            run_repeated(spec, strategy, runs=config.runs, built=built, seed_base=html_kb)
-            for strategy in strategies
-        ]
+            runs=config.runs, seed_base=html_kb,
+        )
+    cells = engine.run(grid)
+    for row_index, html_kb in enumerate(config.html_sizes_kb):
+        no_push, push, interleaving = cells[row_index * 3 : row_index * 3 + 3]
         result.rows.append(
             Fig5Row(
                 html_kb=html_kb,
-                no_push_si=mean(cells[0].si_values),
-                no_push_std=stdev(cells[0].si_values),
-                push_si=mean(cells[1].si_values),
-                push_std=stdev(cells[1].si_values),
-                interleaving_si=mean(cells[2].si_values),
-                interleaving_std=stdev(cells[2].si_values),
+                no_push_si=mean(no_push.si_values),
+                no_push_std=stdev(no_push.si_values),
+                push_si=mean(push.si_values),
+                push_std=stdev(push.si_values),
+                interleaving_si=mean(interleaving.si_values),
+                interleaving_std=stdev(interleaving.si_values),
             )
         )
     return result

@@ -18,13 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..html.builder import build_site
 from ..metrics.speedindex import first_visual_change
 from ..metrics.stats import confidence_interval, mean, relative_change
 from ..sites.realworld import realworld_sites
 from ..strategies.critical import build_strategy_suite
+from .engine import ExperimentEngine, Grid
 from .report import render_bar_row
-from .runner import run_repeated
 
 
 @dataclass
@@ -88,24 +87,31 @@ class Fig6Result:
         return "\n".join(lines)
 
 
-def run_fig6(config: Fig6Config = Fig6Config()) -> Fig6Result:
+def run_fig6(
+    config: Fig6Config = Fig6Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig6Result:
+    engine = engine or ExperimentEngine()
     all_sites = realworld_sites()
     selected = config.sites or list(all_sites)
     result = Fig6Result()
+    suites = {key: build_strategy_suite(all_sites[key]) for key in selected}
+    grid = Grid(name="fig6")
     for index, key in enumerate(selected):
-        spec = all_sites[key]
-        suite = build_strategy_suite(spec)
-        site_outcome: Optional[SiteOutcome] = None
-        baseline = None
-        for deployment in suite:
-            built = build_site(deployment.spec)
-            repeated = run_repeated(
+        for deployment in suites[key]:
+            grid.add(
                 deployment.spec,
                 deployment.strategy,
                 runs=config.runs,
-                built=built,
                 seed_base=index * 31,
+                label=f"{key}/{deployment.name}",
             )
+    cells = iter(engine.run(grid))
+    for index, key in enumerate(selected):
+        site_outcome: Optional[SiteOutcome] = None
+        baseline = None
+        for deployment in suites[key]:
+            repeated = next(cells)
             if deployment.name == "no_push":
                 baseline = repeated
                 site_outcome = SiteOutcome(site=key, baseline_si=baseline.median_si)

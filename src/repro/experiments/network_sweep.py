@@ -16,15 +16,15 @@ Reproduction targets (from the cited literature):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..html.builder import build_site
 from ..netsim.conditions import FixedConditions, NetworkConditions
 from ..strategies.simple import NoPushStrategy, PushListStrategy
 from ..units import mbit_per_s
+from .engine import ExperimentEngine, Grid
 from .fig5_interleaving import make_test_site
 from .report import render_series
-from .runner import run_repeated
 
 
 @dataclass
@@ -81,39 +81,51 @@ class SweepResult:
         )
 
 
-def run_network_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
+def run_network_sweep(
+    config: SweepConfig = SweepConfig(),
+    engine: Optional[ExperimentEngine] = None,
+) -> SweepResult:
+    engine = engine or ExperimentEngine()
     spec = make_test_site(config.html_kb)
-    built = build_site(spec)
     css_url = spec.url_of("style.css")
     interleave = PushListStrategy(
         [css_url],
         critical_urls=[css_url],
-        interleave_offset=built.head_end_offset,
+        interleave_offset=build_site(spec).head_end_offset,
         name="interleaving",
     )
+    settings = [
+        (rtt, bandwidth)
+        for rtt in config.rtts_ms
+        for bandwidth in config.bandwidths_mbit
+    ]
+    grid = Grid(name="network_sweep")
+    for rtt, bandwidth in settings:
+        conditions = NetworkConditions(
+            rtt_ms=rtt,
+            downlink_bytes_per_ms=mbit_per_s(bandwidth),
+            uplink_bytes_per_ms=mbit_per_s(max(bandwidth / 16.0, 0.5)),
+        )
+        sampler = FixedConditions(conditions)
+        label = f"{rtt:g}ms/{bandwidth:g}mbit"
+        grid.add(
+            spec, NoPushStrategy(), runs=config.runs,
+            conditions=sampler, label=f"{label}/no_push",
+        )
+        grid.add(
+            spec, interleave, runs=config.runs,
+            conditions=sampler, label=f"{label}/interleaving",
+        )
+    cells = engine.run(grid)
     result = SweepResult()
-    for rtt in config.rtts_ms:
-        for bandwidth in config.bandwidths_mbit:
-            conditions = NetworkConditions(
+    for pair_index, (rtt, bandwidth) in enumerate(settings):
+        baseline, pushed = cells[pair_index * 2 : pair_index * 2 + 2]
+        result.cells.append(
+            SweepCell(
                 rtt_ms=rtt,
-                downlink_bytes_per_ms=mbit_per_s(bandwidth),
-                uplink_bytes_per_ms=mbit_per_s(max(bandwidth / 16.0, 0.5)),
+                bandwidth_mbit=bandwidth,
+                no_push_si=baseline.median_si,
+                interleaving_si=pushed.median_si,
             )
-            sampler = FixedConditions(conditions)
-            baseline = run_repeated(
-                spec, NoPushStrategy(), runs=config.runs,
-                conditions=sampler, built=built,
-            )
-            pushed = run_repeated(
-                spec, interleave, runs=config.runs,
-                conditions=sampler, built=built,
-            )
-            result.cells.append(
-                SweepCell(
-                    rtt_ms=rtt,
-                    bandwidth_mbit=bandwidth,
-                    no_push_si=baseline.median_si,
-                    interleaving_si=pushed.median_si,
-                )
-            )
+        )
     return result

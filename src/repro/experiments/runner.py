@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..browser.cache import BrowserCache
+from ..errors import ExperimentError
 from ..html.builder import BuiltSite, build_site
 from ..html.spec import WebsiteSpec
 from ..metrics.stats import median, std_error
@@ -24,6 +25,7 @@ from ..netsim.conditions import (
 )
 from ..replay.testbed import PageLoadResult, ReplayTestbed
 from ..strategies.base import PushStrategy
+from .seeds import condition_seed, load_seed
 
 #: The paper's repetition count per site and setting.
 PAPER_RUNS = 31
@@ -62,8 +64,27 @@ class RepeatedResult:
         return std_error(self.si_values)
 
     @property
+    def pushed_bytes_per_run(self) -> List[int]:
+        return [result.pushed_bytes for result in self.results]
+
+    @property
     def pushed_bytes(self) -> int:
-        return self.results[0].pushed_bytes if self.results else 0
+        """Bytes pushed per load; asserts the runs agree.
+
+        Under any one strategy every run pushes the same plan, so the
+        per-run values must agree; a disagreement means the cell mixed
+        configurations (or a model bug) and is surfaced rather than
+        silently reporting ``results[0]``.
+        """
+        if not self.results:
+            return 0
+        distinct = set(self.pushed_bytes_per_run)
+        if len(distinct) > 1:
+            raise ExperimentError(
+                f"{self.site}/{self.strategy}: pushed_bytes disagree across runs: "
+                f"{sorted(distinct)}"
+            )
+        return distinct.pop()
 
 
 def run_repeated(
@@ -85,11 +106,11 @@ def run_repeated(
     built = built or build_site(spec)
     results: List[PageLoadResult] = []
     for run_index in range(runs):
-        run_rng = random.Random((seed_base * 1_000_003 + run_index) ^ 0x5EED)
+        run_rng = random.Random(condition_seed(seed_base, run_index))
         network = sampler.sample(run_rng)
         testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy)
         cache = cache_factory() if cache_factory is not None else None
-        results.append(testbed.run(cache=cache, seed=seed_base * 1000 + run_index))
+        results.append(testbed.run(cache=cache, seed=load_seed(seed_base, run_index)))
     return RepeatedResult(
         site=spec.name,
         strategy=strategy.name if strategy else "no_push",

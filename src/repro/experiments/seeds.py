@@ -1,0 +1,39 @@
+"""Seed derivation for repeated experiment runs.
+
+Every (site, strategy, environment) cell is replayed ``runs`` times;
+each run needs *two* independent deterministic seeds:
+
+* a **conditions** seed feeding the :class:`ConditionSampler` that
+  draws the per-run network (RTT/bandwidth/loss for Internet-style
+  variability; a no-op for the fixed testbed), and
+* a **load** seed feeding the testbed's simulator RNG (loss and jitter
+  draws inside one page load).
+
+The two streams intentionally use different mixing constants so that
+run *i*'s network draw and run *i*'s in-load jitter are decorrelated
+even for small ``seed_base`` values.  The exact formulas are frozen:
+they reproduce the numbers of the original serial experiment loops, so
+changing them invalidates every published figure and every cached cell.
+
+Determinism contract: a run's seeds depend only on ``(seed_base,
+run_index)`` — never on execution order, executor choice, or cache
+state — which is what lets the parallel executor and the result cache
+return bit-identical results.
+"""
+
+from __future__ import annotations
+
+#: Mixing constants of the two streams (see module docstring).
+_CONDITION_STRIDE = 1_000_003
+_CONDITION_XOR = 0x5EED
+_LOAD_STRIDE = 1000
+
+
+def condition_seed(seed_base: int, run_index: int) -> int:
+    """Seed for the per-run network-conditions draw."""
+    return (seed_base * _CONDITION_STRIDE + run_index) ^ _CONDITION_XOR
+
+
+def load_seed(seed_base: int, run_index: int) -> int:
+    """Seed for the in-load simulator RNG (loss/jitter draws)."""
+    return seed_base * _LOAD_STRIDE + run_index

@@ -10,15 +10,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..html.builder import build_site
 from ..html.resources import ResourceType
 from ..metrics.stats import fraction_below
 from ..sites.corpus import RANDOM_100_PROFILE, TOP_100_PROFILE, generate_corpus
 from ..strategies.simple import NoPushStrategy, PushByTypeStrategy
+from .engine import ExperimentEngine, Grid
 from .report import render_fraction
-from .runner import compute_order_for, run_repeated
 
 #: The §4.2.1 type strategies.
 TYPE_STRATEGIES = {
@@ -132,23 +131,35 @@ class TypeAnalysisResult:
         return "\n".join(lines)
 
 
-def run_type_analysis(config: TypeAnalysisConfig = TypeAnalysisConfig()) -> TypeAnalysisResult:
+def run_type_analysis(
+    config: TypeAnalysisConfig = TypeAnalysisConfig(),
+    engine: Optional[ExperimentEngine] = None,
+) -> TypeAnalysisResult:
+    engine = engine or ExperimentEngine()
     corpus = generate_corpus(RANDOM_100_PROFILE, config.sites, seed=config.seed)
     result = TypeAnalysisResult()
     for name in TYPE_STRATEGIES:
         result.delta_si[name] = []
         result.delta_plt[name] = []
+    grid = Grid(name="type_analysis")
     for index, site in enumerate(corpus):
-        built = build_site(site.spec)
-        order = compute_order_for(site.spec, runs=config.order_runs, built=built)
-        baseline = run_repeated(
-            site.spec, NoPushStrategy(), runs=config.runs, built=built, seed_base=index
+        order = engine.order_for(site.spec, runs=config.order_runs)
+        grid.add(
+            site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
+            label=f"{site.spec.name}/baseline",
         )
         for name, types in TYPE_STRATEGIES.items():
-            strategy = PushByTypeStrategy(types, order=order)
-            repeated = run_repeated(
-                site.spec, strategy, runs=config.runs, built=built, seed_base=index
+            grid.add(
+                site.spec, PushByTypeStrategy(types, order=order),
+                runs=config.runs, seed_base=index,
+                label=f"{site.spec.name}/{name}",
             )
+    cells = engine.run(grid)
+    per_site = 1 + len(TYPE_STRATEGIES)
+    for index in range(len(corpus)):
+        baseline = cells[index * per_site]
+        for offset, name in enumerate(TYPE_STRATEGIES, start=1):
+            repeated = cells[index * per_site + offset]
             result.delta_si[name].append(repeated.median_si - baseline.median_si)
             result.delta_plt[name].append(repeated.median_plt - baseline.median_plt)
     return result

@@ -28,18 +28,24 @@ class _QueuedEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the run loop removed the event from the queue (whether
+    #: it executed or was skipped as cancelled).
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _QueuedEvent):
+    def __init__(self, event: _QueuedEvent, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already ran or was cancelled."""
+        if not self._event.cancelled and not self._event.popped:
+            self._sim._live_events -= 1
         self._event.cancelled = True
 
     @property
@@ -69,6 +75,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        #: Count of queued, non-cancelled events, maintained on
+        #: schedule/cancel/pop so ``pending_events`` is O(1).
+        self._live_events = 0
 
     @property
     def now(self) -> float:
@@ -96,7 +105,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         event = _QueuedEvent(self._now + delay, priority, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live_events += 1
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -132,11 +142,14 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    event.popped = True
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
                 heapq.heappop(self._queue)
+                event.popped = True
+                self._live_events -= 1
                 self._now = event.time
                 self._events_processed += 1
                 if self._events_processed > max_events:
@@ -152,5 +165,9 @@ class Simulator:
         return self._now
 
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events (for tests/diagnostics)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events (for tests/diagnostics).
+
+        O(1): a live counter maintained on schedule/cancel/pop, so hot
+        model code may poll it without scanning the calendar queue.
+        """
+        return self._live_events

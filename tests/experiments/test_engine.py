@@ -1,0 +1,226 @@
+"""Engine tests: executor equivalence, result cache, cell keys.
+
+The engine's contract is that a cell's result depends only on the cell
+itself: the serial and parallel executors must agree bit for bit, a
+cache hit must return exactly the stored record, and the cache key must
+change whenever anything that determines the outcome changes.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import compute_order_for, run_repeated
+from repro.experiments.engine import (
+    Cell,
+    ExperimentEngine,
+    Grid,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    fingerprint,
+)
+from repro.experiments.seeds import condition_seed, load_seed
+from repro.netsim.conditions import CABLE, DSL_TESTBED, FixedConditions
+from repro.sites.synthetic import s2_landing, synthetic_sites
+from repro.strategies.simple import NoPushStrategy, PushAllStrategy, PushFirstNStrategy
+
+
+def small_grid() -> Grid:
+    sites = synthetic_sites()
+    grid = Grid(name="test")
+    for index, name in enumerate(["s1", "s2"]):
+        grid.add(sites[name], NoPushStrategy(), runs=2, seed_base=index)
+        grid.add(sites[name], PushAllStrategy(), runs=2, seed_base=index)
+    return grid
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+def test_serial_matches_handrolled_loop():
+    spec = s2_landing()
+    direct = run_repeated(spec, PushAllStrategy(), runs=2, seed_base=3)
+    engine = ExperimentEngine()
+    cell = engine.run_cell(Cell(spec=spec, strategy=PushAllStrategy(), runs=2, seed_base=3))
+    assert cell == direct
+
+
+def test_serial_and_parallel_executors_agree():
+    grid = small_grid()
+    serial = ExperimentEngine(executor=SerialExecutor()).run(grid)
+    parallel = ExperimentEngine(executor=ParallelExecutor(max_workers=2)).run(grid)
+    assert len(serial) == len(parallel) == 4
+    for left, right in zip(serial, parallel):
+        assert left == right  # full RepeatedResult equality incl. timelines
+
+
+def test_results_align_with_grid_order():
+    grid = small_grid()
+    results = ExperimentEngine().run(grid)
+    for cell, result in zip(grid.cells, results):
+        assert result.site == cell.spec.name
+        assert result.strategy == cell.strategy_name
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+def test_cache_hit_returns_byte_identical_records(tmp_path):
+    grid = small_grid()
+    cache = ResultCache(tmp_path)
+    engine = ExperimentEngine(cache=cache)
+    cold = engine.run(grid)
+    stored = [cache.load_bytes(cell.key()) for cell in grid.cells]
+    assert all(blob is not None for blob in stored)
+
+    warm = engine.run(grid)
+    assert [cache.load_bytes(cell.key()) for cell in grid.cells] == stored
+    assert warm == cold
+    assert engine.reports[0].cache_hits == 0
+    assert engine.reports[1].cache_hits == len(grid.cells)
+    assert engine.reports[1].cells_executed == 0
+
+
+def test_cache_shared_across_engines(tmp_path):
+    grid = small_grid()
+    ExperimentEngine(cache=ResultCache(tmp_path)).run(grid)
+    second = ExperimentEngine(cache=ResultCache(tmp_path))
+    second.run(grid)
+    assert second.last_report.cache_hits == len(grid.cells)
+
+
+def test_force_ignores_cache_entries(tmp_path):
+    grid = small_grid()
+    ExperimentEngine(cache=ResultCache(tmp_path)).run(grid)
+    forced = ExperimentEngine(cache=ResultCache(tmp_path), force=True)
+    forced.run(grid)
+    assert forced.last_report.cache_hits == 0
+
+
+def test_records_jsonl_written(tmp_path):
+    grid = small_grid()
+    cache = ResultCache(tmp_path)
+    ExperimentEngine(cache=cache).run(grid)
+    lines = cache.records_path.read_text().strip().splitlines()
+    assert len(lines) == len(grid.cells)
+    record = json.loads(lines[0])
+    assert record["site"] == "s1"
+    assert record["cache_hit"] is False
+    assert record["wall_ms"] > 0
+    assert record["key"] == grid.cells[0].key()
+
+
+# ----------------------------------------------------------------------
+# cell keys
+# ----------------------------------------------------------------------
+def test_cell_key_is_stable():
+    sites = synthetic_sites()
+    a = Cell(spec=sites["s2"], strategy=PushAllStrategy(), runs=2, seed_base=1)
+    b = Cell(spec=synthetic_sites()["s2"], strategy=PushAllStrategy(), runs=2, seed_base=1)
+    assert a.key() == b.key()
+
+
+def test_cell_key_changes_with_every_input():
+    sites = synthetic_sites()
+    base = Cell(spec=sites["s2"], strategy=PushAllStrategy(), runs=2, seed_base=1)
+    variants = [
+        Cell(spec=sites["s3"], strategy=PushAllStrategy(), runs=2, seed_base=1),
+        Cell(spec=sites["s2"], strategy=NoPushStrategy(), runs=2, seed_base=1),
+        Cell(spec=sites["s2"], strategy=PushFirstNStrategy(1), runs=2, seed_base=1),
+        Cell(spec=sites["s2"], strategy=PushAllStrategy(), runs=3, seed_base=1),
+        Cell(spec=sites["s2"], strategy=PushAllStrategy(), runs=2, seed_base=2),
+        Cell(
+            spec=sites["s2"], strategy=PushAllStrategy(), runs=2, seed_base=1,
+            conditions=FixedConditions(CABLE),
+        ),
+    ]
+    keys = {base.key()} | {variant.key() for variant in variants}
+    assert len(keys) == 1 + len(variants)
+
+
+def test_cell_key_ignores_label():
+    sites = synthetic_sites()
+    a = Cell(spec=sites["s2"], strategy=None, runs=2, label="x")
+    b = Cell(spec=sites["s2"], strategy=None, runs=2, label="y")
+    assert a.key() == b.key()
+
+
+def test_strategy_order_is_part_of_key():
+    sites = synthetic_sites()
+    spec = sites["s2"]
+    urls = [res.url(spec.primary_domain) for res in spec.resources[:2]]
+    a = Cell(spec=spec, strategy=PushAllStrategy(order=urls), runs=2)
+    b = Cell(spec=spec, strategy=PushAllStrategy(order=list(reversed(urls))), runs=2)
+    assert a.key() != b.key()
+
+
+def test_fingerprint_handles_sets_of_enums():
+    from repro.html.resources import ResourceType
+    from repro.strategies.simple import PushByTypeStrategy
+
+    a = PushByTypeStrategy([ResourceType.CSS, ResourceType.JS])
+    b = PushByTypeStrategy([ResourceType.JS, ResourceType.CSS])
+    assert fingerprint(a) == fingerprint(b)
+
+
+# ----------------------------------------------------------------------
+# shared order memoization
+# ----------------------------------------------------------------------
+def test_order_for_matches_compute_order_for(tmp_path):
+    spec = s2_landing()
+    expected = compute_order_for(spec, runs=2)
+    engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    assert engine.order_for(spec, runs=2) == expected
+    # Second call is served from the in-memory memo (no new report).
+    reports = len(engine.reports)
+    assert engine.order_for(spec, runs=2) == expected
+    assert len(engine.reports) == reports
+    # A fresh engine on the same cache reads the persisted order.
+    other = ExperimentEngine(cache=ResultCache(tmp_path))
+    assert other.order_for(spec, runs=2) == expected
+    assert other.reports == []
+
+
+# ----------------------------------------------------------------------
+# satellite fixes: pushed_bytes aggregation and seed derivation
+# ----------------------------------------------------------------------
+def test_pushed_bytes_aggregates_and_detects_disagreement():
+    spec = s2_landing()
+    repeated = run_repeated(spec, PushAllStrategy(), runs=2)
+    assert len(set(repeated.pushed_bytes_per_run)) == 1
+    assert repeated.pushed_bytes == repeated.results[0].pushed_bytes
+
+    tampered = type(repeated)(
+        site=repeated.site,
+        strategy=repeated.strategy,
+        results=list(repeated.results),
+    )
+    tampered.results[1] = run_repeated(spec, NoPushStrategy(), runs=1).results[0]
+    with pytest.raises(ExperimentError, match="pushed_bytes disagree"):
+        tampered.pushed_bytes
+
+
+def test_seed_derivation_matches_frozen_formulas():
+    # The exact constants are load-bearing: they reproduce the numbers
+    # of the original serial loops and key every cached cell.
+    assert condition_seed(7, 3) == (7 * 1_000_003 + 3) ^ 0x5EED
+    assert load_seed(7, 3) == 7 * 1000 + 3
+    assert condition_seed(0, 0) != load_seed(0, 0)
+
+
+def test_internet_conditions_cell_deterministic_across_executors():
+    from repro.netsim.conditions import InternetConditions
+
+    spec = s2_landing()
+    cell = Cell(
+        spec=spec, strategy=None, runs=3, seed_base=5,
+        conditions=InternetConditions(),
+    )
+    serial = ExperimentEngine().run_cell(cell)
+    parallel = ExperimentEngine(executor=ParallelExecutor(max_workers=2)).run(
+        Grid(cells=[cell, cell])
+    )
+    assert parallel[0] == serial
+    assert parallel[1] == serial

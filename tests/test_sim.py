@@ -135,6 +135,27 @@ class TestSimulator:
         handle.cancel()
         assert sim.pending_events() == 1
 
+    def test_pending_events_counter_survives_edge_cases(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        # Double-cancel must only decrement once.
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 0
+        later = sim.schedule(30, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until=25)
+        assert sim.pending_events() == 1
+        # Cancelling after the event already ran is a no-op.
+        ran = sim.schedule(1, lambda: None)
+        sim.run(until=28)
+        ran.cancel()
+        assert sim.pending_events() == 1
+        later.cancel()
+        assert sim.pending_events() == 0
+        sim.run()
+        assert sim.pending_events() == 0
+
     def test_determinism_across_instances(self):
         def run_once():
             sim = Simulator()
