@@ -1,0 +1,291 @@
+#!/usr/bin/env python
+"""Benchmark-trajectory harness: protocol micros + end-to-end replays.
+
+Runs two tiers of benchmarks and records the results in
+``BENCH_replay.json`` at the repository root so every PR leaves a perf
+trajectory behind:
+
+* **protocol micros** — HPACK round trips, frame parsing, Huffman
+  coding; fixed iteration counts, pure wall-clock.
+* **end-to-end replay** — a fig-3-shaped grid (small synthetic corpus,
+  no-push baseline vs push-all in computed order, serial, cache off),
+  timed as a whole.  Alongside the wall time the harness collects
+  **determinism counters** (simulator events processed, HTTP/2 frames
+  on the wire, bytes on both links, and a PLT checksum) from every
+  replay: optimizations must leave these byte-for-byte identical, so a
+  counter drift flags a semantics change even when the tests pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py --record-baseline
+    # ... optimize ...
+    PYTHONPATH=src python benchmarks/run_perf.py            # fills "current"
+    PYTHONPATH=src python benchmarks/run_perf.py --quick    # CI smoke (1 rep)
+
+``--quick`` only reduces timing repetitions; the replay grid and the
+micro iteration counts are identical in every mode, so the determinism
+counters are mode-independent and CI can assert them against the
+committed baseline exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.h2.frames import DataFrame, FrameReader  # noqa: E402
+from repro.h2.hpack import HpackDecoder, HpackEncoder  # noqa: E402
+from repro.h2.hpack.huffman import huffman_decode, huffman_encode  # noqa: E402
+from repro.experiments.seeds import condition_seed, load_seed  # noqa: E402
+from repro.html.builder import build_site  # noqa: E402
+from repro.netsim.conditions import DSL_TESTBED  # noqa: E402
+from repro.replay.testbed import ReplayTestbed  # noqa: E402
+from repro.sites.corpus import TOP_100_PROFILE, generate_corpus  # noqa: E402
+from repro.strategies.order import computed_push_order  # noqa: E402
+from repro.strategies.simple import NoPushStrategy, PushAllStrategy  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_replay.json"
+
+#: The replay grid is frozen: counters must be comparable across PRs.
+GRID_SITES = 3
+GRID_SEED = 2018
+GRID_RUNS = 3
+GRID_ORDER_RUNS = 2
+
+HEADERS = [
+    (":method", "GET"),
+    (":scheme", "https"),
+    (":authority", "www.example.com"),
+    (":path", "/assets/app-39fa2bb1.js"),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", "en-US,en;q=0.9"),
+    ("user-agent", "Mozilla/5.0 (X11; Linux x86_64) repro/1.0"),
+    ("cookie", "session=0123456789abcdef; theme=dark"),
+]
+
+HUFFMAN_SAMPLE = (
+    b"/assets/vendor.bundle-39fa2bb1.min.js?cache=31536000&v=2018 "
+    b"text/html; charset=utf-8 gzip, deflate, br Mozilla/5.0 repro"
+)
+
+
+# ----------------------------------------------------------------------
+# protocol micros
+# ----------------------------------------------------------------------
+def _time_loop(fn, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return time.perf_counter() - start
+
+
+def run_micros() -> Dict[str, float]:
+    encoder, decoder = HpackEncoder(), HpackDecoder()
+
+    def hpack_round_trip():
+        decoder.decode(encoder.encode(HEADERS))
+
+    wire = b"".join(
+        DataFrame(stream_id=1, data=b"x" * 1400).serialize() for _ in range(100)
+    )
+
+    def frame_parse():
+        FrameReader().feed(wire)
+
+    encoded = huffman_encode(HUFFMAN_SAMPLE)
+
+    def huffman_round_trip():
+        huffman_decode(huffman_encode(HUFFMAN_SAMPLE))
+
+    assert huffman_decode(encoded) == HUFFMAN_SAMPLE
+    return {
+        "hpack_round_trip_2k_s": _time_loop(hpack_round_trip, 2_000),
+        "frame_parse_100x500_s": _time_loop(frame_parse, 500),
+        "huffman_round_trip_2k_s": _time_loop(huffman_round_trip, 2_000),
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end replay benchmark (fig-3-shaped, serial, cache off)
+# ----------------------------------------------------------------------
+class Counters:
+    """Determinism counters accumulated across every replay of the grid."""
+
+    def __init__(self):
+        self.replays = 0
+        self.events_processed = 0
+        self.frames = 0
+        self.downlink_bytes = 0
+        self.uplink_bytes = 0
+        self.plt_checksum = 0.0
+
+    def probe(self, view) -> None:
+        self.replays += 1
+        self.events_processed += view.events_processed
+        self.frames += view.server_frames
+
+    def observe_result(self, result) -> None:
+        self.downlink_bytes += result.downlink_bytes
+        self.uplink_bytes += result.uplink_bytes
+        # PLT values are exact simulated milliseconds; rounding keeps the
+        # checksum JSON-stable without losing discriminating power.
+        self.plt_checksum = round(self.plt_checksum + result.plt_ms, 4)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "replays": self.replays,
+            "events_processed": self.events_processed,
+            "frames_on_wire": self.frames,
+            "downlink_bytes": self.downlink_bytes,
+            "uplink_bytes": self.uplink_bytes,
+            "plt_checksum_ms": self.plt_checksum,
+        }
+
+
+def run_replay_grid(counters: Optional[Counters]) -> None:
+    """One serial pass over the frozen fig-3-shaped grid."""
+    probe = counters.probe if counters is not None else None
+    corpus = generate_corpus(TOP_100_PROFILE, GRID_SITES, seed=GRID_SEED)
+    for site_index, site in enumerate(corpus):
+        built = build_site(site.spec)
+        # §4.2: recover the push order from no-push loads.
+        order_timelines = []
+        for run_index in range(GRID_ORDER_RUNS):
+            testbed = ReplayTestbed(
+                built=built, conditions=DSL_TESTBED, strategy=NoPushStrategy()
+            )
+            result = testbed.run(
+                seed=load_seed(site_index, run_index), probe=probe
+            )
+            if counters is not None:
+                counters.observe_result(result)
+            order_timelines.append(result.timeline)
+        order = computed_push_order(order_timelines, built.html_url)
+        for strategy in (NoPushStrategy(), PushAllStrategy(order=order)):
+            testbed = ReplayTestbed(
+                built=built, conditions=DSL_TESTBED, strategy=strategy
+            )
+            for run_index in range(GRID_RUNS):
+                # condition_seed is unused with fixed DSL conditions but
+                # kept in the derivation to mirror run_repeated exactly.
+                condition_seed(site_index, run_index)
+                result = testbed.run(
+                    seed=load_seed(site_index, run_index), probe=probe
+                )
+                if counters is not None:
+                    counters.observe_result(result)
+
+
+def run_replay_benchmark(repetitions: int) -> Dict[str, object]:
+    counters = Counters()
+    start = time.perf_counter()
+    run_replay_grid(counters)
+    walls = [time.perf_counter() - start]
+    for _ in range(repetitions - 1):
+        start = time.perf_counter()
+        run_replay_grid(None)
+        walls.append(time.perf_counter() - start)
+    return {
+        "wall_s": min(walls),
+        "wall_all_s": walls,
+        "counters": counters.to_json(),
+    }
+
+
+# ----------------------------------------------------------------------
+# result recording
+# ----------------------------------------------------------------------
+def build_section(repetitions: int) -> Dict[str, object]:
+    micros = run_micros()
+    replay = run_replay_benchmark(repetitions)
+    return {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "micros": micros,
+        "replay": replay,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="record this run as the pre-optimization baseline",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single timing repetition (CI smoke); counters are unaffected",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless determinism counters match the baseline"
+        " (count-based only; wall times never fail the check)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    repetitions = 1 if args.quick else 3
+    section = build_section(repetitions)
+
+    document: Dict[str, object] = {"schema": 1}
+    if args.output.exists():
+        document = json.loads(args.output.read_text())
+    if args.record_baseline:
+        document["baseline"] = section
+        document.pop("current", None)
+        document.pop("speedup", None)
+    else:
+        document["current"] = section
+
+    baseline = document.get("baseline")
+    current = document.get("current")
+    counters_match: Optional[bool] = None
+    if baseline and current:
+        speedup = {
+            "replay": round(
+                baseline["replay"]["wall_s"] / current["replay"]["wall_s"], 3
+            ),
+            "micros": {
+                name: round(baseline["micros"][name] / current["micros"][name], 3)
+                for name in current["micros"]
+                if name in baseline["micros"]
+            },
+        }
+        counters_match = (
+            baseline["replay"]["counters"] == current["replay"]["counters"]
+        )
+        speedup["counters_match"] = counters_match
+        document["speedup"] = speedup
+        print(f"replay speedup vs baseline: {speedup['replay']}x")
+        print(f"determinism counters match baseline: {counters_match}")
+        if not counters_match:
+            print("WARNING: determinism counters drifted", file=sys.stderr)
+
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    label = "baseline" if args.record_baseline else "current"
+    print(f"{label} replay wall: {section['replay']['wall_s']:.3f} s")
+    for name, value in section["micros"].items():
+        print(f"{label} {name}: {value:.3f} s")
+    print(json.dumps(section["replay"]["counters"], indent=2, sort_keys=True))
+    if args.check and counters_match is not True:
+        print("determinism check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,9 @@ and the server's certificate covers it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set
 
 from ..errors import BrowserError
 from ..h2.connection import H2Connection
@@ -223,7 +224,7 @@ class PageLoad:
         self._pending_paints: List[tuple] = []  # (weight, source)
         self._pending_inline: Optional[ScriptToken] = None
         self._onload_fired = False
-        self._delayable_queue: List[_Fetch] = []
+        self._delayable_queue: Deque[_Fetch] = deque()
         self._delayable_in_flight = 0
         self._h1_pools = None
         if self.config.protocol == "h1":
@@ -335,7 +336,7 @@ class PageLoad:
             self._delayable_queue
             and self._delayable_in_flight < self.config.max_delayable_in_flight
         ):
-            queued = self._delayable_queue.pop(0)
+            queued = self._delayable_queue.popleft()
             self._delayable_in_flight += 1
             queued.requested_at = self.sim.now
             self._issue_request(queued)

@@ -9,7 +9,8 @@ drive H1 loads through the same code path as H2 ones.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..html.resources import split_url
 from ..netsim.topology import Topology
@@ -36,7 +37,7 @@ class H1OriginPool:
         self._on_accept = on_accept
         self._connections: List[_PooledConnection] = []
         self._opening = 0
-        self._queue: List[dict] = []
+        self._queue: Deque[dict] = deque()
         self.on_first_established: Optional[Callable[[], None]] = None
         self._established_once = False
 
@@ -71,7 +72,7 @@ class H1OriginPool:
                 ):
                     self._open_connection()
                 return
-            request = self._queue.pop(0)
+            request = self._queue.popleft()
             self._start(slot, request)
 
     def _idle_connection(self) -> Optional[_PooledConnection]:

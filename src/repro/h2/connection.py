@@ -15,7 +15,8 @@ paper's Interleaving Push is implemented (see ``repro.server``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..errors import ProtocolError, StreamError
 from ..netsim.tcp import TcpEndpoint
@@ -34,6 +35,7 @@ from .frames import (
     DataFrame,
     Frame,
     FrameReader,
+    _pack_header,
     GoAwayFrame,
     HeadersFrame,
     PingFrame,
@@ -53,6 +55,12 @@ Header = Tuple[str, str]
 
 #: DATA frame header size, for socket-space arithmetic.
 _FRAME_HEADER = 9
+
+_CLOSED = StreamState.CLOSED
+_HALF_CLOSED_LOCAL = StreamState.HALF_CLOSED_LOCAL
+
+_DATA_TYPE = int(FrameType.DATA)
+_END_STREAM_RAW = int(Flag.END_STREAM)
 
 
 class DataScheduler:
@@ -104,7 +112,14 @@ class H2Connection:
         self._next_stream_id = 1 if role == "client" else 2
         self._conn_send_window = FlowControlWindow()
         self._conn_recv_window = ReceiveWindow()
-        self._control_queue: List[bytes] = []
+        self._control_queue: Deque[bytes] = deque()
+        #: Streams that *may* want to send: every stream handed body
+        #: bytes (or a pending zero-length END_STREAM) that has not yet
+        #: drained, finished, or closed.  Maintained incrementally so the
+        #: pump never rescans ``self.streams``; membership is a superset
+        #: of readiness — ``wants_to_send`` still filters (e.g. streams
+        #: blocked on flow control or a pause point stay members).
+        self._send_candidates: Set[int] = set()
         self._header_fragments: Optional[Tuple[int, str, bytearray, Flag]] = None
         self._goaway_received = False
         self._pumping = False
@@ -193,6 +208,7 @@ class H2Connection:
         """Queue body bytes; the data scheduler decides emission order."""
         stream = self._require_stream(stream_id)
         stream.queue_body(data, end_stream)
+        self._send_candidates.add(stream_id)
         self._pump()
 
     def push(
@@ -242,6 +258,7 @@ class H2Connection:
         """Send RST_STREAM (e.g. a client cancelling an unwanted push)."""
         stream = self._require_stream(stream_id)
         stream.reset(code)
+        self._send_candidates.discard(stream_id)
         self.priority_tree.remove(stream_id)
         self._queue_frame(RstStreamFrame(stream_id=stream_id, error_code=code))
         self._pump()
@@ -302,65 +319,149 @@ class H2Connection:
             self._pumping = False
 
     def _flush_control(self) -> None:
-        while self._control_queue:
-            payload = self._control_queue[0]
-            if self._endpoint.send_buffer_space <= 0:
+        queue = self._control_queue
+        endpoint = self._endpoint
+        while queue:
+            payload = queue[0]
+            if endpoint.send_buffer_space <= 0:
                 return
             # Control frames may exceed the socket buffer (e.g. a large
             # header block); write whatever fits and resume on writable.
-            accepted = self._endpoint.send(payload)
+            accepted = endpoint.send(payload)
             if accepted < len(payload):
-                self._control_queue[0] = payload[accepted:]
+                queue[0] = payload[accepted:]
                 return
-            self._control_queue.pop(0)
+            queue.popleft()
 
     def _ready_streams(self) -> List[int]:
-        if self._conn_send_window.available <= 0:
+        """Stream ids the scheduler may pick from, in stream-id order.
+
+        Iterates the incrementally maintained candidate set instead of
+        every stream the connection ever opened; candidates that turn
+        out closed are evicted on the way (they can never become ready
+        again), while merely blocked ones are only filtered.
+        """
+        streams = self.streams
+        candidates = self._send_candidates
+        ready: List[int] = []
+        append = ready.append
+        evict: List[int] = []
+        if self._conn_send_window._window <= 0:
             # Only zero-length END_STREAM frames could be sent; include
             # streams needing exactly that.
-            return [
-                sid
-                for sid, stream in self.streams.items()
-                if stream.wants_to_send() and stream.sendable_bytes() == 0
-            ]
-        return [sid for sid, stream in self.streams.items() if stream.wants_to_send()]
+            for sid in candidates:
+                stream = streams[sid]
+                state = stream.state
+                if state is _CLOSED:
+                    evict.append(sid)
+                elif (
+                    stream._queued_bytes == 0
+                    and stream._end_after_queue
+                    and state is not _HALF_CLOSED_LOCAL
+                ):
+                    append(sid)
+        else:
+            # Inlined H2Stream.wants_to_send — this loop runs for every
+            # candidate on every DATA frame the pump emits.
+            for sid in candidates:
+                stream = streams[sid]
+                state = stream.state
+                if state is _CLOSED:
+                    evict.append(sid)
+                elif stream._queued_bytes > 0:
+                    if stream.sendable_bytes() > 0:
+                        append(sid)
+                elif stream._end_after_queue and state is not _HALF_CLOSED_LOCAL:
+                    append(sid)
+        for sid in evict:
+            candidates.discard(sid)
+        ready.sort()
+        return ready
 
     def _flush_data(self) -> None:
+        if not self._send_candidates:
+            # Nothing could possibly be ready (the common case on the
+            # client side, which never queues body bytes).
+            return
+        endpoint = self._endpoint
+        streams = self.streams
+        conn_window = self._conn_send_window
+        scheduler = self.scheduler
+        priority_tree = self.priority_tree
+        max_frame = self.remote_settings.max_frame_size
+        chunk_size = self._chunk_size
+        # The ready list is reused across loop iterations: between two
+        # DATA frames only the *selected* stream's readiness can change
+        # (its queue/window were consumed) unless a scheduler hook fired
+        # on END_STREAM, a data-sent callback ran, or the connection
+        # window hit zero (which flips the filter `_ready_streams`
+        # applies) — those cases set ``ready = None`` to force a rescan,
+        # keeping the list bit-identical to a fresh recomputation.
+        ready: Optional[List[int]] = None
         while True:
-            space = self._endpoint.send_buffer_space
+            space = endpoint.send_buffer_space
             if space <= _FRAME_HEADER:
                 return
-            ready = self._ready_streams()
+            if ready is None:
+                ready = self._ready_streams()
             if not ready:
                 return
-            stream_id = self.scheduler.select(self, ready)
+            if len(ready) == 1 and ready[0] in priority_tree:
+                # One ready stream that the priority tree knows about:
+                # every scheduler in the testbed selects it, so skip the
+                # set-build and tree walk.
+                stream_id: Optional[int] = ready[0]
+            else:
+                stream_id = scheduler.select(self, ready)
             if stream_id is None:
                 return
-            stream = self.streams[stream_id]
+            stream = streams[stream_id]
+            available = conn_window._window
             budget = min(
-                self._chunk_size,
+                chunk_size,
                 space - _FRAME_HEADER,
-                self.remote_settings.max_frame_size,
-                max(self._conn_send_window.available, 0),
+                max_frame,
+                available if available > 0 else 0,
             )
             size = min(stream.sendable_bytes(), budget)
             data, end = stream.take_body(size)
             if not data and not end:
                 # Stream was ready only for a pause boundary; try others.
                 return
-            stream.send_window.consume(len(data))
-            self._conn_send_window.consume(len(data))
-            flags = Flag.END_STREAM if end else Flag.NONE
-            frame = DataFrame(stream_id=stream_id, flags=flags, data=data)
-            self._endpoint.send(frame.serialize())
+            sent = len(data)
+            stream.send_window.consume(sent)
+            conn_window.consume(sent)
+            # Equivalent to DataFrame(...).serialize() for an unpadded
+            # frame, without building the frame object.
+            endpoint.send(
+                _pack_header(
+                    sent, _DATA_TYPE, _END_STREAM_RAW if end else 0, stream_id
+                )
+                + data
+            )
             self.frames_sent += 1
-            self.scheduler.on_data_sent(self, stream_id, len(data), end)
+            scheduler.on_data_sent(self, stream_id, sent, end)
             if self.on_data_frame_sent is not None:
-                self.on_data_frame_sent(stream_id, len(data), end)
+                self.on_data_frame_sent(stream_id, sent, end)
+                ready = None
             if end:
+                self._send_candidates.discard(stream_id)
                 stream.close_local()
-                if stream.closed:
-                    self.priority_tree.remove(stream_id)
+                if stream.state is _CLOSED:
+                    priority_tree.remove(stream_id)
+                # Scheduler END_STREAM hooks may unpause other streams.
+                ready = None
+            elif stream._queued_bytes == 0:
+                # Drained without END_STREAM: nothing to send until the
+                # application queues more body (send_body re-adds).
+                self._send_candidates.discard(stream_id)
+                if ready is not None:
+                    ready.remove(stream_id)
+            elif ready is not None:
+                if conn_window._window <= 0:
+                    ready = None
+                elif not stream.wants_to_send():
+                    ready.remove(stream_id)
 
     # ------------------------------------------------------------------
     # receive path
@@ -465,21 +566,25 @@ class H2Connection:
                 self._end_remote(stream)
 
     def _handle_data(self, frame: DataFrame) -> None:
-        stream = self.streams.get(frame.stream_id)
-        if stream is None or stream.closed:
+        stream_id = frame.stream_id
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.state is _CLOSED:
             return  # data for a reset stream was already in flight
-        stream.bytes_received += len(frame.data)
-        increment = stream.recv_window.on_data(len(frame.data))
-        if increment > 0 and not frame.end_stream:
+        data = frame.data
+        size = len(data)
+        end = frame.end_stream
+        stream.bytes_received += size
+        increment = stream.recv_window.on_data(size)
+        if increment > 0 and not end:
             self._queue_frame(
-                WindowUpdateFrame(stream_id=frame.stream_id, increment=increment)
+                WindowUpdateFrame(stream_id=stream_id, increment=increment)
             )
-        conn_increment = self._conn_recv_window.on_data(len(frame.data))
+        conn_increment = self._conn_recv_window.on_data(size)
         if conn_increment > 0:
             self._queue_frame(WindowUpdateFrame(stream_id=0, increment=conn_increment))
-        if frame.data and self.on_data is not None:
-            self.on_data(frame.stream_id, frame.data)
-        if frame.end_stream:
+        if data and self.on_data is not None:
+            self.on_data(stream_id, data)
+        if end:
             self._end_remote(stream)
 
     def _end_remote(self, stream: H2Stream) -> None:
@@ -510,6 +615,7 @@ class H2Connection:
         """Send RST_STREAM for a stream we may not have tracked yet."""
         stream = self._get_or_create_stream(stream_id)
         stream.reset(code)
+        self._send_candidates.discard(stream_id)
         self.pushes_cancelled += 1
         self._queue_frame(RstStreamFrame(stream_id=stream_id, error_code=code))
         self._pump()
@@ -527,6 +633,7 @@ class H2Connection:
         if stream is None:
             return
         stream.reset(frame.error_code)
+        self._send_candidates.discard(frame.stream_id)
         self.priority_tree.remove(frame.stream_id)
         self.scheduler.on_stream_reset(self, frame.stream_id)
         if self.on_reset is not None:

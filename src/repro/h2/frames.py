@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, List, Optional, Tuple, Type
+from typing import ClassVar, Dict, List, Optional, Tuple, Type, Union
 
 from ..errors import ProtocolError
 from .constants import (
@@ -26,6 +26,12 @@ from .constants import (
 )
 
 _HEADER_STRUCT = struct.Struct(">IBI")  # (length << 8 | type), flags, stream id
+
+# Raw flag values for hot parse paths (IntFlag.__and__ is a Python-level
+# call; these tests run once or twice per frame received).
+_RAW_ACK = Flag.ACK._value_
+_RAW_PADDED = Flag.PADDED._value_
+_RAW_PRIORITY = Flag.PRIORITY._value_
 
 
 def _pack_header(length: int, frame_type: int, flags: int, stream_id: int) -> bytes:
@@ -56,17 +62,36 @@ class Frame:
     def payload(self) -> bytes:
         raise NotImplementedError
 
+    def payload_length(self) -> int:
+        """Length of :meth:`payload` in octets, computed without
+        building the payload (subclasses override with arithmetic)."""
+        return len(self.payload())
+
+    def _effective_flags(self) -> int:
+        """Flags as they appear on the wire.
+
+        Subclasses whose payload structure implies a flag (PADDED,
+        PRIORITY) override this instead of mutating ``self.flags``
+        during serialization, keeping ``serialize`` idempotent.
+        """
+        return int(self.flags)
+
     def serialize(self) -> bytes:
         body = self.payload()
-        return _pack_header(len(body), int(self.TYPE), int(self.flags), self.stream_id) + body
+        return (
+            _pack_header(len(body), int(self.TYPE), self._effective_flags(), self.stream_id)
+            + body
+        )
 
     @property
     def wire_size(self) -> int:
         """Total size of the frame on the wire, header included."""
-        return FRAME_HEADER_SIZE + len(self.payload())
+        return FRAME_HEADER_SIZE + self.payload_length()
 
     def has_flag(self, flag: Flag) -> bool:
-        return bool(self.flags & flag)
+        # ``_value_`` reads skip IntFlag.__and__'s composite-member
+        # machinery; flag accessors run for every frame received.
+        return (self.flags._value_ & flag._value_) != 0
 
 
 @dataclass
@@ -82,15 +107,34 @@ class DataFrame(Frame):
             return bytes([self.pad_length]) + self.data + b"\x00" * self.pad_length
         return self.data
 
+    def payload_length(self) -> int:
+        if self.pad_length > 0:
+            return 1 + len(self.data) + self.pad_length
+        return len(self.data)
+
+    def _effective_flags(self) -> int:
+        if self.pad_length > 0:
+            return int(self.flags | Flag.PADDED)
+        return int(self.flags)
+
     def serialize(self) -> bytes:
         if self.pad_length > 0:
-            self.flags |= Flag.PADDED
-        return super().serialize()
+            data = self.data
+            body = bytes([self.pad_length]) + data + b"\x00" * self.pad_length
+            return _pack_header(
+                len(body), int(self.TYPE), self._effective_flags(), self.stream_id
+            ) + body
+        # Hot path: DATA frames dominate the wire; one concat, no
+        # intermediate payload() dispatch.
+        data = self.data
+        return _pack_header(
+            len(data), int(self.TYPE), int(self.flags), self.stream_id
+        ) + data
 
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "DataFrame":
         pad = 0
-        if flags & Flag.PADDED:
+        if flags._value_ & _RAW_PADDED:
             if not body:
                 raise ProtocolError("PADDED DATA frame without pad length")
             pad = body[0]
@@ -143,19 +187,22 @@ class HeadersFrame(Frame):
         parts.append(self.header_block)
         return b"".join(parts)
 
-    def serialize(self) -> bytes:
+    def payload_length(self) -> int:
+        return (5 if self.priority is not None else 0) + len(self.header_block)
+
+    def _effective_flags(self) -> int:
         if self.priority is not None:
-            self.flags |= Flag.PRIORITY
-        return super().serialize()
+            return int(self.flags | Flag.PRIORITY)
+        return int(self.flags)
 
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "HeadersFrame":
         pad = 0
-        if flags & Flag.PADDED:
+        if flags._value_ & _RAW_PADDED:
             pad = body[0]
             body = body[1:]
         priority = None
-        if flags & Flag.PRIORITY:
+        if flags._value_ & _RAW_PRIORITY:
             priority = PriorityData.parse(body)
             body = body[5:]
         if pad:
@@ -183,6 +230,9 @@ class PriorityFrame(Frame):
     def payload(self) -> bytes:
         return self.priority.serialize()
 
+    def payload_length(self) -> int:
+        return 5
+
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PriorityFrame":
         if len(body) != 5:
@@ -204,6 +254,9 @@ class RstStreamFrame(Frame):
 
     def payload(self) -> bytes:
         return struct.pack(">I", int(self.error_code))
+
+    def payload_length(self) -> int:
+        return 4
 
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "RstStreamFrame":
@@ -233,13 +286,16 @@ class SettingsFrame(Frame):
             struct.pack(">HI", key, value) for key, value in sorted(self.settings.items())
         )
 
+    def payload_length(self) -> int:
+        return 6 * len(self.settings)
+
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "SettingsFrame":
         if stream_id != 0:
             raise ProtocolError("SETTINGS frame on non-zero stream")
         if len(body) % 6 != 0:
             raise ProtocolError("SETTINGS payload not a multiple of 6", ErrorCode.FRAME_SIZE_ERROR)
-        if flags & Flag.ACK and body:
+        if flags._value_ & _RAW_ACK and body:
             raise ProtocolError("SETTINGS ACK with payload", ErrorCode.FRAME_SIZE_ERROR)
         settings = {}
         for offset in range(0, len(body), 6):
@@ -267,10 +323,13 @@ class PushPromiseFrame(Frame):
     def payload(self) -> bytes:
         return struct.pack(">I", self.promised_stream_id & 0x7FFFFFFF) + self.header_block
 
+    def payload_length(self) -> int:
+        return 4 + len(self.header_block)
+
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PushPromiseFrame":
         pad = 0
-        if flags & Flag.PADDED:
+        if flags._value_ & _RAW_PADDED:
             pad = body[0]
             body = body[1:]
         if len(body) < 4:
@@ -305,6 +364,9 @@ class PingFrame(Frame):
             raise ProtocolError("PING payload must be 8 octets", ErrorCode.FRAME_SIZE_ERROR)
         return self.opaque
 
+    def payload_length(self) -> int:
+        return 8
+
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "PingFrame":
         if stream_id != 0:
@@ -332,6 +394,9 @@ class GoAwayFrame(Frame):
             struct.pack(">II", self.last_stream_id & 0x7FFFFFFF, int(self.error_code))
             + self.debug_data
         )
+
+    def payload_length(self) -> int:
+        return 8 + len(self.debug_data)
 
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "GoAwayFrame":
@@ -361,6 +426,9 @@ class WindowUpdateFrame(Frame):
     def payload(self) -> bytes:
         return struct.pack(">I", self.increment & 0x7FFFFFFF)
 
+    def payload_length(self) -> int:
+        return 4
+
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "WindowUpdateFrame":
         if len(body) != 4:
@@ -381,6 +449,9 @@ class ContinuationFrame(Frame):
 
     def payload(self) -> bytes:
         return self.header_block
+
+    def payload_length(self) -> int:
+        return len(self.header_block)
 
     @classmethod
     def parse(cls, flags: Flag, stream_id: int, body: bytes) -> "ContinuationFrame":
@@ -405,6 +476,12 @@ _PARSERS: Dict[int, Type[Frame]] = {
 }
 
 
+#: Cache of Flag objects by raw wire value — ``Flag(value)`` walks the
+#: enum machinery on every call, and only a handful of flag bytes ever
+#: occur on a connection.
+_FLAG_CACHE: Dict[int, Flag] = {}
+
+
 def parse_frame(data: bytes) -> Tuple[Optional[Frame], int]:
     """Parse one frame from the head of ``data``.
 
@@ -423,7 +500,10 @@ def parse_frame(data: bytes) -> Tuple[Optional[Frame], int]:
     parser = _PARSERS.get(frame_type)
     if parser is None:
         return None, total  # §4.1: ignore and discard unknown types
-    frame = parser.parse(Flag(flags), stream_id, body)
+    flag = _FLAG_CACHE.get(flags)
+    if flag is None:
+        flag = _FLAG_CACHE[flags] = Flag(flags)
+    frame = parser.parse(flag, stream_id, body)
     return frame, total
 
 
@@ -435,25 +515,62 @@ class FrameReader:
         self._expect_preface = expect_preface
 
     def feed(self, data: bytes) -> List[Frame]:
-        """Append bytes; return every complete frame now available."""
-        self._buffer.extend(data)
-        frames: List[Frame] = []
-        if self._expect_preface:
-            from .constants import CONNECTION_PREFACE
+        """Append bytes; return every complete frame now available.
 
-            if len(self._buffer) < len(CONNECTION_PREFACE):
-                return frames
-            if bytes(self._buffer[: len(CONNECTION_PREFACE)]) != CONNECTION_PREFACE:
-                raise ProtocolError("invalid connection preface")
-            del self._buffer[: len(CONNECTION_PREFACE)]
-            self._expect_preface = False
-        while True:
-            frame, consumed = parse_frame(bytes(self._buffer))
-            if consumed == 0:
-                break
-            del self._buffer[:consumed]
-            if frame is not None:
-                frames.append(frame)
+        Frames are parsed in place at increasing offsets and the buffer
+        trimmed once at the end — the obvious loop over ``parse_frame``
+        re-copies the whole buffer per frame, which is quadratic when a
+        TCP segment completes several frames at once.  When nothing is
+        buffered the loop parses straight out of ``data`` and only the
+        unconsumed tail (if any) is copied into the buffer.
+        """
+        buf = self._buffer
+        frames: List[Frame] = []
+        if buf or self._expect_preface:
+            buf.extend(data)
+            if self._expect_preface:
+                from .constants import CONNECTION_PREFACE
+
+                if len(buf) < len(CONNECTION_PREFACE):
+                    return frames
+                if bytes(buf[: len(CONNECTION_PREFACE)]) != CONNECTION_PREFACE:
+                    raise ProtocolError("invalid connection preface")
+                del buf[: len(CONNECTION_PREFACE)]
+                self._expect_preface = False
+            src: Union[bytes, bytearray] = buf
+            view: Optional[memoryview] = memoryview(buf)
+        else:
+            src = data
+            view = None
+        n = len(src)
+        offset = 0
+        unpack_from = _HEADER_STRUCT.unpack_from
+        parsers = _PARSERS
+        flag_cache = _FLAG_CACHE
+        try:
+            while n - offset >= FRAME_HEADER_SIZE:
+                length_type, flags, stream_id = unpack_from(src, offset)
+                total = FRAME_HEADER_SIZE + (length_type >> 8)
+                if n - offset < total:
+                    break
+                parser = parsers.get(length_type & 0xFF)
+                if parser is not None:  # §4.1: skip unknown types
+                    start = offset + FRAME_HEADER_SIZE
+                    end = offset + total
+                    body = src[start:end] if view is None else bytes(view[start:end])
+                    flag = flag_cache.get(flags)
+                    if flag is None:
+                        flag = flag_cache[flags] = Flag(flags)
+                    frames.append(parser.parse(flag, stream_id & 0x7FFFFFFF, body))
+                offset += total
+        finally:
+            if view is not None:
+                view.release()
+        if view is not None:
+            if offset:
+                del buf[:offset]
+        elif offset < n:
+            buf.extend(data if offset == 0 else memoryview(data)[offset:])
         return frames
 
     @property

@@ -14,7 +14,7 @@ seven bits or not matching EOS.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...errors import HpackError
 
@@ -82,12 +82,94 @@ def _canonical_codes(lengths: List[int]) -> List[Tuple[int, int]]:
 
 _CODES = _canonical_codes(_build_code_lengths(_frequency_profile()))
 
-#: Decoding trie: maps (code, length) -> symbol.
+#: Decoding trie: maps (code, length) -> symbol (reference decoder only).
 _DECODE: Dict[Tuple[int, int], int] = {
     (code, length): sym for sym, (code, length) in enumerate(_CODES)
 }
 
 _MAX_CODE_LENGTH = max(length for _code, length in _CODES)
+
+#: Flat encode tables: per-symbol code value and bit length.
+_ENC_CODE = [code for code, _length in _CODES]
+_ENC_LEN = [length for _code, length in _CODES]
+
+
+# ----------------------------------------------------------------------
+# byte-wise decoding state machine
+# ----------------------------------------------------------------------
+# The decoder walks a binary trie of the canonical code, one input BYTE
+# at a time: for every (trie node, byte) pair a precomputed row entry
+# gives the node reached after those eight bits plus every symbol
+# emitted along the way.  Rows are built lazily (most of the trie's
+# interior is never parked on at a byte boundary), giving amortized
+# O(1) dict-free work per input byte instead of per input *bit*.
+
+
+def _build_trie() -> List[List[int]]:
+    """Binary trie of ``_CODES``: ``children[node][bit]`` is the next
+    node index, or ``-(symbol + 1)`` at a leaf.  Node 0 is the root."""
+    children: List[List[int]] = [[0, 0]]
+    for sym, (code, length) in enumerate(_CODES):
+        node = 0
+        for i in range(length - 1, 0, -1):
+            bit = (code >> i) & 1
+            nxt = children[node][bit]
+            if nxt == 0:
+                children.append([0, 0])
+                nxt = len(children) - 1
+                children[node][bit] = nxt
+            node = nxt
+        children[node][code & 1] = -(sym + 1)
+    return children
+
+
+_CHILDREN = _build_trie()
+
+
+def _node_paths() -> Tuple[List[int], List[bool]]:
+    """Per-node bit depth from the root and whether that path is all
+    one-bits — the two facts EOS-padding validation needs."""
+    depth = [0] * len(_CHILDREN)
+    all_ones = [False] * len(_CHILDREN)
+    all_ones[0] = True
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for bit in (0, 1):
+            nxt = _CHILDREN[node][bit]
+            if nxt > 0:
+                depth[nxt] = depth[node] + 1
+                all_ones[nxt] = all_ones[node] and bit == 1
+                stack.append(nxt)
+    return depth, all_ones
+
+
+_DEPTH, _ALL_ONES = _node_paths()
+
+#: Lazily built transition rows: _ROWS[node][byte] = (next_node,
+#: emitted_bytes), or None when the byte decodes the EOS symbol.
+_ROWS: List[Optional[List[Optional[Tuple[int, bytes]]]]] = [None] * len(_CHILDREN)
+
+
+def _build_row(state: int) -> List[Optional[Tuple[int, bytes]]]:
+    children = _CHILDREN
+    row: List[Optional[Tuple[int, bytes]]] = []
+    for byte in range(256):
+        node = state
+        emitted = bytearray()
+        valid = True
+        for i in range(7, -1, -1):
+            node = children[node][(byte >> i) & 1]
+            if node < 0:
+                sym = -node - 1
+                if sym == EOS:
+                    valid = False
+                    break
+                emitted.append(sym)
+                node = 0
+        row.append((node, bytes(emitted)) if valid else None)
+    _ROWS[state] = row
+    return row
 
 
 def huffman_encode(data: bytes) -> bytes:
@@ -95,9 +177,11 @@ def huffman_encode(data: bytes) -> bytes:
     bits = 0
     bit_count = 0
     out = bytearray()
+    enc_code = _ENC_CODE
+    enc_len = _ENC_LEN
     for byte in data:
-        code, length = _CODES[byte]
-        bits = (bits << length) | code
+        length = enc_len[byte]
+        bits = (bits << length) | enc_code[byte]
         bit_count += length
         while bit_count >= 8:
             bit_count -= 8
@@ -114,7 +198,35 @@ def huffman_encode(data: bytes) -> bytes:
 
 
 def huffman_decode(data: bytes) -> bytes:
-    """Decode a Huffman-coded string, validating EOS padding."""
+    """Decode a Huffman-coded string, validating EOS padding.
+
+    Byte-wise table decoder; produces exactly the same output and
+    errors as :func:`huffman_decode_reference`, the bit-at-a-time
+    implementation it replaced (kept as the property-test oracle).
+    """
+    state = 0
+    rows = _ROWS
+    chunks: List[bytes] = []
+    for byte in data:
+        row = rows[state]
+        if row is None:
+            row = _build_row(state)
+        entry = row[byte]
+        if entry is None:
+            raise HpackError("EOS symbol decoded inside Huffman string")
+        state, emitted = entry
+        if emitted:
+            chunks.append(emitted)
+    depth = _DEPTH[state]
+    if depth >= 8:
+        raise HpackError("Huffman padding longer than 7 bits")
+    if depth > 0 and not _ALL_ONES[state]:
+        raise HpackError("Huffman padding is not all-one bits")
+    return b"".join(chunks)
+
+
+def huffman_decode_reference(data: bytes) -> bytes:
+    """Bit-at-a-time decoder (pre-optimization); the test oracle."""
     out = bytearray()
     code = 0
     length = 0
@@ -140,5 +252,8 @@ def huffman_decode(data: bytes) -> bytes:
 
 def huffman_encoded_length(data: bytes) -> int:
     """Length in octets of the Huffman encoding of ``data``."""
-    bits = sum(_CODES[byte][1] for byte in data)
+    enc_len = _ENC_LEN
+    bits = 0
+    for byte in data:
+        bits += enc_len[byte]
     return (bits + 7) // 8

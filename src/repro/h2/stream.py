@@ -4,11 +4,18 @@ Each :class:`H2Stream` tracks the RFC lifecycle plus the send-side
 machinery the connection's pump needs: a queue of body bytes, an
 optional *pause point* (used by the interleaving scheduler to stop the
 HTML stream at a byte offset), and flow-control windows.
+
+Hot-path note: the connection pump calls :meth:`wants_to_send` and
+:meth:`sendable_bytes` for every candidate stream on every DATA-frame
+iteration, so the class uses ``__slots__``, a ``deque`` body queue with
+``memoryview`` splitting (no ``list.pop(0)``, no copy on partial
+takes), and keeps those two methods free of property indirection.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple, Union
 
 from ..errors import StreamError
 from .constants import ErrorCode, StreamState
@@ -16,9 +23,31 @@ from .flow_control import FlowControlWindow, ReceiveWindow
 
 Header = Tuple[str, str]
 
+_OPEN = StreamState.OPEN
+_CLOSED = StreamState.CLOSED
+_HALF_CLOSED_LOCAL = StreamState.HALF_CLOSED_LOCAL
+_HALF_CLOSED_REMOTE = StreamState.HALF_CLOSED_REMOTE
+
 
 class H2Stream:
     """One HTTP/2 stream as seen by one endpoint."""
+
+    __slots__ = (
+        "stream_id",
+        "state",
+        "send_window",
+        "recv_window",
+        "request_headers",
+        "response_headers",
+        "_send_queue",
+        "_queued_bytes",
+        "_end_after_queue",
+        "bytes_sent",
+        "pause_at",
+        "bytes_received",
+        "is_pushed",
+        "reset_code",
+    )
 
     def __init__(self, stream_id: int, initial_send_window: int, initial_recv_window: int):
         self.stream_id = stream_id
@@ -31,7 +60,7 @@ class H2Stream:
         self.response_headers: Optional[List[Header]] = None
 
         # --- send-side body queue ---
-        self._send_queue: List[bytes] = []
+        self._send_queue: Deque[Union[bytes, memoryview]] = deque()
         self._queued_bytes = 0
         self._end_after_queue = False
         #: Bytes of the body already handed to the connection pump.
@@ -63,22 +92,24 @@ class H2Stream:
 
     def close_local(self) -> None:
         """We sent END_STREAM."""
-        if self.state in (StreamState.OPEN, StreamState.RESERVED_LOCAL):
-            self.state = StreamState.HALF_CLOSED_LOCAL
-        elif self.state == StreamState.HALF_CLOSED_REMOTE:
-            self.state = StreamState.CLOSED
-        elif self.state != StreamState.CLOSED:
+        state = self.state
+        if state is _OPEN or state is StreamState.RESERVED_LOCAL:
+            self.state = _HALF_CLOSED_LOCAL
+        elif state is _HALF_CLOSED_REMOTE:
+            self.state = _CLOSED
+        elif state is not _CLOSED:
             raise StreamError(
                 f"cannot close local side from {self.state}", self.stream_id
             )
 
     def close_remote(self) -> None:
         """Peer sent END_STREAM."""
-        if self.state in (StreamState.OPEN, StreamState.RESERVED_REMOTE):
-            self.state = StreamState.HALF_CLOSED_REMOTE
-        elif self.state == StreamState.HALF_CLOSED_LOCAL:
-            self.state = StreamState.CLOSED
-        elif self.state != StreamState.CLOSED:
+        state = self.state
+        if state is _OPEN or state is StreamState.RESERVED_REMOTE:
+            self.state = _HALF_CLOSED_REMOTE
+        elif state is _HALF_CLOSED_LOCAL:
+            self.state = _CLOSED
+        elif state is not _CLOSED:
             raise StreamError(
                 f"cannot close remote side from {self.state}", self.stream_id
             )
@@ -91,7 +122,7 @@ class H2Stream:
 
     @property
     def closed(self) -> bool:
-        return self.state == StreamState.CLOSED
+        return self.state is _CLOSED
 
     def _transition_from(self, allowed: set, target: StreamState) -> None:
         if self.state not in allowed:
@@ -122,9 +153,15 @@ class H2Stream:
 
     def sendable_bytes(self) -> int:
         """Bytes the pump may emit now: queue, window, and pause cap."""
-        limit = min(self._queued_bytes, max(self.send_window.available, 0))
-        if self.pause_at is not None:
-            limit = min(limit, max(self.pause_at - self.bytes_sent, 0))
+        window = self.send_window._window
+        limit = self._queued_bytes if self._queued_bytes < window else window
+        if limit < 0:
+            limit = 0
+        pause_at = self.pause_at
+        if pause_at is not None:
+            head = pause_at - self.bytes_sent
+            if head < limit:
+                limit = head if head > 0 else 0
         return limit
 
     def wants_to_send(self) -> bool:
@@ -133,14 +170,13 @@ class H2Stream:
         A stream with an empty queue that has finished queueing still
         wants one zero-length END_STREAM frame if nothing was sent yet.
         """
-        if self.closed:
+        state = self.state
+        if state is _CLOSED:
             return False
-        if self.sendable_bytes() > 0:
-            return True
-        return (
-            self._end_after_queue
-            and self._queued_bytes == 0
-            and not self._local_end_sent()
+        if self._queued_bytes > 0:
+            return self.sendable_bytes() > 0
+        return self._end_after_queue and not (
+            state is _HALF_CLOSED_LOCAL or state is _CLOSED
         )
 
     def _local_end_sent(self) -> bool:
@@ -148,19 +184,25 @@ class H2Stream:
 
     def take_body(self, size: int) -> Tuple[bytes, bool]:
         """Dequeue up to ``size`` bytes; returns (chunk, end_stream)."""
-        chunks: List[bytes] = []
+        queue = self._send_queue
+        chunks: List[Union[bytes, memoryview]] = []
         remaining = size
-        while remaining > 0 and self._send_queue:
-            head = self._send_queue[0]
+        while remaining > 0 and queue:
+            head = queue[0]
             if len(head) <= remaining:
                 chunks.append(head)
                 remaining -= len(head)
-                self._send_queue.pop(0)
+                queue.popleft()
             else:
+                if not isinstance(head, memoryview):
+                    head = memoryview(head)
                 chunks.append(head[:remaining])
-                self._send_queue[0] = head[remaining:]
+                queue[0] = head[remaining:]
                 remaining = 0
-        data = b"".join(chunks)
+        if len(chunks) == 1 and type(chunks[0]) is bytes:
+            data = chunks[0]
+        else:
+            data = b"".join(chunks)
         self._queued_bytes -= len(data)
         self.bytes_sent += len(data)
         end = self._end_after_queue and self._queued_bytes == 0

@@ -67,7 +67,9 @@ class SharedLink:
         """
         if size <= 0:
             raise ValueError("transmit size must be positive")
-        start = max(self._sim.now, self._busy_until)
+        now = self._sim.now
+        busy = self._busy_until
+        start = now if now > busy else busy
         finish = start + size / self._rate
         self._busy_until = finish
         self.bytes_transmitted += size

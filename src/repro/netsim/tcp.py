@@ -21,7 +21,8 @@ model is exact up to those omissions.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from ..errors import NetworkError
 from ..sim import Simulator, Timer
@@ -79,7 +80,9 @@ class TcpEndpoint:
     @property
     def send_buffer_space(self) -> int:
         """Bytes that a call to :meth:`send` would currently accept."""
-        return self._out.buffer_space
+        out = self._out
+        space = out._max_buffer - out._buffered
+        return space if space > 0 else 0
 
     @property
     def bytes_sent(self) -> int:
@@ -117,15 +120,17 @@ class _HalfConnection:
         self.receiver_endpoint: Optional[TcpEndpoint] = None
 
         # --- sender state ---
-        self._buffer: List[bytes] = []
+        self._buffer: Deque[Union[bytes, memoryview]] = deque()
         self._buffered = 0
         self._max_buffer = DEFAULT_SEND_BUFFER
         self._next_seq = 0            # next byte sequence to assign
         self._snd_una = 0             # lowest unacknowledged byte
         self._cwnd = float(INITIAL_WINDOW_SEGMENTS * MSS)
         self._ssthresh = float(64 * 1024)
-        #: seq -> (payload, rto timer, send time, was retransmitted)
-        self._in_flight: Dict[int, Tuple[bytes, Timer, float, bool]] = {}
+        #: seq -> (payload, rto timer, send time, was retransmitted,
+        #: end seq) — the end is precomputed so the per-ACK scan does
+        #: not call ``len`` on every in-flight payload.
+        self._in_flight: Dict[int, Tuple[bytes, Timer, float, bool, int]] = {}
         self._was_full = False
         self.bytes_enqueued = 0
         # RFC 6298 adaptive retransmission timeout.  A fixed RTO melts
@@ -152,20 +157,23 @@ class _HalfConnection:
     # ------------------------------------------------------------------
     @property
     def buffer_space(self) -> int:
-        return max(0, self._max_buffer - self._buffered)
+        space = self._max_buffer - self._buffered
+        return space if space > 0 else 0
 
     @property
     def fully_acked(self) -> bool:
         return self._buffered == 0 and not self._in_flight
 
     def enqueue(self, data: bytes) -> int:
-        accepted = min(len(data), self.buffer_space)
+        size = len(data)
+        space = self._max_buffer - self._buffered
+        accepted = size if size < space else (space if space > 0 else 0)
         if accepted > 0:
-            self._buffer.append(data[:accepted])
+            self._buffer.append(data if accepted == size else data[:accepted])
             self._buffered += accepted
             self.bytes_enqueued += accepted
             self._pump()
-        if accepted < len(data):
+        if accepted < size:
             self._was_full = True
         return accepted
 
@@ -174,32 +182,40 @@ class _HalfConnection:
 
     def _pump(self) -> None:
         """Transmit segments while the congestion window allows."""
-        while self._buffered > 0 and self._flight_size() < self._cwnd:
-            payload = self._take(min(MSS, self._buffered))
+        while self._buffered > 0 and self._next_seq - self._snd_una < self._cwnd:
+            buffered = self._buffered
+            payload = self._take(MSS if MSS < buffered else buffered)
             seq = self._next_seq
-            self._next_seq += len(payload)
+            self._next_seq = seq + len(payload)
             self._transmit(seq, payload, retransmission=False)
 
     def _take(self, size: int) -> bytes:
-        chunks: List[bytes] = []
+        """Dequeue ``size`` bytes; memoryview splits avoid copying the
+        tail of a large write on every MSS-sized segmentation step."""
+        buffer = self._buffer
+        chunks: List[Union[bytes, memoryview]] = []
         remaining = size
         while remaining > 0:
-            head = self._buffer[0]
+            head = buffer[0]
             if len(head) <= remaining:
                 chunks.append(head)
                 remaining -= len(head)
-                self._buffer.pop(0)
+                buffer.popleft()
             else:
+                if not isinstance(head, memoryview):
+                    head = memoryview(head)
                 chunks.append(head[:remaining])
-                self._buffer[0] = head[remaining:]
+                buffer[0] = head[remaining:]
                 remaining = 0
         self._buffered -= size
+        if len(chunks) == 1 and type(chunks[0]) is bytes:
+            return chunks[0]
         return b"".join(chunks)
 
     def _transmit(self, seq: int, payload: bytes, retransmission: bool) -> None:
         rto = Timer(self._sim, lambda: self._on_timeout(seq))
         rto.start(self._rto)
-        self._in_flight[seq] = (payload, rto, self._sim.now, retransmission)
+        self._in_flight[seq] = (payload, rto, self._sim.now, retransmission, seq + len(payload))
         if self._conditions.loss_rate > 0 and self._rng.random() < self._conditions.loss_rate:
             # The segment is lost on the wire; the RTO timer recovers it.
             return
@@ -222,7 +238,7 @@ class _HalfConnection:
         entry = self._in_flight.pop(self._snd_una, None)
         if entry is None:
             return
-        payload, timer, _sent_at, _retx = entry
+        payload, timer, _sent_at, _retx, _end = entry
         timer.cancel()
         self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
         self._cwnd = self._ssthresh
@@ -231,7 +247,7 @@ class _HalfConnection:
     def _on_timeout(self, seq: int) -> None:
         if seq not in self._in_flight:
             return
-        payload, _old_timer, _sent_at, _retx = self._in_flight.pop(seq)
+        payload, _old_timer, _sent_at, _retx, _end = self._in_flight.pop(seq)
         # Tahoe-style: collapse the window and re-enter slow start.
         self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
         self._cwnd = float(MSS)
@@ -248,8 +264,9 @@ class _HalfConnection:
         self._dup_acks = 0
         newly_acked = ack - self._snd_una
         self._snd_una = ack
-        for seq in [s for s in self._in_flight if s + len(self._in_flight[s][0]) <= ack]:
-            _payload, timer, sent_at, retransmitted = self._in_flight.pop(seq)
+        in_flight = self._in_flight
+        for seq in [s for s, entry in in_flight.items() if entry[4] <= ack]:
+            _payload, timer, sent_at, retransmitted, _end = in_flight.pop(seq)
             timer.cancel()
             if not retransmitted:
                 self._sample_rtt(self._sim.now - sent_at)
@@ -262,7 +279,7 @@ class _HalfConnection:
         self._pump()
         # Level-triggered writability (like EPOLLOUT): whenever an ACK
         # frees buffer space, give the application a chance to write.
-        if self.buffer_space > 0:
+        if self._buffered < self._max_buffer:
             self._was_full = False
             if self.endpoint is not None and self.endpoint.on_writable is not None:
                 self.endpoint.on_writable()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..browser.cache import BrowserCache
 from ..browser.engine import BrowserConfig, PageLoad
@@ -54,6 +54,39 @@ class PageLoadResult:
 
 
 @dataclass
+class ReplayProbe:
+    """Post-run view of testbed internals for diagnostics/benchmarks.
+
+    Handed to the optional ``probe`` callback of :meth:`ReplayTestbed.run`
+    so the perf harness can read determinism counters (events processed,
+    frames on the wire) without changing any result dataclass.
+    """
+
+    sim: Simulator
+    topology: Topology
+    farm: ServerFarm
+    page: PageLoad
+
+    @property
+    def events_processed(self) -> int:
+        return self.sim.events_processed
+
+    @property
+    def server_frames(self) -> int:
+        """Frames sent + received across all server H2 connections.
+
+        Receipts count the client's frames, so the sum covers both
+        directions of the wire deterministically (H1 servers have no
+        frame counters and contribute zero).
+        """
+        total = 0
+        for server in self.farm:
+            for conn in getattr(server, "connections", []):
+                total += conn.frames_sent + conn.frames_received
+        return total
+
+
+@dataclass
 class ReplayTestbed:
     """A reusable site deployment; each :meth:`run` is one fresh load."""
 
@@ -74,8 +107,14 @@ class ReplayTestbed:
         cache: Optional[BrowserCache] = None,
         seed: int = 0,
         timeout_ms: float = 300_000.0,
+        probe: Optional[Callable[["ReplayProbe"], None]] = None,
     ) -> PageLoadResult:
-        """Replay the site once; returns metrics and the full timeline."""
+        """Replay the site once; returns metrics and the full timeline.
+
+        ``probe`` (if given) is invoked with a :class:`ReplayProbe` after
+        the load completes, exposing simulator/server internals for the
+        perf harness without widening :class:`PageLoadResult`.
+        """
         sim = Simulator()
         rng = random.Random(seed)
         spec = self.built.spec
@@ -132,6 +171,8 @@ class ReplayTestbed:
                 f"page load of {spec.name} did not finish within {timeout_ms} ms "
                 f"(strategy={self._strategy_name()})"
             )
+        if probe is not None:
+            probe(ReplayProbe(sim=sim, topology=topology, farm=farm, page=page))
         timeline = page.timeline
         return PageLoadResult(
             site=spec.name,

@@ -2,17 +2,22 @@
 
 The whole testbed — TCP pipes, HTTP/2 endpoints, the browser's parser
 and render loop — runs on one :class:`Simulator`.  It is a classic
-calendar queue: events are ``(time, priority, sequence, callback)``
-tuples ordered by time, then priority, then insertion order, which makes
-every run bit-for-bit deterministic (a property the paper's testbed is
-explicitly built to obtain).
+calendar queue: events are ``[time, priority, sequence, callback, ...]``
+entries ordered by time, then priority, then insertion order, which
+makes every run bit-for-bit deterministic (a property the paper's
+testbed is explicitly built to obtain).
+
+Hot-path note: this loop executes tens of thousands of events per
+replayed page load, so queue entries are plain lists rather than
+objects.  List comparison runs element-wise in C and the unique
+sequence number guarantees it never reaches the (incomparable)
+callback slot — the dataclass ``order=True`` predecessor spent a
+measurable share of each replay inside its generated ``__lt__``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, List, Optional
 
 from ..errors import SimulationError
@@ -20,17 +25,10 @@ from ..errors import SimulationError
 #: Default priority for events; lower runs earlier at equal timestamps.
 DEFAULT_PRIORITY = 10
 
-
-@dataclass(order=True)
-class _QueuedEvent:
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set once the run loop removed the event from the queue (whether
-    #: it executed or was skipped as cancelled).
-    popped: bool = field(default=False, compare=False)
+# Queue-entry slots: [time, priority, seq, callback, cancelled, popped].
+_TIME = 0
+_CANCELLED = 4
+_POPPED = 5
 
 
 class EventHandle:
@@ -38,24 +36,25 @@ class EventHandle:
 
     __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _QueuedEvent, sim: "Simulator"):
+    def __init__(self, event: list, sim: "Simulator"):
         self._event = event
         self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already ran or was cancelled."""
-        if not self._event.cancelled and not self._event.popped:
+        event = self._event
+        if not event[_CANCELLED] and not event[_POPPED]:
             self._sim._live_events -= 1
-        self._event.cancelled = True
+        event[_CANCELLED] = True
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_CANCELLED]
 
     @property
     def time(self) -> float:
         """Simulated time at which the event is (was) scheduled."""
-        return self._event.time
+        return self._event[_TIME]
 
 
 class Simulator:
@@ -69,8 +68,8 @@ class Simulator:
     """
 
     def __init__(self):
-        self._queue: List[_QueuedEvent] = []
-        self._seq = itertools.count()
+        self._queue: List[list] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
@@ -103,8 +102,9 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = _QueuedEvent(self._now + delay, priority, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        self._seq += 1
+        event = [self._now + delay, priority, self._seq, callback, False, False]
+        heappush(self._queue, event)
         self._live_events += 1
         return EventHandle(event, self)
 
@@ -135,28 +135,30 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    event.popped = True
+                event = queue[0]
+                if event[4]:  # cancelled
+                    heappop(queue)
+                    event[5] = True
                     continue
-                if until is not None and event.time > until:
+                event_time = event[0]
+                if until is not None and event_time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
-                event.popped = True
+                heappop(queue)
+                event[5] = True
                 self._live_events -= 1
-                self._now = event.time
+                self._now = event_time
                 self._events_processed += 1
                 if self._events_processed > max_events:
                     raise SimulationError(
                         f"simulation exceeded {max_events} events; likely a model loop"
                     )
-                event.callback()
+                event[3]()
             else:
                 if until is not None and until > self._now:
                     self._now = until

@@ -12,6 +12,7 @@ request traces.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -77,9 +78,9 @@ class DependencyTree:
     def traverse(self) -> List[str]:
         """Priority-first traversal (excludes the base document)."""
         order: List[str] = []
-        queue = [self.root]
+        queue = deque([self.root])
         while queue:
-            node = queue.pop(0)
+            node = queue.popleft()
             if node is not self.root:
                 order.append(node.url)
             queue.extend(

@@ -1,0 +1,89 @@
+"""Determinism guard: replay outputs must stay bit-identical across PRs.
+
+The replay simulator is optimized aggressively (PR 2's hot-path pass and
+successors) under a hard constraint: every experiment output must stay
+bit-for-bit identical, because results are content-addressed by the
+engine cache.  This test runs a small fig-3-shaped grid through the
+engine and asserts that both the **cell cache keys** and a **full
+fingerprint of every per-cell result** (every run's timeline, byte
+counts, and metrics) match a checked-in golden record.
+
+If this test fails after an intentional semantics change (new seed
+derivation, model fix), regenerate the golden record::
+
+    PYTHONPATH=src python tests/experiments/test_determinism_guard.py --regenerate
+
+and say so in the PR — a regeneration invalidates every published
+figure and every cached cell.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.engine import ExperimentEngine, Grid
+from repro.experiments.engine.fingerprint import fingerprint
+from repro.sites.corpus import TOP_100_PROFILE, generate_corpus
+from repro.strategies.simple import NoPushStrategy, PushAllStrategy
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fig3.json"
+
+
+def _build_grid() -> Grid:
+    """A small fig-3-shaped grid: 2 corpus sites x {no push, push all}."""
+    corpus = generate_corpus(TOP_100_PROFILE, 2, seed=2018)
+    engine = ExperimentEngine(cache=None)
+    grid = Grid(name="determinism-guard")
+    for index, site in enumerate(corpus):
+        order = engine.order_for(site.spec, runs=2)
+        grid.add(site.spec, NoPushStrategy(), runs=2, seed_base=index)
+        grid.add(site.spec, PushAllStrategy(order=order), runs=2, seed_base=index)
+    return grid
+
+
+def _evaluate() -> dict:
+    """Run the grid cold (no cache) and fingerprint keys and results."""
+    grid = _build_grid()
+    engine = ExperimentEngine(cache=None)
+    results = engine.run(grid)
+    record = {}
+    for cell, result in zip(grid.cells, results):
+        record[cell.key()] = {
+            "site": result.site,
+            "strategy": result.strategy,
+            "result_fingerprint": fingerprint(result),
+            "median_plt_ms": result.median_plt,
+            "median_si_ms": result.median_si,
+        }
+    return record
+
+
+def test_outputs_match_golden_record():
+    assert GOLDEN_PATH.exists(), (
+        "golden record missing; generate it with "
+        "`python tests/experiments/test_determinism_guard.py --regenerate`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    actual = _evaluate()
+    assert set(actual) == set(golden), (
+        "engine cache keys drifted — cell fingerprinting or specs changed; "
+        "cached results would silently miss"
+    )
+    for key, expected in golden.items():
+        assert actual[key] == expected, (
+            f"cell {expected['site']}/{expected['strategy']} no longer "
+            f"reproduces the golden outputs: {actual[key]} != {expected}"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--regenerate", action="store_true")
+    if parser.parse_args().regenerate:
+        GOLDEN_PATH.write_text(
+            json.dumps(_evaluate(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GOLDEN_PATH}")
