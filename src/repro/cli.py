@@ -235,8 +235,27 @@ def cmd_fig(args) -> int:
         print(exp.run_fig5(exp.Fig5Config(runs=args.runs), engine=engine).render())
     elif figure == "6":
         print(exp.run_fig6(exp.Fig6Config(runs=args.runs), engine=engine).render())
+    elif figure == "7":
+        print(exp.run_fig7(exp.Fig7Config(runs=args.runs), engine=engine).render())
     else:
-        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3, 3a, 3b, 4, 5, 6)")
+        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3, 3a, 3b, 4, 5, 6, 7)")
+    _maybe_report(args, engine)
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from . import experiments as exp
+
+    engine = _engine_from_args(args)
+    if args.quick:
+        config = exp.Fig7Config.quick()
+    else:
+        config = exp.Fig7Config(runs=args.runs)
+    if args.burst:
+        import dataclasses
+
+        config = dataclasses.replace(config, burst=True)
+    print(exp.run_fig7(config, engine=engine).render())
     _maybe_report(args, engine)
     return 0
 
@@ -302,11 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
     order.set_defaults(func=cmd_order)
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
-    fig.add_argument("figure", help="1, 2, 3, 3a, 3b, 4, 5, or 6")
+    fig.add_argument("figure", help="1, 2, 3, 3a, 3b, 4, 5, 6, or 7")
     fig.add_argument("--sites", type=int, default=10)
     fig.add_argument("--runs", type=int, default=5)
     _add_engine_options(fig)
     fig.set_defaults(func=cmd_fig)
+
+    fig7 = sub.add_parser(
+        "fig7", help="push strategies under packet loss (extension)"
+    )
+    fig7.add_argument(
+        "--quick", action="store_true", help="small CI-sized sweep"
+    )
+    fig7.add_argument(
+        "--burst",
+        action="store_true",
+        help="Gilbert-Elliott burst loss instead of i.i.d.",
+    )
+    fig7.add_argument("--runs", type=int, default=5)
+    _add_engine_options(fig7)
+    fig7.set_defaults(func=cmd_fig7)
 
     waterfall = sub.add_parser("waterfall", help="render a load as an ASCII waterfall")
     waterfall.add_argument("site")

@@ -15,6 +15,7 @@ from .fig3_strategies import Fig3aResult, Fig3bResult, Fig3Config, run_fig3a, ru
 from .fig4_custom import Fig4Config, Fig4Result, run_fig4
 from .fig5_interleaving import Fig5Config, Fig5Result, make_test_site, run_fig5
 from .fig6_realworld import Fig6Config, Fig6Result, run_fig6
+from .fig7_lossy import Fig7Config, Fig7Result, Fig7Row, run_fig7
 from .network_sweep import SweepCell, SweepConfig, SweepResult, run_network_sweep
 from .runner import PAPER_RUNS, RepeatedResult, compute_order_for, run_repeated
 from .tables import (
@@ -47,6 +48,9 @@ __all__ = [
     "Fig5Result",
     "Fig6Config",
     "Fig6Result",
+    "Fig7Config",
+    "Fig7Result",
+    "Fig7Row",
     "StrategySelector",
     "SweepCell",
     "SweepConfig",
@@ -66,6 +70,7 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "run_fig7",
     "run_pushable_share",
     "run_repeated",
     "run_type_analysis",

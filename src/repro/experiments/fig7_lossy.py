@@ -1,0 +1,228 @@
+"""Fig. 7 (extension): push strategies on lossy networks.
+
+The paper evaluates push only on the clean DSL testbed (§4.1), yet its
+conclusions hinge on transport behaviour.  The lossy-network literature
+it builds on — Goel et al. (domain sharding in lossy cellular networks)
+and Elkhatib et al. (network variables vs SPDY) — shows that loss and
+delay variability can invert H2-vs-H1 and push-vs-no-push verdicts.
+This experiment opens that axis: the Fig. 5 parametric test site is
+replayed under the DSL profile with link-level packet loss swept from
+clean to heavily lossy, for each push strategy (no push, plain push,
+interleaving push) and each congestion controller (Reno, CUBIC).
+
+Methodology notes:
+
+* **Common random numbers** — every cell uses the same ``seed_base``,
+  so run *i* of every cell draws loss thresholds from the same uniform
+  stream.  A packet lost at rate *p* is also lost at every rate above
+  *p* (until recovery traffic makes the streams diverge), which
+  couples the curves and makes the PLT-vs-loss trend monotonic at far
+  fewer repetitions than independent seeding would need.
+* Cells are engine-backed: cached by content address, reproducible from
+  their seeds, and parallelizable with ``--jobs``.
+
+Reproduction targets (from the cited literature):
+
+* PLT and SpeedIndex degrade monotonically (within run noise) as the
+  loss rate rises;
+* Reno and CUBIC separate once loss is frequent enough to keep the
+  window depressed (≥ 1%): CUBIC's β = 0.7 backoff and cubic re-probe
+  hold more of the pipe than Reno's halving;
+* push's round-trip savings shrink relative to loss-recovery stalls —
+  the clean-path verdict does not transfer unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..html.builder import build_site
+from ..netsim.conditions import DSL_TESTBED, FixedConditions
+from ..netsim.impairment import (
+    GilbertElliottLoss,
+    IIDLoss,
+    ImpairmentConfig,
+    JitterSpec,
+    ReorderSpec,
+)
+from ..strategies.base import PushStrategy
+from ..strategies.simple import NoPushStrategy, PushListStrategy
+from .engine import ExperimentEngine, Grid
+from .fig5_interleaving import make_test_site
+from .report import render_series
+
+
+@dataclass
+class Fig7Config:
+    """Sweep axes: loss rates × congestion controls × push strategies."""
+
+    loss_rates: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05)
+    congestion_controls: Sequence[str] = ("reno", "cubic")
+    #: Larger than Fig. 5's sweep: the transfer must span enough packets
+    #: (~150 per load at 200 kB) for the loss process to bind at the low
+    #: end of the rate axis.
+    html_kb: int = 200
+    css_size: int = 12_000
+    runs: int = 5
+    #: Model bursty (Gilbert-Elliott) loss instead of i.i.d., keeping
+    #: the stationary loss rate at the swept value (mean burst ≈ 3).
+    burst: bool = False
+    #: Optional extra per-packet jitter / reordering on the lossy cells.
+    jitter_ms: float = 0.0
+    reorder_rate: float = 0.0
+    seed_base: int = 0
+
+    @classmethod
+    def quick(cls) -> "Fig7Config":
+        """The CI smoke variant: 2 loss points × 2 controllers × 2 runs."""
+        return cls(loss_rates=(0.0, 0.02), html_kb=120, runs=2)
+
+    def impairment_for(self, loss_rate: float) -> Optional[ImpairmentConfig]:
+        """Impairment pipeline of one sweep column (``None`` = clean)."""
+        if loss_rate <= 0.0 and self.jitter_ms <= 0.0 and self.reorder_rate <= 0.0:
+            return None
+        loss = None
+        if loss_rate > 0.0:
+            if self.burst:
+                # Mean burst length 3 packets => p_exit_bad = 1/3; pick
+                # p_enter_bad for the requested stationary rate.
+                p_exit = 1.0 / 3.0
+                p_enter = loss_rate * p_exit / (1.0 - loss_rate)
+                loss = GilbertElliottLoss(p_enter_bad=p_enter, p_exit_bad=p_exit)
+            else:
+                loss = IIDLoss(rate=loss_rate)
+        return ImpairmentConfig(
+            loss=loss,
+            jitter=JitterSpec(self.jitter_ms) if self.jitter_ms > 0.0 else None,
+            reorder=(
+                ReorderSpec(self.reorder_rate)
+                if self.reorder_rate > 0.0
+                else None
+            ),
+        )
+
+
+@dataclass
+class Fig7Row:
+    congestion_control: str
+    loss_rate: float
+    strategy: str
+    median_plt: float
+    median_si: float
+
+
+@dataclass
+class Fig7Result:
+    rows: List[Fig7Row] = field(default_factory=list)
+
+    def curve(
+        self, congestion_control: str, strategy: str, metric: str = "plt"
+    ) -> List[Tuple[float, float]]:
+        """(loss_rate, median metric) points, sorted by loss rate."""
+        attribute = "median_plt" if metric == "plt" else "median_si"
+        points = [
+            (row.loss_rate, getattr(row, attribute))
+            for row in self.rows
+            if row.congestion_control == congestion_control
+            and row.strategy == strategy
+        ]
+        return sorted(points)
+
+    def strategies(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.strategy not in seen:
+                seen.append(row.strategy)
+        return seen
+
+    def render(self) -> str:
+        baseline = {
+            (row.congestion_control, row.strategy): row.median_plt
+            for row in self.rows
+            if row.loss_rate == 0.0
+        }
+        table_rows = []
+        for row in self.rows:
+            clean = baseline.get((row.congestion_control, row.strategy))
+            delta = (
+                f"{row.median_plt - clean:+.0f}" if clean is not None else "n/a"
+            )
+            table_rows.append(
+                (
+                    row.congestion_control,
+                    f"{row.loss_rate * 100:g}%",
+                    row.strategy,
+                    f"{row.median_plt:.0f}",
+                    delta,
+                    f"{row.median_si:.0f}",
+                )
+            )
+        return render_series(
+            ("cc", "loss", "strategy", "PLT ms", "ΔPLT", "SI ms"),
+            table_rows,
+            title="Fig. 7 — push strategies under packet loss (DSL profile)",
+        )
+
+
+def _strategies_for(config: Fig7Config) -> List[PushStrategy]:
+    spec = make_test_site(config.html_kb, config.css_size)
+    css_url = spec.url_of("style.css")
+    offset = build_site(spec).head_end_offset
+    return [
+        NoPushStrategy(),
+        PushListStrategy([css_url], name="push"),
+        PushListStrategy(
+            [css_url],
+            critical_urls=[css_url],
+            interleave_offset=offset,
+            name="interleaving",
+        ),
+    ]
+
+
+def run_fig7(
+    config: Fig7Config = Fig7Config(),
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig7Result:
+    engine = engine or ExperimentEngine()
+    spec = make_test_site(config.html_kb, config.css_size)
+    strategies = _strategies_for(config)
+    settings: List[Tuple[str, float]] = [
+        (cc, loss)
+        for cc in config.congestion_controls
+        for loss in config.loss_rates
+    ]
+    grid = Grid(name="fig7_lossy")
+    for cc, loss in settings:
+        conditions = replace(
+            DSL_TESTBED,
+            congestion_control=cc,
+            impairment=config.impairment_for(loss),
+        )
+        sampler = FixedConditions(conditions)
+        for strategy in strategies:
+            grid.add(
+                spec,
+                strategy,
+                runs=config.runs,
+                seed_base=config.seed_base,
+                conditions=sampler,
+                label=f"{cc}/{loss * 100:g}%/{strategy.name}",
+            )
+    cells = engine.run(grid)
+    result = Fig7Result()
+    per_setting = len(strategies)
+    for setting_index, (cc, loss) in enumerate(settings):
+        for offset, strategy in enumerate(strategies):
+            repeated = cells[setting_index * per_setting + offset]
+            result.rows.append(
+                Fig7Row(
+                    congestion_control=cc,
+                    loss_rate=loss,
+                    strategy=strategy.name,
+                    median_plt=repeated.median_plt,
+                    median_si=repeated.median_si,
+                )
+            )
+    return result

@@ -25,7 +25,7 @@ from ..netsim.conditions import (
 )
 from ..replay.testbed import PageLoadResult, ReplayTestbed
 from ..strategies.base import PushStrategy
-from .seeds import condition_seed, load_seed
+from .seeds import condition_seed, impairment_seed, load_seed
 
 #: The paper's repetition count per site and setting.
 PAPER_RUNS = 31
@@ -110,7 +110,13 @@ def run_repeated(
         network = sampler.sample(run_rng)
         testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy)
         cache = cache_factory() if cache_factory is not None else None
-        results.append(testbed.run(cache=cache, seed=load_seed(seed_base, run_index)))
+        results.append(
+            testbed.run(
+                cache=cache,
+                seed=load_seed(seed_base, run_index),
+                impairment_seed=impairment_seed(seed_base, run_index),
+            )
+        )
     return RepeatedResult(
         site=spec.name,
         strategy=strategy.name if strategy else "no_push",

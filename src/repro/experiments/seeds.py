@@ -7,9 +7,12 @@ each run needs *two* independent deterministic seeds:
   draws the per-run network (RTT/bandwidth/loss for Internet-style
   variability; a no-op for the fixed testbed), and
 * a **load** seed feeding the testbed's simulator RNG (loss and jitter
-  draws inside one page load).
+  draws inside one page load), and
+* an **impairment** seed feeding the link-level impairment pipeline
+  (packet loss, reordering, bandwidth fading draws) when the cell's
+  conditions enable impairments — a no-op stream otherwise.
 
-The two streams intentionally use different mixing constants so that
+The streams intentionally use different mixing constants so that
 run *i*'s network draw and run *i*'s in-load jitter are decorrelated
 even for small ``seed_base`` values.  The exact formulas are frozen:
 they reproduce the numbers of the original serial experiment loops, so
@@ -23,10 +26,12 @@ return bit-identical results.
 
 from __future__ import annotations
 
-#: Mixing constants of the two streams (see module docstring).
+#: Mixing constants of the seed streams (see module docstring).
 _CONDITION_STRIDE = 1_000_003
 _CONDITION_XOR = 0x5EED
 _LOAD_STRIDE = 1000
+_IMPAIRMENT_STRIDE = 9_999_991
+_IMPAIRMENT_XOR = 0xD10D
 
 
 def condition_seed(seed_base: int, run_index: int) -> int:
@@ -37,3 +42,14 @@ def condition_seed(seed_base: int, run_index: int) -> int:
 def load_seed(seed_base: int, run_index: int) -> int:
     """Seed for the in-load simulator RNG (loss/jitter draws)."""
     return seed_base * _LOAD_STRIDE + run_index
+
+
+def impairment_seed(seed_base: int, run_index: int) -> int:
+    """Seed for the link impairment pipeline (loss/reorder/fading).
+
+    Kept separate from the load stream so that enabling impairments in
+    a cell cannot perturb the handshake/jitter draws of the historical
+    RNG, and so two cells differing only in ``run_index`` replay
+    decorrelated impairment patterns.
+    """
+    return (seed_base * _IMPAIRMENT_STRIDE + run_index) ^ _IMPAIRMENT_XOR

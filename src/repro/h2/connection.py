@@ -402,6 +402,16 @@ class H2Connection:
             space = endpoint.send_buffer_space
             if space <= _FRAME_HEADER:
                 return
+            # TCP_NOTSENT_LOWAT-style pacing: stop queueing DATA once
+            # the unsent socket backlog covers two congestion windows.
+            # With the clean-path window (>= IW10 = 14.6 KB, which only
+            # grows without loss) the threshold exceeds the 16 KiB send
+            # buffer and never binds — bit-identical behaviour.  When
+            # loss collapses cwnd, the backlog cap keeps scheduling
+            # decisions close to the wire, so priority changes are not
+            # stranded behind kilobytes of already-committed DATA.
+            if endpoint.unsent_buffered >= 2.0 * endpoint.congestion_window:
+                return
             if ready is None:
                 ready = self._ready_streams()
             if not ready:

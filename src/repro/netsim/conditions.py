@@ -6,14 +6,45 @@ downlink and 1 Mbit/s uplink, no loss (§4.1).  That profile is the
 sites over the real Internet, where RTT, bandwidth, and loss vary
 between runs; :class:`InternetConditions` models that variability by
 sampling a fresh :class:`NetworkConditions` per run.
+
+Beyond the paper, conditions now carry the knobs of the impairment
+subsystem: an optional per-link :class:`~repro.netsim.impairment.
+ImpairmentConfig` (loss, jitter, reordering, bandwidth fading) and the
+congestion-control algorithm TCP senders run (``"reno"`` or
+``"cubic"``).  :data:`PROFILES` names the ready-made settings the
+lossy-network experiments sweep over; :func:`profile` looks them up.
+
+Every profile validates at construction time (via ``repro.units``
+helpers) and raises :class:`repro.errors.ConfigError` on nonsensical
+values — negative RTT, zero MSS, loss probabilities outside [0, 1] —
+instead of silently misbehaving deep inside the simulator.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
-from ..units import mbit_per_s
+from ..errors import ConfigError
+from ..units import (
+    mbit_per_s,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+from .impairment import (
+    BandwidthVariationSpec,
+    GilbertElliottLoss,
+    IIDLoss,
+    ImpairmentConfig,
+    JitterSpec,
+    ReorderSpec,
+)
+
+#: Default maximum segment size (Ethernet MTU minus IP/TCP headers);
+#: mirrors ``repro.netsim.tcp.MSS``.
+DEFAULT_MSS = 1460
 
 
 @dataclass(frozen=True)
@@ -24,10 +55,18 @@ class NetworkConditions:
         rtt_ms: round-trip propagation delay between client and servers.
         downlink_bytes_per_ms: client downlink rate (shared bottleneck).
         uplink_bytes_per_ms: client uplink rate (shared bottleneck).
-        loss_rate: per-segment Bernoulli loss probability.
+        loss_rate: per-segment Bernoulli loss probability applied at the
+            TCP sender (the historical Fig. 2a "Internet" knob; the
+            richer link-level models live in ``impairment``).
         jitter_ms: maximum uniform extra one-way delay per segment.
         server_delay_ms: extra per-request processing delay at servers
             (the paper assumes none in the testbed; kept configurable).
+        mss: TCP maximum segment size in bytes.
+        congestion_control: name of the TCP congestion controller
+            (see ``repro.netsim.congestion.CONGESTION_CONTROLS``).
+        impairment: optional packet-impairment pipeline configuration
+            applied by both access links; ``None`` keeps the clean
+            bit-identical fast path.
     """
 
     rtt_ms: float = 50.0
@@ -36,6 +75,25 @@ class NetworkConditions:
     loss_rate: float = 0.0
     jitter_ms: float = 0.0
     server_delay_ms: float = 0.0
+    mss: int = DEFAULT_MSS
+    congestion_control: str = "reno"
+    impairment: Optional[ImpairmentConfig] = None
+
+    def __post_init__(self) -> None:
+        require_non_negative("rtt_ms", self.rtt_ms)
+        require_positive("downlink_bytes_per_ms", self.downlink_bytes_per_ms)
+        require_positive("uplink_bytes_per_ms", self.uplink_bytes_per_ms)
+        require_fraction("loss_rate", self.loss_rate)
+        require_non_negative("jitter_ms", self.jitter_ms)
+        require_non_negative("server_delay_ms", self.server_delay_ms)
+        require_positive("mss", self.mss)
+        from .congestion import CONGESTION_CONTROLS
+
+        if self.congestion_control not in CONGESTION_CONTROLS:
+            raise ConfigError(
+                f"unknown congestion control {self.congestion_control!r} "
+                f"(available: {', '.join(sorted(CONGESTION_CONTROLS))})"
+            )
 
     @property
     def one_way_ms(self) -> float:
@@ -45,9 +103,18 @@ class NetworkConditions:
     def with_rtt(self, rtt_ms: float) -> "NetworkConditions":
         return replace(self, rtt_ms=rtt_ms)
 
+    def with_impairment(self, impairment: Optional[ImpairmentConfig]) -> "NetworkConditions":
+        return replace(self, impairment=impairment)
+
+    def with_congestion_control(self, name: str) -> "NetworkConditions":
+        return replace(self, congestion_control=name)
+
 
 #: The paper's emulated DSL setting (§4.1).
 DSL_TESTBED = NetworkConditions()
+
+#: Alias making the clean/lossy contrast explicit at call sites.
+CLEAN_DSL = DSL_TESTBED
 
 #: A faster cable-like profile, used in some ablations.
 CABLE = NetworkConditions(
@@ -63,6 +130,72 @@ CELLULAR = NetworkConditions(
     uplink_bytes_per_ms=mbit_per_s(2),
     jitter_ms=5.0,
 )
+
+#: The paper's DSL link suffering bursty last-mile loss (a noisy line):
+#: ~1% stationary loss in short bursts, mild jitter and reordering.
+LOSSY_DSL = NetworkConditions(
+    impairment=ImpairmentConfig(
+        loss=GilbertElliottLoss(p_enter_bad=0.004, p_exit_bad=0.30, bad_loss=0.75),
+        jitter=JitterSpec(max_ms=2.0),
+        reorder=ReorderSpec(rate=0.005, extra_delay_ms=10.0),
+    ),
+)
+
+#: 3G-like cellular: high RTT, narrow and unstable link, burst loss.
+CELLULAR_3G = NetworkConditions(
+    rtt_ms=150.0,
+    downlink_bytes_per_ms=mbit_per_s(3),
+    uplink_bytes_per_ms=mbit_per_s(1),
+    congestion_control="cubic",
+    impairment=ImpairmentConfig(
+        loss=GilbertElliottLoss(p_enter_bad=0.008, p_exit_bad=0.25, bad_loss=0.8),
+        jitter=JitterSpec(max_ms=15.0),
+        reorder=ReorderSpec(rate=0.01, extra_delay_ms=30.0),
+        bandwidth=BandwidthVariationSpec(amplitude=0.4, interval_ms=500.0),
+    ),
+)
+
+#: LTE-like cellular: moderate RTT, fast but fading link, light loss.
+CELLULAR_LTE = NetworkConditions(
+    rtt_ms=70.0,
+    downlink_bytes_per_ms=mbit_per_s(20),
+    uplink_bytes_per_ms=mbit_per_s(8),
+    congestion_control="cubic",
+    impairment=ImpairmentConfig(
+        loss=IIDLoss(rate=0.002),
+        jitter=JitterSpec(max_ms=8.0),
+        bandwidth=BandwidthVariationSpec(amplitude=0.25, interval_ms=250.0),
+    ),
+)
+
+#: Fiber-to-the-home: short RTT, wide clean pipe.
+FIBER = NetworkConditions(
+    rtt_ms=10.0,
+    downlink_bytes_per_ms=mbit_per_s(300),
+    uplink_bytes_per_ms=mbit_per_s(100),
+)
+
+#: Named profiles selectable from experiment configs and the CLI.
+PROFILES: Dict[str, NetworkConditions] = {
+    "clean_dsl": CLEAN_DSL,
+    "lossy_dsl": LOSSY_DSL,
+    "cable": CABLE,
+    "cellular": CELLULAR,
+    "cellular_3g": CELLULAR_3G,
+    "cellular_lte": CELLULAR_LTE,
+    "fiber": FIBER,
+}
+
+
+def profile(name: str) -> NetworkConditions:
+    """Look up a named condition profile; raises ``ConfigError``."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network profile {name!r} "
+            f"(available: {', '.join(sorted(PROFILES))})"
+        ) from None
 
 
 class ConditionSampler:

@@ -13,6 +13,7 @@ import random
 from typing import Callable, Optional
 
 from ..sim import Simulator
+from .impairment import ImpairmentPipeline
 
 
 class SharedLink:
@@ -23,6 +24,12 @@ class SharedLink:
     uniform jitter) before invoking the delivery callback.  Because the
     queue is work-conserving and FIFO, concurrent connections naturally
     share the bottleneck.
+
+    An optional :class:`ImpairmentPipeline` composes loss, jitter,
+    reordering, and bandwidth fading onto the link: drops consume link
+    time but are never delivered (egress loss, as netem applies it),
+    and per-packet extra delay can make later packets overtake earlier
+    ones.  Without a pipeline the historical clean path runs unchanged.
     """
 
     def __init__(
@@ -33,6 +40,7 @@ class SharedLink:
         jitter_ms: float = 0.0,
         rng: Optional[random.Random] = None,
         name: str = "link",
+        impairments: Optional[ImpairmentPipeline] = None,
     ):
         if rate_bytes_per_ms <= 0:
             raise ValueError("link rate must be positive")
@@ -44,6 +52,7 @@ class SharedLink:
         self._jitter = jitter_ms
         self._rng = rng or random.Random(0)
         self.name = name
+        self._impairments = impairments
         self._busy_until = 0.0
         self.bytes_transmitted = 0
 
@@ -54,6 +63,10 @@ class SharedLink:
     @property
     def propagation_ms(self) -> float:
         return self._propagation
+
+    @property
+    def impairments(self) -> Optional[ImpairmentPipeline]:
+        return self._impairments
 
     @property
     def queue_delay_ms(self) -> float:
@@ -70,12 +83,23 @@ class SharedLink:
         now = self._sim.now
         busy = self._busy_until
         start = now if now > busy else busy
-        finish = start + size / self._rate
+        impairments = self._impairments
+        if impairments is None:
+            finish = start + size / self._rate
+        else:
+            finish = start + size / (self._rate * impairments.rate_multiplier(now))
         self._busy_until = finish
         self.bytes_transmitted += size
         delay = self._propagation
         if self._jitter > 0:
             delay += self._rng.uniform(0.0, self._jitter)
+        if impairments is not None:
+            dropped, extra = impairments.packet_fate(now)
+            if dropped:
+                # The packet occupied the link but never arrives; the
+                # sender's loss recovery (RTO / dup ACKs) repairs it.
+                return finish + delay
+            delay += extra
         arrival = finish + delay
         self._sim.schedule_at(arrival, deliver)
         return arrival

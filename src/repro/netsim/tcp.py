@@ -9,9 +9,18 @@ The model captures the TCP dynamics the paper's findings depend on:
 * **a bounded send buffer with backpressure** — the HTTP/2 server can
   only decide *what to send next* when socket space frees, which is
   what makes stream (re)scheduling and Interleaving Push meaningful;
-* optional Bernoulli loss with fast-retransmit (RFC 5681) and adaptive
-  RTO (RFC 6298) recovery, used only by the "Internet" variability
-  profile of Fig. 2a.
+* **loss recovery** — adaptive RTO with exponential backoff (RFC 6298)
+  and fast retransmit on three duplicate ACKs (RFC 5681), exercised by
+  the Fig. 2a "Internet" profile and by the link-level impairment
+  pipeline (``repro.netsim.impairment``);
+* **pluggable congestion control** — the send window is driven by a
+  policy object (``repro.netsim.congestion``: Reno or CUBIC) selected
+  via ``NetworkConditions.congestion_control``.
+
+The receiver tolerates whatever an impaired link produces: duplicated
+segments are re-ACKed, reordered segments are buffered until the hole
+fills, and stale/duplicate cumulative ACKs on the return path are
+classified explicitly (see ``_on_ack``).
 
 It is deliberately not a full TCP: no SACK, no Nagle, no window
 scaling negotiation.  The replay testbed runs loss-free, where this
@@ -27,6 +36,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 from ..errors import NetworkError
 from ..sim import Simulator, Timer
 from .conditions import NetworkConditions
+from .congestion import make_congestion_control
 from .link import SharedLink
 
 #: Maximum segment size (Ethernet MTU minus IP/TCP headers).
@@ -93,6 +103,26 @@ class TcpEndpoint:
         return self._in.bytes_delivered
 
     @property
+    def congestion_window(self) -> float:
+        """Current congestion window of the outgoing direction, bytes."""
+        return self._out._cc.cwnd
+
+    @property
+    def unsent_buffered(self) -> int:
+        """Bytes accepted by :meth:`send` but not yet put on the wire.
+
+        The application-visible backlog: HTTP/2 pacing keeps this small
+        relative to the congestion window so scheduling decisions stay
+        responsive when loss collapses the window.
+        """
+        return self._out._buffered
+
+    @property
+    def in_flight_bytes(self) -> int:
+        """Bytes transmitted but not yet cumulatively acknowledged."""
+        return self._out._flight_size()
+
+    @property
     def all_sent_delivered(self) -> bool:
         """True when every byte ever accepted has been ACKed."""
         return self._out.fully_acked
@@ -125,8 +155,10 @@ class _HalfConnection:
         self._max_buffer = DEFAULT_SEND_BUFFER
         self._next_seq = 0            # next byte sequence to assign
         self._snd_una = 0             # lowest unacknowledged byte
-        self._cwnd = float(INITIAL_WINDOW_SEGMENTS * MSS)
-        self._ssthresh = float(64 * 1024)
+        self._mss = conditions.mss
+        # Congestion control policy (Reno reproduces the historical
+        # inline window arithmetic bit for bit; see netsim.congestion).
+        self._cc = make_congestion_control(conditions.congestion_control, conditions.mss)
         #: seq -> (payload, rto timer, send time, was retransmitted,
         #: end seq) — the end is precomputed so the per-ACK scan does
         #: not call ``len`` on every in-flight payload.
@@ -143,7 +175,6 @@ class _HalfConnection:
         # Fast retransmit (RFC 5681): three duplicate ACKs signal a
         # hole; recover without waiting out the RTO.
         self._dup_acks = 0
-        self._last_ack_seen = 0
 
         # --- receiver state ---
         self._rcv_next = 0
@@ -182,9 +213,11 @@ class _HalfConnection:
 
     def _pump(self) -> None:
         """Transmit segments while the congestion window allows."""
-        while self._buffered > 0 and self._next_seq - self._snd_una < self._cwnd:
+        cc = self._cc
+        mss = self._mss
+        while self._buffered > 0 and self._next_seq - self._snd_una < cc.cwnd:
             buffered = self._buffered
-            payload = self._take(MSS if MSS < buffered else buffered)
+            payload = self._take(mss if mss < buffered else buffered)
             seq = self._next_seq
             self._next_seq = seq + len(payload)
             self._transmit(seq, payload, retransmission=False)
@@ -234,29 +267,38 @@ class _HalfConnection:
         self._rto = min(max(self._srtt + max(4.0 * self._rttvar, 10.0), 200.0), 60_000.0)
 
     def _fast_retransmit(self) -> None:
-        """Resend the segment at the left edge; halve the window."""
+        """Resend the segment at the left edge; shrink the window."""
         entry = self._in_flight.pop(self._snd_una, None)
         if entry is None:
+            # The hole was already repaired (an RTO fired first, or its
+            # ACK is still in flight on a reordered return path).
             return
         payload, timer, _sent_at, _retx, _end = entry
         timer.cancel()
-        self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
-        self._cwnd = self._ssthresh
+        self._cc.on_fast_retransmit(self._sim.now)
         self._transmit(self._snd_una, payload, retransmission=True)
 
     def _on_timeout(self, seq: int) -> None:
         if seq not in self._in_flight:
             return
         payload, _old_timer, _sent_at, _retx, _end = self._in_flight.pop(seq)
-        # Tahoe-style: collapse the window and re-enter slow start.
-        self._ssthresh = max(self._cwnd / 2.0, 2.0 * MSS)
-        self._cwnd = float(MSS)
+        self._cc.on_timeout(self._sim.now)
         self._rto = min(self._rto * 2.0, 60_000.0)  # exponential backoff
         self._transmit(seq, payload, retransmission=True)
 
     def _on_ack(self, ack: int) -> None:
-        if ack <= self._snd_una:
-            if ack == self._snd_una and self._in_flight:
+        if ack < self._snd_una:
+            # Stale: a cumulative ACK overtaken on the return path (ACK
+            # reordering) or a late duplicate of one already processed.
+            # Cumulative semantics make it carry no information — drop
+            # it without touching the duplicate counter.
+            return
+        if ack == self._snd_una:
+            # Duplicate cumulative ACK.  Only meaningful while data is
+            # outstanding (RFC 5681: "an ACK that does not advance the
+            # window while new data is in flight"); three in a row mark
+            # the left-edge segment as lost.
+            if self._in_flight:
                 self._dup_acks += 1
                 if self._dup_acks == 3:
                     self._fast_retransmit()
@@ -270,12 +312,7 @@ class _HalfConnection:
             timer.cancel()
             if not retransmitted:
                 self._sample_rtt(self._sim.now - sent_at)
-        if self._cwnd < self._ssthresh:
-            # Slow start: grow by the acked bytes (bounded per ACK).
-            self._cwnd += min(newly_acked, 2 * MSS)
-        else:
-            # Congestion avoidance: ~1 MSS per RTT.
-            self._cwnd += MSS * MSS / self._cwnd
+        self._cc.on_ack(newly_acked, self._sim.now)
         self._pump()
         # Level-triggered writability (like EPOLLOUT): whenever an ACK
         # frees buffer space, give the application a chance to write.
@@ -346,7 +383,8 @@ class TcpConnection:
 
     def set_send_buffer(self, size: int) -> None:
         """Set the socket send-buffer size for both directions."""
-        if size < MSS:
-            raise NetworkError(f"send buffer must hold at least one MSS ({MSS})")
+        mss = self._c2s._mss
+        if size < mss:
+            raise NetworkError(f"send buffer must hold at least one MSS ({mss})")
         self._c2s._max_buffer = size
         self._s2c._max_buffer = size

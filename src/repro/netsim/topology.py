@@ -16,6 +16,7 @@ from ..errors import NetworkError
 from ..sim import Simulator
 from .conditions import NetworkConditions
 from .handshake import TLS12_HANDSHAKE, HandshakeModel
+from .impairment import ImpairmentPipeline
 from .link import SharedLink
 from .tcp import TcpConnection
 
@@ -43,11 +44,24 @@ class Topology:
         conditions: NetworkConditions,
         handshake: HandshakeModel = TLS12_HANDSHAKE,
         rng: Optional[random.Random] = None,
+        impairment_rng: Optional[random.Random] = None,
     ):
         self.sim = sim
         self.conditions = conditions
         self.handshake = handshake
         self._rng = rng or random.Random(0)
+        # The impairment pipelines get a *separate* RNG stream (seeded
+        # per cell via experiments.seeds.impairment_seed) so that adding
+        # or removing impairments never perturbs the handshake/jitter
+        # draws of the historical stream — and so a clean run performs
+        # zero impairment draws, keeping it bit-identical to the
+        # pre-impairment model.
+        down_pipeline = up_pipeline = None
+        impairment = conditions.impairment
+        if impairment is not None and impairment.enabled:
+            shared_rng = impairment_rng or random.Random(0)
+            down_pipeline = ImpairmentPipeline(impairment, shared_rng, name="downlink")
+            up_pipeline = ImpairmentPipeline(impairment, shared_rng, name="uplink")
         self.downlink = SharedLink(
             sim,
             conditions.downlink_bytes_per_ms,
@@ -55,6 +69,7 @@ class Topology:
             jitter_ms=conditions.jitter_ms,
             rng=self._rng,
             name="downlink",
+            impairments=down_pipeline,
         )
         self.uplink = SharedLink(
             sim,
@@ -63,6 +78,7 @@ class Topology:
             jitter_ms=conditions.jitter_ms,
             rng=self._rng,
             name="uplink",
+            impairments=up_pipeline,
         )
         self._hosts: Dict[str, Host] = {}
         self._domain_to_ip: Dict[str, str] = {}

@@ -108,17 +108,33 @@ class ReplayTestbed:
         seed: int = 0,
         timeout_ms: float = 300_000.0,
         probe: Optional[Callable[["ReplayProbe"], None]] = None,
+        impairment_seed: Optional[int] = None,
     ) -> PageLoadResult:
         """Replay the site once; returns metrics and the full timeline.
 
         ``probe`` (if given) is invoked with a :class:`ReplayProbe` after
         the load completes, exposing simulator/server internals for the
         perf harness without widening :class:`PageLoadResult`.
+
+        ``impairment_seed`` seeds the link impairment pipeline when the
+        conditions enable one; the engine runner derives it per cell via
+        :func:`repro.experiments.seeds.impairment_seed`, and direct
+        callers fall back to the same derivation from ``seed``.
         """
         sim = Simulator()
         rng = random.Random(seed)
         spec = self.built.spec
-        topology = Topology(sim, self.conditions, rng=rng)
+        impairment_rng = None
+        impairment = self.conditions.impairment
+        if impairment is not None and impairment.enabled:
+            if impairment_seed is None:
+                # Lazy import: experiments depends on replay, not vice
+                # versa, so pull the seed formula in at call time only.
+                from ..experiments.seeds import impairment_seed as derive
+
+                impairment_seed = derive(seed, 0)
+            impairment_rng = random.Random(impairment_seed)
+        topology = Topology(sim, self.conditions, rng=rng, impairment_rng=impairment_rng)
         ca = CertificateAuthority()
         farm = ServerFarm()
 

@@ -49,6 +49,38 @@ def transmission_delay_ms(size_bytes: int, rate_bytes_per_ms: float) -> float:
     return size_bytes / rate_bytes_per_ms
 
 
+def require_positive(name: str, value: float) -> float:
+    """Validate that a configuration quantity is strictly positive.
+
+    Raises :class:`repro.errors.ConfigError` so profile mistakes (zero
+    MSS, zero bandwidth) surface at construction time instead of as
+    divide-by-zero or silent stalls deep inside the simulator.
+    """
+    from .errors import ConfigError
+
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that a quantity (delay, jitter) is zero or positive."""
+    from .errors import ConfigError
+
+    if not value >= 0:
+        raise ConfigError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Validate that a probability/ratio lies in the closed [0, 1]."""
+    from .errors import ConfigError
+
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
 def fmt_kb(size_bytes: float) -> str:
     """Format a byte count as the paper does, e.g. ``'309 KB'``."""
     return f"{size_bytes / KB:,.0f} KB"

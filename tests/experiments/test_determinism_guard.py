@@ -28,6 +28,7 @@ from repro.sites.corpus import TOP_100_PROFILE, generate_corpus
 from repro.strategies.simple import NoPushStrategy, PushAllStrategy
 
 GOLDEN_PATH = Path(__file__).parent / "golden_fig3.json"
+GOLDEN_LOSSY_PATH = Path(__file__).parent / "golden_fig7_cell.json"
 
 
 def _build_grid() -> Grid:
@@ -59,6 +60,52 @@ def _evaluate() -> dict:
     return record
 
 
+def _build_lossy_grid() -> Grid:
+    """One impaired fig-7 cell: lossy DSL, CUBIC, pushed CSS."""
+    from dataclasses import replace
+
+    from repro.experiments.fig5_interleaving import make_test_site
+    from repro.netsim.conditions import DSL_TESTBED, FixedConditions
+    from repro.netsim.impairment import GilbertElliottLoss, ImpairmentConfig, JitterSpec
+    from repro.strategies.simple import PushListStrategy
+
+    spec = make_test_site(120)
+    conditions = replace(
+        DSL_TESTBED,
+        congestion_control="cubic",
+        impairment=ImpairmentConfig(
+            loss=GilbertElliottLoss(p_enter_bad=0.01, p_exit_bad=0.3),
+            jitter=JitterSpec(3.0),
+        ),
+    )
+    grid = Grid(name="determinism-guard-lossy")
+    grid.add(
+        spec,
+        PushListStrategy([spec.url_of("style.css")], name="push"),
+        runs=3,
+        seed_base=7,
+        conditions=FixedConditions(conditions),
+        label="lossy-cell",
+    )
+    return grid
+
+
+def _evaluate_lossy() -> dict:
+    """Fingerprint the pinned lossy cell (impairment pipeline active)."""
+    grid = _build_lossy_grid()
+    results = ExperimentEngine(cache=None).run(grid)
+    cell, result = grid.cells[0], results[0]
+    return {
+        cell.key(): {
+            "site": result.site,
+            "strategy": result.strategy,
+            "result_fingerprint": fingerprint(result),
+            "median_plt_ms": result.median_plt,
+            "median_si_ms": result.median_si,
+        }
+    }
+
+
 def test_outputs_match_golden_record():
     assert GOLDEN_PATH.exists(), (
         "golden record missing; generate it with "
@@ -77,6 +124,26 @@ def test_outputs_match_golden_record():
         )
 
 
+def test_lossy_cell_matches_golden_record():
+    """The impairment pipeline itself is under the determinism contract:
+    a lossy cell replayed from its seeds must be bit-identical too."""
+    assert GOLDEN_LOSSY_PATH.exists(), (
+        "lossy golden record missing; generate it with "
+        "`python tests/experiments/test_determinism_guard.py --regenerate`"
+    )
+    golden = json.loads(GOLDEN_LOSSY_PATH.read_text())
+    actual = _evaluate_lossy()
+    assert set(actual) == set(golden), (
+        "lossy cell cache key drifted — impairment/conditions "
+        "fingerprinting changed; cached results would silently miss"
+    )
+    for key, expected in golden.items():
+        assert actual[key] == expected, (
+            "the lossy cell no longer reproduces its golden outputs: "
+            f"{actual[key]} != {expected}"
+        )
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -87,3 +154,7 @@ if __name__ == "__main__":
             json.dumps(_evaluate(), indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {GOLDEN_PATH}")
+        GOLDEN_LOSSY_PATH.write_text(
+            json.dumps(_evaluate_lossy(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GOLDEN_LOSSY_PATH}")

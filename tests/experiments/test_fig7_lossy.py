@@ -1,0 +1,104 @@
+"""Tests for the Fig. 7 lossy-network push sweep."""
+
+import pytest
+
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.fig7_lossy import Fig7Config, run_fig7
+from repro.netsim.impairment import GilbertElliottLoss, IIDLoss
+
+
+QUICK = Fig7Config.quick()
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_fig7(QUICK)
+
+
+def test_quick_sweep_shape(quick_result):
+    rows = quick_result.rows
+    assert len(rows) == 2 * 2 * 3  # cc x loss x strategy
+    assert quick_result.strategies() == ["no_push", "push", "interleaving"]
+    assert {row.congestion_control for row in rows} == {"reno", "cubic"}
+    assert {row.loss_rate for row in rows} == {0.0, 0.02}
+    for row in rows:
+        assert row.median_plt > 0
+        assert row.median_si > 0
+
+
+def test_quick_sweep_is_seed_deterministic(quick_result):
+    again = run_fig7(QUICK)
+    assert again.rows == quick_result.rows
+
+
+def test_loss_degrades_plt(quick_result):
+    for cc in ("reno", "cubic"):
+        for strategy in quick_result.strategies():
+            curve = quick_result.curve(cc, strategy)
+            plts = [plt for _, plt in curve]
+            assert plts == sorted(plts), (
+                f"{cc}/{strategy}: PLT not monotone in loss: {curve}"
+            )
+            assert plts[-1] > plts[0], f"{cc}/{strategy}: loss had no effect"
+
+
+def test_full_axis_monotone_and_cc_distinguishable():
+    # 3 loss points spanning the paper-relevant range; default page size
+    # so the loss process binds.  Common random numbers keep the curves
+    # coupled, so strict monotonicity is expected even at 3 runs.
+    config = Fig7Config(loss_rates=(0.0, 0.01, 0.05), runs=3)
+    result = run_fig7(config)
+    for cc in config.congestion_controls:
+        for strategy in result.strategies():
+            plts = [plt for _, plt in result.curve(cc, strategy)]
+            assert plts == sorted(plts)
+    # Reno and CUBIC must be distinguishable once loss depresses the
+    # window (>= 1%): different recovery arithmetic, different wire.
+    distinguishable = any(
+        result.curve("reno", strategy, metric)[-1]
+        != result.curve("cubic", strategy, metric)[-1]
+        for strategy in result.strategies()
+        for metric in ("plt", "si")
+    )
+    assert distinguishable, "Reno and CUBIC produced identical lossy sweeps"
+
+
+def test_zero_loss_matches_clean_baseline(quick_result):
+    # The 0% column carries no impairment config at all, so it must
+    # reproduce the clean testbed exactly — same numbers a pre-PR
+    # checkout would produce.
+    assert QUICK.impairment_for(0.0) is None
+    clean = [row for row in quick_result.rows if row.loss_rate == 0.0]
+    reno = {r.strategy: r.median_plt for r in clean if r.congestion_control == "reno"}
+    cubic = {r.strategy: r.median_plt for r in clean if r.congestion_control == "cubic"}
+    # Without loss the controllers never diverge from slow start: the
+    # clean column is controller-invariant (cwnd growth identical until
+    # the first loss event, which never comes).
+    assert reno == cubic
+
+
+def test_impairment_for_burst_matches_stationary_rate():
+    config = Fig7Config(burst=True)
+    impairment = config.impairment_for(0.02)
+    assert isinstance(impairment.loss, GilbertElliottLoss)
+    assert impairment.loss.stationary_loss_rate == pytest.approx(0.02)
+    iid = Fig7Config().impairment_for(0.02)
+    assert isinstance(iid.loss, IIDLoss)
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = ExperimentEngine(cache=cache)
+    first = run_fig7(QUICK, engine=engine)
+    cached_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    second = run_fig7(QUICK, engine=cached_engine)
+    assert second.rows == first.rows
+    report = cached_engine.reports[-1]
+    assert all(record.cache_hit for record in report.records)
+
+
+def test_render_mentions_axes(quick_result):
+    text = quick_result.render()
+    assert "reno" in text and "cubic" in text
+    assert "interleaving" in text
+    assert "2%" in text

@@ -74,3 +74,77 @@ def test_internet_conditions_deterministic_given_rng():
 def test_conditions_immutable():
     with pytest.raises(Exception):
         DSL_TESTBED.rtt_ms = 1  # frozen dataclass
+
+
+# ------------------------------------------------- validation (PR 3)
+def test_negative_rtt_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="rtt_ms"):
+        NetworkConditions(rtt_ms=-1.0)
+
+
+def test_zero_mss_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="mss"):
+        NetworkConditions(mss=0)
+
+
+def test_zero_bandwidth_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="downlink"):
+        NetworkConditions(downlink_bytes_per_ms=0.0)
+
+
+def test_out_of_range_loss_rate_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="loss_rate"):
+        NetworkConditions(loss_rate=1.5)
+    with pytest.raises(ConfigError, match="loss_rate"):
+        NetworkConditions(loss_rate=-0.1)
+
+
+def test_unknown_congestion_control_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="congestion control"):
+        NetworkConditions(congestion_control="bbr")
+
+
+def test_profile_lookup():
+    from repro.errors import ConfigError
+    from repro.netsim.conditions import LOSSY_DSL, PROFILES, profile
+
+    assert profile("lossy_dsl") is LOSSY_DSL
+    assert set(PROFILES) >= {
+        "clean_dsl",
+        "lossy_dsl",
+        "cellular_3g",
+        "cellular_lte",
+        "fiber",
+    }
+    with pytest.raises(ConfigError, match="unknown network profile"):
+        profile("dialup")
+
+
+def test_lossy_profiles_carry_impairments():
+    from repro.netsim.conditions import CELLULAR_3G, CELLULAR_LTE, LOSSY_DSL
+
+    for conditions in (LOSSY_DSL, CELLULAR_3G, CELLULAR_LTE):
+        assert conditions.impairment is not None
+        assert conditions.impairment.enabled
+    assert CELLULAR_3G.congestion_control == "cubic"
+
+
+def test_with_impairment_helpers():
+    from repro.netsim.impairment import IIDLoss, ImpairmentConfig
+
+    lossy = DSL_TESTBED.with_impairment(ImpairmentConfig(loss=IIDLoss(0.01)))
+    assert lossy.impairment.loss.rate == 0.01
+    assert DSL_TESTBED.impairment is None  # original untouched
+    cubic = DSL_TESTBED.with_congestion_control("cubic")
+    assert cubic.congestion_control == "cubic"
+    assert DSL_TESTBED.congestion_control == "reno"

@@ -1,0 +1,136 @@
+"""Tests for the pluggable congestion controllers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.congestion import (
+    CONGESTION_CONTROLS,
+    INITIAL_SSTHRESH,
+    INITIAL_WINDOW_SEGMENTS,
+    CubicCC,
+    RenoCC,
+    make_congestion_control,
+)
+
+MSS = 1460
+
+
+def test_registry_and_factory():
+    assert set(CONGESTION_CONTROLS) == {"reno", "cubic"}
+    assert isinstance(make_congestion_control("reno", MSS), RenoCC)
+    assert isinstance(make_congestion_control("cubic", MSS), CubicCC)
+    with pytest.raises(ConfigError, match="unknown congestion control"):
+        make_congestion_control("bbr", MSS)
+
+
+def test_initial_window_is_iw10():
+    for name in CONGESTION_CONTROLS:
+        cc = make_congestion_control(name, MSS)
+        assert cc.cwnd == float(INITIAL_WINDOW_SEGMENTS * MSS)
+        assert cc.ssthresh == INITIAL_SSTHRESH
+
+
+# ------------------------------------------------------------------ Reno
+def test_reno_matches_historical_formulas():
+    # The extracted controller must reproduce the pre-refactor inline
+    # arithmetic operation for operation — that equivalence is what the
+    # clean-path golden fingerprints rest on.
+    cc = RenoCC(MSS)
+    cwnd, ssthresh = float(10 * MSS), float(64 * 1024)
+    for acked in (MSS, 3 * MSS, 2920, 100):  # slow start
+        cc.on_ack(acked, now=0.0)
+        cwnd += min(acked, 2 * MSS)
+        assert cc.cwnd == cwnd
+    cc.cwnd = cwnd = 70_000.0  # above ssthresh: congestion avoidance
+    cc.on_ack(MSS, now=0.0)
+    cwnd += MSS * MSS / cwnd
+    assert cc.cwnd == cwnd
+    cc.on_fast_retransmit(now=0.0)
+    ssthresh = max(cwnd / 2.0, 2.0 * MSS)
+    assert cc.ssthresh == ssthresh
+    assert cc.cwnd == ssthresh
+    cc.on_timeout(now=0.0)
+    assert cc.ssthresh == max(ssthresh / 2.0, 2.0 * MSS)
+    assert cc.cwnd == float(MSS)
+
+
+def test_reno_floors_at_two_mss_ssthresh():
+    cc = RenoCC(MSS)
+    cc.cwnd = float(MSS)
+    cc.on_fast_retransmit(now=0.0)
+    assert cc.ssthresh == 2.0 * MSS
+
+
+# ----------------------------------------------------------------- CUBIC
+def test_cubic_slow_start_like_reno():
+    cubic, reno = CubicCC(MSS), RenoCC(MSS)
+    for _ in range(5):
+        cubic.on_ack(MSS, now=0.0)
+        reno.on_ack(MSS, now=0.0)
+    assert cubic.cwnd == reno.cwnd
+
+
+def test_cubic_backoff_is_gentler_than_reno():
+    cubic, reno = CubicCC(MSS), RenoCC(MSS)
+    cubic.cwnd = reno.cwnd = 100_000.0
+    cubic.on_fast_retransmit(now=0.0)
+    reno.on_fast_retransmit(now=0.0)
+    assert cubic.cwnd == pytest.approx(70_000.0)  # beta = 0.7
+    assert reno.cwnd == pytest.approx(50_000.0)  # halved
+    assert cubic.cwnd > reno.cwnd
+
+
+def test_cubic_reprobes_toward_w_max():
+    # After a loss at w_max the window climbs back toward (and past)
+    # w_max along the cubic curve, never more than one MSS per ACK.
+    cc = CubicCC(MSS)
+    cc.cwnd = 100_000.0
+    cc.ssthresh = 0.0  # force congestion avoidance
+    cc.on_fast_retransmit(now=0.0)
+    assert cc.cwnd == pytest.approx(70_000.0)
+    now, last = 0.0, cc.cwnd
+    for _ in range(200):
+        now += 10.0
+        cc.on_ack(MSS, now=now)
+        assert 0.0 < cc.cwnd - last <= MSS
+        last = cc.cwnd
+    assert cc.cwnd > 0.9 * 100_000.0  # recovered most of the way
+
+
+def test_cubic_growth_clamped_to_one_mss_per_ack():
+    cc = CubicCC(MSS)
+    cc.cwnd = 2.0 * MSS
+    cc.ssthresh = 0.0
+    cc._w_max = 200.0  # far above the current window: huge cubic target
+    before = cc.cwnd
+    cc.on_ack(MSS, now=0.0)
+    assert cc.cwnd - before <= MSS
+
+
+def test_cubic_timeout_collapses_to_one_mss():
+    cc = CubicCC(MSS)
+    cc.cwnd = 80_000.0
+    cc.on_timeout(now=500.0)
+    assert cc.cwnd == float(MSS)
+    assert cc.ssthresh == pytest.approx(0.7 * 80_000.0)
+
+
+def test_cubic_convex_probe_beyond_w_max():
+    # Once past w_max the curve turns convex: increments grow again.
+    cc = CubicCC(MSS)
+    cc.cwnd = 50_000.0
+    cc.ssthresh = 0.0
+    cc.on_fast_retransmit(now=0.0)
+    now = 0.0
+    while cc.cwnd <= 50_000.0:  # ride the curve back up past w_max
+        now += 10.0
+        cc.on_ack(MSS, now=now)
+        assert now < 60_000.0, "never recovered to w_max"
+    deltas = []
+    last = cc.cwnd
+    for _ in range(50):
+        now += 10.0
+        cc.on_ack(MSS, now=now)
+        deltas.append(cc.cwnd - last)
+        last = cc.cwnd
+    assert deltas[-1] >= deltas[0]
