@@ -14,6 +14,13 @@ trajectory behind:
   on the wire, bytes on both links, and a PLT checksum) from every
   replay: optimizations must leave these byte-for-byte identical, so a
   counter drift flags a semantics change even when the tests pass.
+* **grid throughput** — the same fig-3-shaped grid submitted through
+  the experiment engine under each executor: serial, the legacy
+  per-cell ``ProcessPoolExecutor`` fan-out, and the warm worker pool,
+  plus a warm rerun that measures the in-process LRU tier.  Every
+  executor must produce fingerprint-identical results
+  (``identical_outputs``), which ``--check`` enforces alongside the
+  determinism counters.
 
 Usage::
 
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -44,6 +52,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.h2.frames import DataFrame, FrameReader  # noqa: E402
 from repro.h2.hpack import HpackDecoder, HpackEncoder  # noqa: E402
 from repro.h2.hpack.huffman import huffman_decode, huffman_encode  # noqa: E402
+from repro.experiments.engine import (  # noqa: E402
+    ExperimentEngine,
+    Grid,
+    LegacyParallelExecutor,
+    SerialExecutor,
+    WarmPoolExecutor,
+    fingerprint,
+)
 from repro.experiments.seeds import condition_seed, load_seed  # noqa: E402
 from repro.html.builder import build_site  # noqa: E402
 from repro.netsim.conditions import DSL_TESTBED  # noqa: E402
@@ -201,16 +217,110 @@ def run_replay_benchmark(repetitions: int) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# grid throughput (engine + executors, fig-3-shaped)
+# ----------------------------------------------------------------------
+GRID_BENCH_WORKERS = 8
+
+
+def _engine_grid(engine: ExperimentEngine) -> Grid:
+    """The frozen fig-3-shaped grid, declared through the engine so the
+    §4.2 push orders are computed by the executor under test too."""
+    corpus = generate_corpus(TOP_100_PROFILE, GRID_SITES, seed=GRID_SEED)
+    orders = engine.orders_for(
+        [site.spec for site in corpus], runs=GRID_ORDER_RUNS
+    )
+    grid = Grid(name="bench-grid")
+    for index, (site, order) in enumerate(zip(corpus, orders)):
+        grid.add(site.spec, NoPushStrategy(), runs=GRID_RUNS, seed_base=index)
+        grid.add(
+            site.spec, PushAllStrategy(order=order), runs=GRID_RUNS, seed_base=index
+        )
+    return grid
+
+
+def run_grid_benchmark(repetitions: int) -> Dict[str, object]:
+    """Time the same grid through each executor; outputs must agree."""
+
+    def timed(executor) -> tuple:
+        """Best-of-``repetitions`` over one (possibly persistent) executor."""
+        walls, prints = [], None
+        try:
+            for _ in range(repetitions):
+                engine = ExperimentEngine(executor=executor, cache=None, force=True)
+                start = time.perf_counter()
+                results = engine.run(_engine_grid(engine))
+                walls.append(time.perf_counter() - start)
+                prints = [fingerprint(result) for result in results]
+        finally:
+            executor.close()
+        return min(walls), prints
+
+    serial_wall, serial_prints = timed(SerialExecutor())
+    legacy_wall, legacy_prints = timed(LegacyParallelExecutor(GRID_BENCH_WORKERS))
+    # The pool persists across repetitions — exactly how experiment
+    # drivers hold it across grids — so reps after the first measure the
+    # warm steady state.
+    warm_wall, warm_prints = timed(
+        WarmPoolExecutor(GRID_BENCH_WORKERS, auto_scale=False)
+    )
+    # The production default: auto_scale clamps to the host's cores, so
+    # on small machines this takes the in-process warm path instead of
+    # oversubscribing.
+    warm_auto = WarmPoolExecutor(GRID_BENCH_WORKERS)
+    effective_workers = warm_auto.effective_workers
+    warm_auto_wall, warm_auto_prints = timed(warm_auto)
+    # LRU tier: the same grid resubmitted to a warm engine is answered
+    # entirely from the in-process memory cache.
+    with WarmPoolExecutor(GRID_BENCH_WORKERS, auto_scale=False) as executor:
+        engine = ExperimentEngine(executor=executor, cache=None)
+        grid = _engine_grid(engine)
+        engine.run(grid)
+        start = time.perf_counter()
+        rerun = engine.run(grid)
+        lru_wall = time.perf_counter() - start
+        lru_prints = [fingerprint(result) for result in rerun]
+    identical = (
+        serial_prints
+        == legacy_prints
+        == warm_prints
+        == warm_auto_prints
+        == lru_prints
+    )
+    best_warm = min(warm_wall, warm_auto_wall)
+    return {
+        "cpus": os.cpu_count() or 1,
+        "workers": {
+            "requested": GRID_BENCH_WORKERS,
+            "forced": GRID_BENCH_WORKERS,
+            "auto_scaled": effective_workers,
+        },
+        "wall_s": {
+            "serial": serial_wall,
+            "legacy_parallel": legacy_wall,
+            "warm_pool": warm_wall,
+            "warm_auto": warm_auto_wall,
+            "warm_lru_rerun": lru_wall,
+        },
+        "speedup_warm_vs_legacy": round(legacy_wall / best_warm, 3),
+        "speedup_warm_vs_serial": round(serial_wall / best_warm, 3),
+        "speedup_lru_vs_legacy": round(legacy_wall / lru_wall, 3),
+        "identical_outputs": identical,
+    }
+
+
+# ----------------------------------------------------------------------
 # result recording
 # ----------------------------------------------------------------------
 def build_section(repetitions: int) -> Dict[str, object]:
     micros = run_micros()
     replay = run_replay_benchmark(repetitions)
+    grid = run_grid_benchmark(repetitions)
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "micros": micros,
         "replay": replay,
+        "grid": grid,
     }
 
 
@@ -268,6 +378,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline["replay"]["counters"] == current["replay"]["counters"]
         )
         speedup["counters_match"] = counters_match
+        # The grid section compares executors within one run (the legacy
+        # executor *is* the pre-PR baseline), so it needs no baseline
+        # section to report a speedup.
+        if "grid" in current:
+            speedup["grid_warm_vs_legacy"] = current["grid"][
+                "speedup_warm_vs_legacy"
+            ]
         document["speedup"] = speedup
         print(f"replay speedup vs baseline: {speedup['replay']}x")
         print(f"determinism counters match baseline: {counters_match}")
@@ -280,11 +397,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"{label} replay wall: {section['replay']['wall_s']:.3f} s")
     for name, value in section["micros"].items():
         print(f"{label} {name}: {value:.3f} s")
+    grid = section["grid"]
+    for name, value in grid["wall_s"].items():
+        print(f"{label} grid {name}: {value:.3f} s")
+    print(
+        f"{label} grid warm vs legacy: {grid['speedup_warm_vs_legacy']}x "
+        f"(cpus={grid['cpus']}, identical_outputs={grid['identical_outputs']})"
+    )
     print(json.dumps(section["replay"]["counters"], indent=2, sort_keys=True))
-    if args.check and counters_match is not True:
-        print("determinism check FAILED", file=sys.stderr)
-        return 1
-    return 0
+    failures = []
+    if args.check:
+        if counters_match is not True:
+            failures.append("determinism counters drifted from baseline")
+        if not grid["identical_outputs"]:
+            failures.append("executors disagreed on grid outputs")
+    for failure in failures:
+        print(f"check FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

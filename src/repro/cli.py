@@ -12,10 +12,12 @@ Usage::
 
 Every command prints the same rows/series the corresponding paper
 artefact reports.  Measurement commands run on the experiment engine:
-``--jobs N`` fans cells out across processes, ``--cache DIR`` (or
-``$REPRO_CACHE_DIR``) reuses finished cells across invocations,
-``--force`` ignores cached entries, and ``--report`` prints the
-engine's per-grid timing/cache summary to stderr.
+``--jobs N`` (alias ``--workers N``) fans cells *and their repeats* out
+across a warm persistent worker pool (``--chunk RUNS`` pins the work
+unit size, ``--no-warm`` selects the legacy one-task-per-cell pool),
+``--cache DIR`` (or ``$REPRO_CACHE_DIR``) reuses finished cells across
+invocations, ``--force`` ignores cached entries, and ``--report``
+prints the engine's per-grid timing/cache summary to stderr.
 """
 
 from __future__ import annotations
@@ -78,11 +80,16 @@ def _make_strategy(name: str, spec: WebsiteSpec):
 
 
 def _engine_from_args(args):
-    """Build the experiment engine the flags describe."""
+    """Build the experiment engine the flags describe.
+
+    The returned engine is a context manager; commands use ``with`` so
+    the warm worker pool is shut down when the command finishes.
+    """
     from pathlib import Path
 
     from .experiments.engine import (
         ExperimentEngine,
+        LegacyParallelExecutor,
         ParallelExecutor,
         ResultCache,
         SerialExecutor,
@@ -90,7 +97,15 @@ def _engine_from_args(args):
     )
 
     jobs = getattr(args, "jobs", 1)
-    executor = ParallelExecutor(jobs) if jobs and jobs > 1 else SerialExecutor()
+    if jobs and jobs > 1:
+        if getattr(args, "no_warm", False):
+            executor = LegacyParallelExecutor(jobs)
+        else:
+            executor = ParallelExecutor(
+                jobs, chunk_runs=getattr(args, "chunk", None)
+            )
+    else:
+        executor = SerialExecutor()
     cache = None
     if not getattr(args, "no_cache", False):
         root = Path(args.cache) if getattr(args, "cache", None) else default_cache_dir()
@@ -109,8 +124,18 @@ def _maybe_report(args, engine) -> None:
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("engine")
     group.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for cell execution (default: 1 = serial)",
+        "--jobs", "--workers", dest="jobs", type=int, default=1,
+        help="worker processes for cell execution (default: 1 = serial; "
+        "clamped to the CPU count)",
+    )
+    group.add_argument(
+        "--chunk", type=int, default=None, metavar="RUNS",
+        help="max runs per scheduled work unit (default: auto-sized per grid)",
+    )
+    group.add_argument(
+        "--no-warm", action="store_true",
+        help="use the legacy one-task-per-cell process pool instead of "
+        "the warm worker pool",
     )
     group.add_argument(
         "--cache", metavar="DIR", default=None,
@@ -147,8 +172,8 @@ def cmd_replay(args) -> int:
 
     spec = _resolve_site(args.site)
     strategy = _make_strategy(args.strategy, spec)
-    engine = _engine_from_args(args)
-    cell = engine.run_cell(Cell(spec=spec, strategy=strategy, runs=args.runs))
+    with _engine_from_args(args) as engine:
+        cell = engine.run_cell(Cell(spec=spec, strategy=strategy, runs=args.runs))
     print(
         f"{spec.name} × {args.runs} runs, strategy={strategy.name}\n"
         f"  PLT        median {cell.median_plt:8.1f} ms   σx̄ {cell.plt_std_error:6.2f}\n"
@@ -165,7 +190,6 @@ def cmd_suite(args) -> int:
     from .strategies.critical import build_strategy_suite
 
     spec = _resolve_site(args.site)
-    engine = _engine_from_args(args)
     deployments = build_strategy_suite(spec)
     grid = Grid(name=f"suite/{spec.name}")
     for deployment in deployments:
@@ -173,7 +197,8 @@ def cmd_suite(args) -> int:
             deployment.spec, deployment.strategy, runs=args.runs,
             label=f"{spec.name}/{deployment.name}",
         )
-    cells = engine.run(grid)
+    with _engine_from_args(args) as engine:
+        cells = engine.run(grid)
     baseline = None
     print(f"{spec.name}: the six §5 deployments ({args.runs} runs each)")
     for deployment, cell in zip(deployments, cells):
@@ -195,8 +220,8 @@ def cmd_suite(args) -> int:
 
 def cmd_order(args) -> int:
     spec = _resolve_site(args.site)
-    engine = _engine_from_args(args)
-    order = engine.order_for(spec, runs=args.runs)
+    with _engine_from_args(args) as engine:
+        order = engine.order_for(spec, runs=args.runs)
     print(f"computed push order for {spec.name} ({args.runs} traced runs):")
     for position, url in enumerate(order, start=1):
         print(f"  {position:>3}. {url}")
@@ -207,7 +232,11 @@ def cmd_order(args) -> int:
 def cmd_fig(args) -> int:
     from . import experiments as exp
 
-    engine = _engine_from_args(args)
+    with _engine_from_args(args) as engine:
+        return _run_fig(args, engine, exp)
+
+
+def _run_fig(args, engine, exp) -> int:
     figure = args.figure
     if figure == "1":
         print(exp.run_fig1().render())
@@ -246,7 +275,6 @@ def cmd_fig(args) -> int:
 def cmd_fig7(args) -> int:
     from . import experiments as exp
 
-    engine = _engine_from_args(args)
     if args.quick:
         config = exp.Fig7Config.quick()
     else:
@@ -255,8 +283,9 @@ def cmd_fig7(args) -> int:
         import dataclasses
 
         config = dataclasses.replace(config, burst=True)
-    print(exp.run_fig7(config, engine=engine).render())
-    _maybe_report(args, engine)
+    with _engine_from_args(args) as engine:
+        print(exp.run_fig7(config, engine=engine).render())
+        _maybe_report(args, engine)
     return 0
 
 
@@ -280,12 +309,12 @@ def cmd_abtest(args) -> int:
     from .experiments.ab_testing import ABTestConfig, StrategySelector
 
     spec = _resolve_site(args.site)
-    engine = _engine_from_args(args)
-    selector = StrategySelector(
-        spec, ABTestConfig(lab_runs=args.runs, rum_runs=args.rum_runs), engine=engine
-    )
-    print(selector.run().render())
-    _maybe_report(args, engine)
+    with _engine_from_args(args) as engine:
+        selector = StrategySelector(
+            spec, ABTestConfig(lab_runs=args.runs, rum_runs=args.rum_runs), engine=engine
+        )
+        print(selector.run().render())
+        _maybe_report(args, engine)
     return 0
 
 

@@ -85,3 +85,20 @@ class ExperimentError(ReproError):
     Examples: per-run pushed-byte counts that disagree within one cell,
     or a cached record that fails integrity checks.
     """
+
+
+class ExecutorError(ExperimentError):
+    """Cells could not be executed after exhausting every recovery path.
+
+    Raised by the warm worker pool when a cell's work units failed
+    permanently — its worker process crashed more times than the retry
+    budget allows, or the cell raised inside the worker.  Cells that
+    completed before the failure keep their results (and cache entries);
+    ``failed_cells`` lists ``(cell_index, label, reason)`` triples for
+    the ones that did not.
+    """
+
+    def __init__(self, message: str, failed_cells=()):
+        super().__init__(message)
+        #: ``(index into the submitted batch, cell label, reason)``.
+        self.failed_cells = list(failed_cells)

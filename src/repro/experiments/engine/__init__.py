@@ -2,14 +2,28 @@
 
 Declare measurements as :class:`Cell`/:class:`Grid`, submit them to an
 :class:`ExperimentEngine`, and get results back aligned with the grid —
-executed serially (reference behaviour), in parallel across CPU cores,
-or straight from the content-addressed result cache.
+executed serially (reference behaviour), in parallel across a warm
+persistent worker pool, or straight from the two-tier result cache.
 """
 
-from .cache import CACHE_ENV_VAR, ResultCache, default_cache_dir
+from .arena import CorpusArena
+from .cache import (
+    CACHE_ENV_VAR,
+    MemoryResultCache,
+    ResultCache,
+    default_cache_dir,
+)
 from .cell import Cell, Grid
 from .core import ExperimentEngine
-from .executors import Executor, ParallelExecutor, SerialExecutor, execute_cell
+from .executors import (
+    Executor,
+    LegacyParallelExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    WarmPoolExecutor,
+    execute_cell,
+    plan_chunks,
+)
 from .fingerprint import fingerprint
 from .records import CellRecord, ProgressReport
 
@@ -17,14 +31,19 @@ __all__ = [
     "CACHE_ENV_VAR",
     "Cell",
     "CellRecord",
+    "CorpusArena",
     "Executor",
     "ExperimentEngine",
     "Grid",
+    "LegacyParallelExecutor",
+    "MemoryResultCache",
     "ParallelExecutor",
     "ProgressReport",
     "ResultCache",
     "SerialExecutor",
+    "WarmPoolExecutor",
     "default_cache_dir",
     "execute_cell",
     "fingerprint",
+    "plan_chunks",
 ]

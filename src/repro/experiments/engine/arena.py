@@ -1,0 +1,157 @@
+"""Shared read-only corpus arena for warm worker pools.
+
+A grid's heavyweight inputs — the cell list and every distinct built
+site (HTML bodies, resource trees) — are pickled **once** into a
+temp-file arena that workers map read-only with :mod:`mmap`, instead of
+being re-pickled over a pipe for every task.  Tasks then reference
+sites by content hash, and each worker lazily unpickles and memoizes
+only the segments it actually touches.
+
+File layout (all little-endian)::
+
+    segment 0 bytes | segment 1 bytes | ... |
+    pickled index {name: (offset, length)} |
+    u64 index offset | u64 index length | 8-byte magic
+
+The footer-at-the-end layout lets the writer stream segments without
+knowing the index size up front, while readers locate the index from
+the fixed-size tail.  An mmap of a plain file is used rather than
+``multiprocessing.shared_memory`` because the kernel page cache already
+shares the read-only pages between processes, with none of the
+resource-tracker lifecycle hazards of named POSIX segments.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ...errors import ExperimentError
+
+_MAGIC = b"RPARENA1"
+_FOOTER = struct.Struct("<QQ8s")
+
+
+class CorpusArena:
+    """A read-only, mmap-backed bag of named pickled segments."""
+
+    def __init__(self, path: Path, owner: bool = False):
+        """Open an existing arena file.  ``owner=True`` marks this
+        handle responsible for deleting the file on :meth:`unlink`."""
+        self.path = Path(path)
+        self.owner = owner
+        self._file = open(self.path, "rb")
+        try:
+            self._map: Optional[mmap.mmap] = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+            self._index = self._read_index()
+        except BaseException:
+            self._file.close()
+            raise
+        self._segments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        segments: Dict[str, object],
+        directory: Optional[Path] = None,
+    ) -> "CorpusArena":
+        """Write ``segments`` to a fresh arena file and open it.
+
+        The file is created via ``mkstemp`` (private to this run) and
+        fsynced before opening, so workers can never observe a partial
+        arena.
+        """
+        fd, tmp_name = tempfile.mkstemp(
+            prefix="repro-arena-",
+            suffix=".bin",
+            dir=str(directory) if directory is not None else None,
+        )
+        try:
+            index: Dict[str, tuple] = {}
+            offset = 0
+            with os.fdopen(fd, "wb") as handle:
+                for name, obj in segments.items():
+                    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
+                    index[name] = (offset, len(blob))
+                    offset += len(blob)
+                index_blob = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(index_blob)
+                handle.write(_FOOTER.pack(offset, len(index_blob), _MAGIC))
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return cls(Path(tmp_name), owner=True)
+
+    # ------------------------------------------------------------------
+    def _read_index(self) -> Dict[str, tuple]:
+        assert self._map is not None
+        if len(self._map) < _FOOTER.size:
+            raise ExperimentError(f"arena {self.path} is truncated")
+        index_offset, index_length, magic = _FOOTER.unpack(
+            self._map[len(self._map) - _FOOTER.size :]
+        )
+        if magic != _MAGIC:
+            raise ExperimentError(f"arena {self.path} has a bad magic footer")
+        if index_offset + index_length + _FOOTER.size > len(self._map):
+            raise ExperimentError(f"arena {self.path} index overruns the file")
+        return pickle.loads(self._map[index_offset : index_offset + index_length])
+
+    def names(self) -> Iterable[str]:
+        return self._index.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def load(self, name: str) -> object:
+        """Unpickle a segment, memoized per arena handle (per worker)."""
+        if name in self._segments:
+            return self._segments[name]
+        if self._map is None:
+            raise ExperimentError(f"arena {self.path} is closed")
+        try:
+            offset, length = self._index[name]
+        except KeyError:
+            raise ExperimentError(
+                f"arena {self.path} has no segment {name!r}"
+            ) from None
+        obj = pickle.loads(self._map[offset : offset + length])
+        self._segments[name] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the mapping; memoized segments stay usable."""
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if not self._file.closed:
+            self._file.close()
+
+    def unlink(self) -> None:
+        """Close and delete the backing file (owner handles only)."""
+        self.close()
+        if self.owner:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CorpusArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()

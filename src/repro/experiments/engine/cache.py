@@ -1,30 +1,54 @@
-"""Content-addressed on-disk cache of finished experiment cells.
+"""Two-tier content-addressed cache of finished experiment cells.
 
-Layout (under the cache root)::
+Tier 1 — :class:`MemoryResultCache`: a bounded in-process LRU keyed by
+the same fingerprints as the disk tier.  It is always on (the engine
+holds one even with no cache directory configured), so duplicate cells
+shared between experiments in one process — e.g. the baseline and
+push-all cells that appear in both halves of Fig. 3 — execute once.
 
-    cells/<key[:2]>/<key>.pkl     pickled RepeatedResult per cell
+Tier 2 — :class:`ResultCache`: the on-disk store.  Layout (under the
+cache root)::
+
+    cells/<key[:2]>/<key>.pkl     checksummed pickled RepeatedResult
     orders/<key>.json             memoized §4.2 push orders
     records.jsonl                 one JSON line per finished cell
 
 Keys come from :mod:`.fingerprint`: they cover the spec, strategy,
 conditions, runs, and seed base, so any configuration change yields a
-different key and the stale entry is simply never read again.  Writes
-are atomic (write to a temp file, then :func:`os.replace`) so a killed
-run never leaves a truncated record behind.
+different key and the stale entry is simply never read again.
+
+Durability: cell files carry a magic header and the SHA-256 of their
+payload; loads validate both and **quarantine** anything that fails
+(renamed to ``*.corrupt``, with a logged warning) so the cell is
+recomputed instead of the corruption being silently swallowed.  Writes
+go through a temp file + ``fsync`` + ``os.replace`` so a killed run can
+never leave a partial cell behind under the final name.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import List, Optional
 
 from ..runner import RepeatedResult
 
+logger = logging.getLogger("repro.experiments.cache")
+
 #: Environment variable naming the default cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Header of every cell file; bumped when the on-disk format changes
+#: (old entries then fail validation and are recomputed).
+CELL_MAGIC = b"RPRC2\n"
+
+_DIGEST_SIZE = hashlib.sha256().digest_size
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -33,8 +57,50 @@ def default_cache_dir() -> Optional[Path]:
     return Path(value) if value else None
 
 
+class MemoryResultCache:
+    """Tier-1 bounded LRU of finished cells, keyed by fingerprint.
+
+    Results are returned by reference — callers treat cell results as
+    immutable (everything downstream of the engine already does).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, RepeatedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[RepeatedResult]:
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._entries[key]
+
+    def put(self, key: str, result: RepeatedResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class ResultCache:
-    """Store and retrieve finished cells by content-addressed key."""
+    """Tier-2 on-disk store of finished cells by content-addressed key."""
 
     def __init__(self, root: Path):
         self.root = Path(root)
@@ -50,7 +116,15 @@ class ResultCache:
         data = self.load_bytes(key)
         if data is None:
             return None
-        return pickle.loads(data)
+        payload = self._validate(key, data)
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # unpicklable despite valid checksum:
+            # the entry was written by an incompatible code version.
+            self._quarantine(self.cell_path(key), f"unpicklable payload ({exc})")
+            return None
 
     def load_bytes(self, key: str) -> Optional[bytes]:
         """Raw stored record; exposed so tests can assert byte identity."""
@@ -62,25 +136,56 @@ class ResultCache:
 
     def store(self, key: str, result: RepeatedResult) -> Path:
         path = self.cell_path(key)
-        self._atomic_write(path, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = CELL_MAGIC + hashlib.sha256(payload).digest() + payload
+        self._atomic_write(path, framed)
         return path
+
+    def _validate(self, key: str, data: bytes) -> Optional[bytes]:
+        """Strip and verify the frame; quarantine on any mismatch."""
+        path = self.cell_path(key)
+        header = len(CELL_MAGIC) + _DIGEST_SIZE
+        if len(data) < header or not data.startswith(CELL_MAGIC):
+            self._quarantine(path, "missing or foreign header")
+            return None
+        digest = data[len(CELL_MAGIC) : header]
+        payload = data[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            self._quarantine(path, "checksum mismatch (truncated or corrupt)")
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside so the cell is recomputed, loudly."""
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = path  # couldn't move it; report in place
+        logger.warning(
+            "cache entry %s is invalid (%s); quarantined as %s and recomputing",
+            path,
+            reason,
+            quarantined,
+        )
 
     # ------------------------------------------------------------------
     def order_path(self, key: str) -> Path:
         return self.root / "orders" / f"{key}.json"
 
     def load_order(self, key: str) -> Optional[List[str]]:
-        import json
-
         path = self.order_path(key)
         try:
-            return json.loads(path.read_text())
+            text = path.read_text()
         except FileNotFoundError:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, f"corrupt order JSON ({exc.msg})")
             return None
 
     def store_order(self, key: str, order: List[str]) -> None:
-        import json
-
         self._atomic_write(self.order_path(key), json.dumps(order).encode("utf-8"))
 
     # ------------------------------------------------------------------
@@ -104,6 +209,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

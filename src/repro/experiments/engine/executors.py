@@ -3,37 +3,74 @@
 * :class:`SerialExecutor` runs cells in submission order in-process —
   the reference behaviour, bit-for-bit identical to the historical
   hand-rolled experiment loops.
-* :class:`ParallelExecutor` fans cells out across CPU cores with a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Cells are pickled
-  to workers, which rebuild the :class:`BuiltSite` from the spec and
-  run the same deterministic replay — per-cell seeds depend only on
-  the cell, so results are identical to the serial executor regardless
-  of scheduling order.
+* :class:`WarmPoolExecutor` (exported as ``ParallelExecutor``) fans
+  work out across a **persistent pool of warm worker processes**.  The
+  grid's cells and built sites are pickled once into a shared read-only
+  :class:`~.arena.CorpusArena` (workers mmap it and lazily memoize the
+  segments they touch), a cell's N seeded repeats fan out as
+  independent run-range chunks, and a size-aware scheduler dispatches
+  the largest chunks first so stragglers cannot serialize the tail.
+  Results are reassembled in run order, so they are bit-identical to
+  :class:`SerialExecutor` regardless of scheduling.
+* :class:`LegacyParallelExecutor` is the pre-warm-pool
+  ``ProcessPoolExecutor`` fan-out, kept as the benchmark baseline.
 
-Both expose ``run(cells, on_result)``: ``on_result(index, result,
-wall_ms)`` fires as each cell finishes (in completion order for the
-parallel executor), and the returned list is positionally aligned with
-``cells``.
+All executors expose ``run(cells, on_result)``: ``on_result(index,
+result, wall_ms)`` fires as each cell finishes (in completion order for
+the parallel executors), and the returned list is positionally aligned
+with ``cells``.
+
+Determinism argument for the warm pool: every seed in a replay derives
+from the cell's ``(seed_base, run_index)`` alone (see
+:mod:`repro.experiments.seeds`), condition samplers are stateless
+between calls, and the shared ``BuiltSite``/``RecordDatabase`` are
+read-only during replay.  A run is therefore a pure function of its
+cell and run index — chunking, work stealing, retries, and worker
+reuse change *where* and *when* a run executes but never its result,
+and the assembler's run-ordered reduction reproduces the serial
+aggregation exactly.
+
+Fault tolerance: each worker owns a duplex pipe; the parent waits on
+pipes and process sentinels together, so a crashed or SIGKILLed worker
+is detected immediately, its in-flight chunk is requeued (bounded by
+``max_retries``), and a replacement worker is spawned.  Cells that fail
+permanently are reported via :class:`~repro.errors.ExecutorError` after
+the rest of the grid completes — never as a raw ``BrokenProcessPool``.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from multiprocessing import connection
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..runner import RepeatedResult, run_repeated
+from ...errors import ExecutorError, ExperimentError
+from ...html.builder import BuiltSite, build_site
+from ...netsim.conditions import DSL_TESTBED, FixedConditions
+from ...replay.recorder import record_site
+from ...sites.corpus import replay_weight
+from ..runner import RepeatedResult, run_repeated, run_single
+from .arena import CorpusArena
 from .cell import Cell
+from .fingerprint import fingerprint
 
 #: Callback fired per finished cell: (cell index, result, wall ms).
 ResultCallback = Callable[[int, RepeatedResult, float], None]
 
+#: Auto chunk sizing targets this many chunks per worker, so work
+#: stealing has slack without drowning the pipes in tiny messages.
+_CHUNKS_PER_WORKER = 4
+
 
 def execute_cell(cell: Cell) -> RepeatedResult:
-    """Run one cell to completion (also the worker entry point)."""
-    from ...html.builder import build_site
-
+    """Run one cell to completion (also the legacy worker entry point)."""
     built = build_site(cell.spec)
     return run_repeated(
         cell.spec,
@@ -63,6 +100,9 @@ class Executor:
     ) -> List[RepeatedResult]:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release any pooled resources; idempotent."""
+
 
 class SerialExecutor(Executor):
     """Run every cell in submission order in the current process."""
@@ -83,10 +123,15 @@ class SerialExecutor(Executor):
         return results
 
 
-class ParallelExecutor(Executor):
-    """Fan cells out across worker processes."""
+class LegacyParallelExecutor(Executor):
+    """Pre-warm-pool fan-out: one ``ProcessPoolExecutor`` task per cell.
 
-    name = "parallel"
+    Pickles each whole cell per submission and rebuilds all per-site
+    state in every worker.  Kept verbatim as the baseline the warm pool
+    is benchmarked against (``BENCH_replay.json`` ``grid`` section).
+    """
+
+    name = "legacy-parallel"
 
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = max_workers or os.cpu_count() or 1
@@ -117,3 +162,584 @@ class ParallelExecutor(Executor):
                     if on_result is not None:
                         on_result(index, result, wall_ms)
         return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Warm worker pool
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One schedulable unit: a contiguous run range of a single cell."""
+
+    cell_index: int
+    run_lo: int
+    run_hi: int
+    #: Scheduling weight (site replay cost × run count); orders only.
+    weight: int
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.cell_index, self.run_lo, self.run_hi)
+
+
+def plan_chunks(
+    cells: Sequence[Cell],
+    workers: int,
+    chunk_runs: Optional[int] = None,
+) -> List[Chunk]:
+    """Split cells into run-range chunks, heaviest first.
+
+    Chunks never span cells.  ``chunk_runs=None`` auto-sizes so the
+    grid yields roughly ``_CHUNKS_PER_WORKER`` chunks per worker; an
+    explicit value pins the maximum runs per chunk.  The sort is total
+    (weight, then position) so the schedule is deterministic.
+    """
+    total_runs = sum(max(1, cell.runs) for cell in cells)
+    if chunk_runs is None:
+        chunk_runs = max(1, math.ceil(total_runs / (max(1, workers) * _CHUNKS_PER_WORKER)))
+    chunk_runs = max(1, chunk_runs)
+    chunks: List[Chunk] = []
+    for index, cell in enumerate(cells):
+        weight = replay_weight(cell.spec)
+        lo = 0
+        runs = max(1, cell.runs)
+        while lo < runs:
+            hi = min(runs, lo + chunk_runs)
+            chunks.append(Chunk(index, lo, hi, weight * (hi - lo)))
+            lo = hi
+    chunks.sort(key=lambda c: (-c.weight, c.cell_index, c.run_lo))
+    return chunks
+
+
+class _CellAssembler:
+    """Reduce out-of-order chunk results back into serial-order cells.
+
+    Chunks of one cell may arrive in any order from any worker; results
+    are keyed by their run range and concatenated in ascending run
+    order once the cell is complete — the exact aggregation order of
+    the serial ``run_repeated`` loop, making the reduction independent
+    of scheduling by construction.
+    """
+
+    def __init__(self, cells: Sequence[Cell]):
+        self.cells = list(cells)
+        self._parts: List[Dict[int, list]] = [dict() for _ in self.cells]
+        self._got: List[int] = [0] * len(self.cells)
+        self._walls: List[float] = [0.0] * len(self.cells)
+
+    def add(
+        self, cell_index: int, run_lo: int, results: list, wall_ms: float
+    ) -> Optional[Tuple[RepeatedResult, float]]:
+        """Record one chunk; returns the finished cell when complete."""
+        parts = self._parts[cell_index]
+        if run_lo in parts:
+            raise ExperimentError(
+                f"duplicate chunk for cell {cell_index} at run {run_lo}"
+            )
+        parts[run_lo] = list(results)
+        self._got[cell_index] += len(results)
+        self._walls[cell_index] += wall_ms
+        cell = self.cells[cell_index]
+        if self._got[cell_index] < max(1, cell.runs):
+            return None
+        ordered: list = []
+        for lo in sorted(parts):
+            ordered.extend(parts[lo])
+        repeated = RepeatedResult(
+            site=cell.spec.name,
+            strategy=cell.strategy_name,
+            results=ordered,
+        )
+        return repeated, self._walls[cell_index]
+
+
+def _site_key(cell: Cell) -> str:
+    return fingerprint({"arena_site": cell.spec})
+
+
+def _worker_main(conn) -> None:
+    """Warm worker loop: receive a grid arena once, then run chunks.
+
+    Per-grid state (arena segments, built sites, record databases) is
+    memoized across chunks and cells — the whole point of keeping the
+    process warm.  Cell-level exceptions are reported as structured
+    ``("error", ...)`` messages; only a crash (signal, interpreter
+    death) silently drops a chunk, which the parent detects via the
+    process sentinel.
+    """
+    arena: Optional[CorpusArena] = None
+    cells: Optional[List[Cell]] = None
+    site_keys: Optional[List[str]] = None
+    built_memo: Dict[str, BuiltSite] = {}
+    db_memo: Dict[str, object] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "grid":
+                if arena is not None:
+                    arena.close()
+                cells = site_keys = None
+                built_memo.clear()
+                db_memo.clear()
+                try:
+                    arena = CorpusArena(Path(msg[1]))
+                except Exception:
+                    # The parent may already have dropped this arena
+                    # (its run ended while the message was in flight);
+                    # chunks against it are answered with an error, and
+                    # the next grid message replaces it.
+                    arena = None
+            elif kind == "chunk":
+                _, chunk_id, cell_index, run_lo, run_hi = msg
+                try:
+                    if arena is None:
+                        raise ExperimentError("chunk received before any grid")
+                    if cells is None:
+                        cells = arena.load("cells")
+                        site_keys = arena.load("sites")
+                    cell = cells[cell_index]
+                    key = site_keys[cell_index]
+                    built = built_memo.get(key)
+                    if built is None:
+                        built = built_memo[key] = arena.load("site:" + key)
+                    db = db_memo.get(key)
+                    if db is None:
+                        db = db_memo[key] = record_site(built)
+                    sampler = cell.conditions or FixedConditions(DSL_TESTBED)
+                    started = time.perf_counter()
+                    results = [
+                        run_single(
+                            cell.spec,
+                            cell.strategy,
+                            run_index,
+                            sampler=sampler,
+                            built=built,
+                            seed_base=cell.seed_base,
+                            db=db,
+                        )
+                        for run_index in range(run_lo, run_hi)
+                    ]
+                    wall_ms = (time.perf_counter() - started) * 1000.0
+                    conn.send(("done", chunk_id, results, wall_ms))
+                except BaseException as exc:  # noqa: BLE001 — reported upstream
+                    conn.send(("error", chunk_id, f"{type(exc).__name__}: {exc}"))
+            elif kind == "stop":
+                break
+    finally:
+        if arena is not None:
+            arena.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _WorkerHandle:
+    """Parent-side view of one warm worker process."""
+
+    def __init__(self, ctx, worker_id: int):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name=f"repro-warm-worker-{worker_id}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        #: In-flight ``(chunk_id, Chunk)``; ``None`` when idle.
+        self.chunk: Optional[Tuple[int, Chunk]] = None
+
+    @property
+    def sentinel(self) -> int:
+        return self.process.sentinel
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+
+    def reap(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=2.0)
+
+
+class WarmPoolExecutor(Executor):
+    """Persistent warm worker pool with run-level parallelism."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_runs: Optional[int] = None,
+        max_retries: int = 2,
+        auto_scale: bool = True,
+    ):
+        """``auto_scale`` clamps the worker count to the CPU count —
+        oversubscribing a CPU-bound simulator only adds scheduler churn
+        — and is disabled by tests that must exercise the real pool on
+        small machines.  ``chunk_runs`` pins the maximum runs per chunk
+        (``None`` auto-sizes per grid); ``max_retries`` bounds how often
+        a chunk may be requeued after worker crashes before its cell is
+        reported as permanently failed."""
+        self.requested_workers = int(max_workers or os.cpu_count() or 1)
+        self.cpus = os.cpu_count() or 1
+        self.auto_scale = auto_scale
+        self.effective_workers = (
+            min(self.requested_workers, self.cpus) if auto_scale else self.requested_workers
+        )
+        self.chunk_runs = chunk_runs
+        self.max_retries = max_retries
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._workers: List[_WorkerHandle] = []
+        self._next_worker_id = 0
+        self._arena_path: Optional[str] = None
+        self._closed = False
+        #: Test hook: called as ``hook(worker, chunk)`` right before a
+        #: chunk is dispatched — fault-injection tests SIGKILL the
+        #: worker here to exercise a deterministic crash point.
+        self._dispatch_hook: Optional[Callable[[_WorkerHandle, Chunk], None]] = None
+        self.stats: Dict[str, int] = {
+            "grids": 0,
+            "chunks_dispatched": 0,
+            "retries": 0,
+            "respawns": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cells: Sequence[Cell],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[RepeatedResult]:
+        if self._closed:
+            raise ExperimentError("executor is closed")
+        if not cells:
+            return []
+        self.stats["grids"] += 1
+        if self.effective_workers <= 1:
+            return self._run_warm_serial(cells, on_result)
+        arena = self._build_arena(cells)
+        try:
+            return self._run_pool(cells, arena, on_result)
+        finally:
+            # Late chunks of failed cells may still be computing; wait
+            # for them so a later run() never reads a stale reply, then
+            # drop the arena (workers keep their mapping until the next
+            # grid message — POSIX keeps the unlinked inode alive).
+            self._drain_in_flight()
+            self._arena_path = None
+            arena.unlink()
+
+    # ------------------------------------------------------------------
+    def _run_warm_serial(
+        self,
+        cells: Sequence[Cell],
+        on_result: Optional[ResultCallback],
+    ) -> List[RepeatedResult]:
+        """In-process path for a single effective worker.
+
+        Skips pool + arena overhead but keeps the warm memoization:
+        built sites and record databases are shared across the cells of
+        the grid, exactly as one pool worker would."""
+        built_memo: Dict[str, BuiltSite] = {}
+        db_memo: Dict[str, object] = {}
+        results: List[RepeatedResult] = []
+        for index, cell in enumerate(cells):
+            key = _site_key(cell)
+            built = built_memo.get(key)
+            if built is None:
+                built = built_memo[key] = build_site(cell.spec)
+            db = db_memo.get(key)
+            if db is None:
+                db = db_memo[key] = record_site(built)
+            sampler = cell.conditions or FixedConditions(DSL_TESTBED)
+            started = time.perf_counter()
+            runs = [
+                run_single(
+                    cell.spec,
+                    cell.strategy,
+                    run_index,
+                    sampler=sampler,
+                    built=built,
+                    seed_base=cell.seed_base,
+                    db=db,
+                )
+                for run_index in range(cell.runs)
+            ]
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            result = RepeatedResult(
+                site=cell.spec.name, strategy=cell.strategy_name, results=runs
+            )
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result, wall_ms)
+        return results
+
+    # ------------------------------------------------------------------
+    def _build_arena(self, cells: Sequence[Cell]) -> CorpusArena:
+        """Pickle the grid's shared inputs once, keyed by content hash."""
+        segments: Dict[str, object] = {}
+        site_keys: List[str] = []
+        for cell in cells:
+            key = _site_key(cell)
+            site_keys.append(key)
+            name = "site:" + key
+            if name not in segments:
+                segments[name] = build_site(cell.spec)
+        segments["cells"] = list(cells)
+        segments["sites"] = site_keys
+        return CorpusArena.create(segments)
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker = _WorkerHandle(self._ctx, self._next_worker_id)
+        self._next_worker_id += 1
+        self._workers.append(worker)
+        if self._arena_path is not None:
+            worker.conn.send(("grid", self._arena_path))
+        return worker
+
+    def _ensure_workers(self) -> None:
+        alive = []
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.chunk = None
+                alive.append(worker)
+            else:
+                worker.reap()
+        self._workers = alive
+        while len(self._workers) < self.effective_workers:
+            self._spawn_worker()
+
+    def _drain_in_flight(self) -> None:
+        """Absorb replies for chunks still in flight after a run ends.
+
+        Only chunks of permanently failed cells can be outstanding when
+        the scheduling loop exits; their replies are discarded here so
+        they cannot be misread as answers in a later ``run()``."""
+        for worker in list(self._workers):
+            if worker.chunk is None:
+                continue
+            try:
+                worker.conn.recv()
+                worker.chunk = None
+            except (EOFError, OSError):
+                if worker in self._workers:
+                    self._workers.remove(worker)
+                worker.reap()
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self,
+        cells: Sequence[Cell],
+        arena: CorpusArena,
+        on_result: Optional[ResultCallback],
+    ) -> List[RepeatedResult]:
+        chunks = plan_chunks(cells, self.effective_workers, self.chunk_runs)
+        queue: deque = deque(chunks)
+        assembler = _CellAssembler(cells)
+        results: List[Optional[RepeatedResult]] = [None] * len(cells)
+        retries: Dict[Tuple[int, int, int], int] = {}
+        failed: Dict[int, str] = {}
+        unfinished = set(range(len(cells)))
+        next_chunk_id = 0
+
+        self._arena_path = str(arena.path)
+        self._ensure_workers()
+        for worker in self._workers:
+            worker.conn.send(("grid", self._arena_path))
+
+        def fail_cell(cell_index: int, reason: str) -> None:
+            failed.setdefault(cell_index, reason)
+            unfinished.discard(cell_index)
+
+        def handle_crash(worker: _WorkerHandle) -> None:
+            """Requeue the dead worker's chunk and spawn a replacement."""
+            self.stats["respawns"] += 1
+            if worker in self._workers:
+                self._workers.remove(worker)
+            in_flight = worker.chunk
+            worker.reap()
+            if in_flight is not None:
+                _, chunk = in_flight
+                if chunk.cell_index not in failed and chunk.cell_index in unfinished:
+                    count = retries.get(chunk.key, 0) + 1
+                    retries[chunk.key] = count
+                    self.stats["retries"] += 1
+                    if count > self.max_retries:
+                        fail_cell(
+                            chunk.cell_index,
+                            f"worker crashed {count} times on runs "
+                            f"[{chunk.run_lo}, {chunk.run_hi})",
+                        )
+                    else:
+                        queue.appendleft(chunk)
+            self._spawn_worker()
+
+        def handle_message(worker: _WorkerHandle, msg: tuple) -> None:
+            nonlocal results
+            assert worker.chunk is not None
+            chunk_id, chunk = worker.chunk
+            worker.chunk = None
+            kind = msg[0]
+            if msg[1] != chunk_id:
+                raise ExperimentError(
+                    f"worker answered chunk {msg[1]}, expected {chunk_id}"
+                )
+            if kind == "done":
+                _, _, chunk_results, wall_ms = msg
+                if chunk.cell_index in failed:
+                    return  # late chunk of a cell that already failed
+                finished = assembler.add(
+                    chunk.cell_index, chunk.run_lo, chunk_results, wall_ms
+                )
+                if finished is not None:
+                    result, cell_wall_ms = finished
+                    results[chunk.cell_index] = result
+                    unfinished.discard(chunk.cell_index)
+                    if on_result is not None:
+                        on_result(chunk.cell_index, result, cell_wall_ms)
+            elif kind == "error":
+                fail_cell(chunk.cell_index, msg[2])
+            else:
+                raise ExperimentError(f"unexpected worker message {kind!r}")
+
+        def next_chunk() -> Optional[Chunk]:
+            while queue:
+                chunk = queue.popleft()
+                if chunk.cell_index in failed:
+                    continue
+                return chunk
+            return None
+
+        while unfinished:
+            # Dispatch: idle workers pull the heaviest pending chunk —
+            # parent-driven dispatch is work stealing by construction
+            # (no work is bound to a worker before it is free).  A
+            # ``while`` over a fresh idle lookup, not a ``for`` over
+            # ``self._workers``: crash handling mutates the pool.
+            while True:
+                worker = next((w for w in self._workers if w.chunk is None), None)
+                if worker is None:
+                    break
+                chunk = next_chunk()
+                if chunk is None:
+                    break
+                chunk_id = next_chunk_id
+                next_chunk_id += 1
+                if self._dispatch_hook is not None:
+                    self._dispatch_hook(worker, chunk)
+                try:
+                    worker.conn.send(
+                        ("chunk", chunk_id, chunk.cell_index, chunk.run_lo, chunk.run_hi)
+                    )
+                except (BrokenPipeError, OSError):
+                    # The worker died under us; account the chunk as
+                    # its in-flight work so the retry budget applies.
+                    worker.chunk = (chunk_id, chunk)
+                    handle_crash(worker)
+                    continue
+                worker.chunk = (chunk_id, chunk)
+                self.stats["chunks_dispatched"] += 1
+
+            busy = [worker for worker in self._workers if worker.chunk is not None]
+            if not busy:
+                # No in-flight work yet cells remain: every pending
+                # chunk belonged to failed cells (or the queue drained
+                # into permanently failed retries).
+                break
+            conn_of = {worker.conn: worker for worker in busy}
+            sentinel_of = {worker.sentinel: worker for worker in busy}
+            ready = connection.wait(list(conn_of) + list(sentinel_of))
+            crashed: List[_WorkerHandle] = []
+            for item in ready:
+                worker = conn_of.get(item)
+                if worker is not None:
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        if worker not in crashed:
+                            crashed.append(worker)
+                        continue
+                    handle_message(worker, msg)
+                else:
+                    worker = sentinel_of[item]
+                    # The pipe may still hold a finished result the
+                    # worker sent before dying; drain it first.
+                    if worker.chunk is not None and worker.conn.poll():
+                        try:
+                            handle_message(worker, worker.conn.recv())
+                        except (EOFError, OSError):
+                            pass
+                    if worker not in crashed and not worker.process.is_alive():
+                        crashed.append(worker)
+            for worker in crashed:
+                handle_crash(worker)
+
+        if unfinished and not failed:
+            raise ExperimentError(
+                "internal scheduling error: cells "
+                f"{sorted(unfinished)} neither finished nor failed"
+            )
+        if failed:
+            triples = sorted(
+                (index, cells[index].describe(), reason)
+                for index, reason in failed.items()
+            )
+            summary = "; ".join(
+                f"#{index} {label}: {reason}" for index, label, reason in triples
+            )
+            raise ExecutorError(
+                f"{len(triples)} cell(s) failed permanently: {summary}",
+                failed_cells=triples,
+            )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.shutdown()
+
+    def __enter__(self) -> "WarmPoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: The default parallel executor is the warm pool; the old name stays
+#: the public API (CLI, engine configuration, tests).
+ParallelExecutor = WarmPoolExecutor

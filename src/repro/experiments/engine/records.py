@@ -31,6 +31,9 @@ class CellRecord:
     wall_ms: float
     median_plt_ms: float
     median_si_ms: float
+    #: Which cache tier served a hit: ``"memory"``, ``"disk"``, or
+    #: ``""`` for an executed cell.
+    cache_tier: str = ""
 
     def to_json(self) -> str:
         return json.dumps(
@@ -44,6 +47,7 @@ class CellRecord:
                 "seed_base": self.seed_base,
                 "executor": self.executor,
                 "cache_hit": self.cache_hit,
+                "cache_tier": self.cache_tier,
                 "wall_ms": round(self.wall_ms, 3),
                 "median_plt_ms": round(self.median_plt_ms, 3),
                 "median_si_ms": round(self.median_si_ms, 3),

@@ -112,8 +112,10 @@ def run_fig3a(
     ):
         corpus = generate_corpus(profile, config.sites, seed=config.seed)
         grid = Grid(name=f"fig3a/{profile.name}")
-        for index, site in enumerate(corpus):
-            order = engine.order_for(site.spec, runs=config.order_runs)
+        orders = engine.orders_for(
+            [site.spec for site in corpus], runs=config.order_runs
+        )
+        for index, (site, order) in enumerate(zip(corpus, orders)):
             grid.add(
                 site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
                 label=f"{site.spec.name}/baseline",
@@ -141,8 +143,10 @@ def run_fig3b(
         result.delta_plt[name] = []
         result.delta_si[name] = []
     grid = Grid(name="fig3b")
-    for index, site in enumerate(corpus):
-        order = engine.order_for(site.spec, runs=config.order_runs)
+    orders = engine.orders_for(
+        [site.spec for site in corpus], runs=config.order_runs
+    )
+    for index, (site, order) in enumerate(zip(corpus, orders)):
         grid.add(
             site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
             label=f"{site.spec.name}/baseline",

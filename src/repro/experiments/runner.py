@@ -87,6 +87,40 @@ class RepeatedResult:
         return distinct.pop()
 
 
+def run_single(
+    spec: WebsiteSpec,
+    strategy: Optional[PushStrategy],
+    run_index: int,
+    sampler: Optional[ConditionSampler] = None,
+    built: Optional[BuiltSite] = None,
+    cache_factory: Optional[Callable[[], BrowserCache]] = None,
+    seed_base: int = 0,
+    db=None,
+) -> PageLoadResult:
+    """Replay run ``run_index`` of a cell — the unit of the §4.1 loop.
+
+    Every seed derives from ``(seed_base, run_index)`` alone, and the
+    samplers are stateless between calls, so a single run is independent
+    of every other run: executors may replay the runs of one cell in any
+    order (or on different worker processes) and still reproduce the
+    serial loop bit for bit.  ``db`` optionally injects a pre-recorded
+    :class:`~repro.replay.recorddb.RecordDatabase` so warm workers skip
+    re-recording the site on every run; the database is read-only during
+    replay, which keeps the reuse invisible in the results.
+    """
+    sampler = sampler or FixedConditions(DSL_TESTBED)
+    built = built or build_site(spec)
+    run_rng = random.Random(condition_seed(seed_base, run_index))
+    network = sampler.sample(run_rng)
+    testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy, db=db)
+    cache = cache_factory() if cache_factory is not None else None
+    return testbed.run(
+        cache=cache,
+        seed=load_seed(seed_base, run_index),
+        impairment_seed=impairment_seed(seed_base, run_index),
+    )
+
+
 def run_repeated(
     spec: WebsiteSpec,
     strategy: Optional[PushStrategy],
@@ -104,19 +138,18 @@ def run_repeated(
     """
     sampler = conditions or FixedConditions(DSL_TESTBED)
     built = built or build_site(spec)
-    results: List[PageLoadResult] = []
-    for run_index in range(runs):
-        run_rng = random.Random(condition_seed(seed_base, run_index))
-        network = sampler.sample(run_rng)
-        testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy)
-        cache = cache_factory() if cache_factory is not None else None
-        results.append(
-            testbed.run(
-                cache=cache,
-                seed=load_seed(seed_base, run_index),
-                impairment_seed=impairment_seed(seed_base, run_index),
-            )
+    results: List[PageLoadResult] = [
+        run_single(
+            spec,
+            strategy,
+            run_index,
+            sampler=sampler,
+            built=built,
+            cache_factory=cache_factory,
+            seed_base=seed_base,
         )
+        for run_index in range(runs)
+    ]
     return RepeatedResult(
         site=spec.name,
         strategy=strategy.name if strategy else "no_push",

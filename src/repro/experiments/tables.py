@@ -142,8 +142,10 @@ def run_type_analysis(
         result.delta_si[name] = []
         result.delta_plt[name] = []
     grid = Grid(name="type_analysis")
-    for index, site in enumerate(corpus):
-        order = engine.order_for(site.spec, runs=config.order_runs)
+    orders = engine.orders_for(
+        [site.spec for site in corpus], runs=config.order_runs
+    )
+    for index, (site, order) in enumerate(zip(corpus, orders)):
         grid.add(
             site.spec, NoPushStrategy(), runs=config.runs, seed_base=index,
             label=f"{site.spec.name}/baseline",

@@ -172,8 +172,79 @@ def _build_row(state: int) -> List[Optional[Tuple[int, bytes]]]:
     return row
 
 
+# ----------------------------------------------------------------------
+# pair-table encoding
+# ----------------------------------------------------------------------
+# The encoder consumes input two bytes at a time: for a first byte, a
+# lazily built row of 256 entries gives the concatenated (code, length)
+# of every (first, second) pair, halving the loop iterations.  Rows are
+# lazy because header text touches a small alphabet — most of the 64K
+# pair space is never encoded.
+
+#: Lazily built pair rows: _PAIR_ROWS[first][second] = (combined code,
+#: combined bit length) of the two symbols back to back.
+_PAIR_ROWS: List[Optional[List[Tuple[int, int]]]] = [None] * 256
+
+
+def _build_pair_row(first: int) -> List[Tuple[int, int]]:
+    code1 = _ENC_CODE[first]
+    len1 = _ENC_LEN[first]
+    row = [
+        ((code1 << _ENC_LEN[second]) | _ENC_CODE[second], len1 + _ENC_LEN[second])
+        for second in range(256)
+    ]
+    _PAIR_ROWS[first] = row
+    return row
+
+
 def huffman_encode(data: bytes) -> bytes:
-    """Encode ``data``; the result is padded with EOS prefix bits."""
+    """Encode ``data``; the result is padded with EOS prefix bits.
+
+    Pair-table encoder; produces exactly the same bytes as
+    :func:`huffman_encode_reference`, the symbol-at-a-time
+    implementation it replaced (kept as the property-test oracle).
+    The bit accumulator is masked down after every drain so it stays a
+    machine-word int instead of growing into a big integer.
+    """
+    bits = 0
+    bit_count = 0
+    out = bytearray()
+    pair_rows = _PAIR_ROWS
+    end = len(data) - 1
+    i = 0
+    while i < end:
+        row = pair_rows[data[i]]
+        if row is None:
+            row = _build_pair_row(data[i])
+        code, length = row[data[i + 1]]
+        i += 2
+        bits = (bits << length) | code
+        bit_count += length
+        while bit_count >= 8:
+            bit_count -= 8
+            out.append((bits >> bit_count) & 0xFF)
+        bits &= (1 << bit_count) - 1
+    if i == end:  # odd trailing byte
+        byte = data[end]
+        length = _ENC_LEN[byte]
+        bits = (bits << length) | _ENC_CODE[byte]
+        bit_count += length
+        while bit_count >= 8:
+            bit_count -= 8
+            out.append((bits >> bit_count) & 0xFF)
+    if bit_count > 0:
+        # Pad with all-one bits.  In a complete canonical Huffman code the
+        # all-ones pattern of any length shorter than the longest codeword
+        # is a proper prefix of that codeword, so <= 7 padding bits can
+        # never decode as a symbol (mirrors the RFC's EOS-prefix rule).
+        pad = 8 - bit_count
+        bits = (bits << pad) | ((1 << pad) - 1)
+        out.append(bits & 0xFF)
+    return bytes(out)
+
+
+def huffman_encode_reference(data: bytes) -> bytes:
+    """Symbol-at-a-time encoder (pre-optimization); the test oracle."""
     bits = 0
     bit_count = 0
     out = bytearray()
@@ -187,10 +258,6 @@ def huffman_encode(data: bytes) -> bytes:
             bit_count -= 8
             out.append((bits >> bit_count) & 0xFF)
     if bit_count > 0:
-        # Pad with all-one bits.  In a complete canonical Huffman code the
-        # all-ones pattern of any length shorter than the longest codeword
-        # is a proper prefix of that codeword, so <= 7 padding bits can
-        # never decode as a symbol (mirrors the RFC's EOS-prefix rule).
         pad = 8 - bit_count
         bits = (bits << pad) | ((1 << pad) - 1)
         out.append(bits & 0xFF)

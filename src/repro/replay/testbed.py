@@ -10,7 +10,7 @@ browser model, then runs the page load to completion.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..browser.cache import BrowserCache
@@ -96,10 +96,15 @@ class ReplayTestbed:
     browser_config: Optional[BrowserConfig] = None
     #: "h2" (default) or "h1" — the push-less HTTP/1.1 baseline.
     protocol: str = "h2"
-    db: RecordDatabase = field(init=False)
+    #: Pre-recorded response database.  ``None`` records ``built`` on
+    #: construction; warm workers inject a shared instance instead.  The
+    #: database is read-only during replay, so reuse across runs, cells,
+    #: and testbeds cannot alter any result.
+    db: Optional[RecordDatabase] = None
 
     def __post_init__(self) -> None:
-        self.db = record_site(self.built)
+        if self.db is None:
+            self.db = record_site(self.built)
 
     # ------------------------------------------------------------------
     def run(

@@ -206,3 +206,24 @@ def generate_corpus(
     """Generate a deterministic corpus of ``count`` sites."""
     rng = random.Random(f"{profile.name}-{seed}")
     return [generate_site(profile, index, rng) for index in range(count)]
+
+
+#: Modeled fixed cost per object in :func:`replay_weight` — covers the
+#: request/response exchange, frame processing, and browser bookkeeping
+#: that every sub-resource pays regardless of its size.
+_WEIGHT_PER_OBJECT = 4_000
+
+
+def replay_weight(spec: WebsiteSpec) -> int:
+    """Relative cost estimate of replaying ``spec`` once.
+
+    Used by the warm-pool executor to schedule the largest cells first
+    (so a heavy straggler cannot serialize the tail of a grid).  Replay
+    time scales with the bytes crossing the simulated wire plus a
+    per-object overhead, so the estimate is total payload bytes with a
+    fixed surcharge per sub-resource.  The value only orders work — it
+    never reaches any measurement — so precision is not required.
+    """
+    return spec.html_size + sum(
+        res.size + _WEIGHT_PER_OBJECT for res in spec.resources
+    )

@@ -43,10 +43,10 @@ def _build_grid() -> Grid:
     return grid
 
 
-def _evaluate() -> dict:
+def _evaluate(executor=None) -> dict:
     """Run the grid cold (no cache) and fingerprint keys and results."""
     grid = _build_grid()
-    engine = ExperimentEngine(cache=None)
+    engine = ExperimentEngine(executor=executor, cache=None)
     results = engine.run(grid)
     record = {}
     for cell, result in zip(grid.cells, results):
@@ -90,10 +90,10 @@ def _build_lossy_grid() -> Grid:
     return grid
 
 
-def _evaluate_lossy() -> dict:
+def _evaluate_lossy(executor=None) -> dict:
     """Fingerprint the pinned lossy cell (impairment pipeline active)."""
     grid = _build_lossy_grid()
-    results = ExperimentEngine(cache=None).run(grid)
+    results = ExperimentEngine(executor=executor, cache=None).run(grid)
     cell, result = grid.cells[0], results[0]
     return {
         cell.key(): {
@@ -142,6 +142,30 @@ def test_lossy_cell_matches_golden_record():
             "the lossy cell no longer reproduces its golden outputs: "
             f"{actual[key]} != {expected}"
         )
+
+
+def test_warm_pool_matches_golden_record():
+    """The warm worker pool is under the same golden contract as the
+    serial path: chunked, work-stolen, run-parallel execution must
+    reproduce the checked-in record bit for bit."""
+    from repro.experiments.engine import WarmPoolExecutor
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    with WarmPoolExecutor(max_workers=4, auto_scale=False, chunk_runs=1) as executor:
+        actual = _evaluate(executor=executor)
+    assert actual == golden
+
+
+def test_warm_pool_lossy_cell_matches_golden_record():
+    """Run-level parallelism must not disturb the impairment seed
+    stream: the pinned lossy fig-7 cell split one-run-per-chunk still
+    matches its golden record."""
+    from repro.experiments.engine import WarmPoolExecutor
+
+    golden = json.loads(GOLDEN_LOSSY_PATH.read_text())
+    with WarmPoolExecutor(max_workers=3, auto_scale=False, chunk_runs=1) as executor:
+        actual = _evaluate_lossy(executor=executor)
+    assert actual == golden
 
 
 if __name__ == "__main__":

@@ -50,7 +50,10 @@ def test_serial_matches_handrolled_loop():
 def test_serial_and_parallel_executors_agree():
     grid = small_grid()
     serial = ExperimentEngine(executor=SerialExecutor()).run(grid)
-    parallel = ExperimentEngine(executor=ParallelExecutor(max_workers=2)).run(grid)
+    # auto_scale=False forces a real multi-process pool even on 1-CPU
+    # machines, so the pooled path is what's actually exercised.
+    with ParallelExecutor(max_workers=2, auto_scale=False) as executor:
+        parallel = ExperimentEngine(executor=executor).run(grid)
     assert len(serial) == len(parallel) == 4
     for left, right in zip(serial, parallel):
         assert left == right  # full RepeatedResult equality incl. timelines
@@ -110,6 +113,112 @@ def test_records_jsonl_written(tmp_path):
     assert record["cache_hit"] is False
     assert record["wall_ms"] > 0
     assert record["key"] == grid.cells[0].key()
+
+
+# ----------------------------------------------------------------------
+# two-tier cache
+# ----------------------------------------------------------------------
+def test_memory_tier_dedupes_across_grids_without_disk_cache():
+    """The in-process LRU is always on: resubmitting a grid to the same
+    engine serves every cell from memory even with no cache directory."""
+    grid = small_grid()
+    engine = ExperimentEngine(cache=None)
+    cold = engine.run(grid)
+    warm = engine.run(grid)
+    assert warm == cold
+    assert engine.reports[0].cache_hits == 0
+    assert engine.reports[1].cache_hits == len(grid.cells)
+    assert all(r.cache_tier == "memory" for r in engine.reports[1].records)
+
+
+def test_disk_hits_promote_into_memory_tier(tmp_path):
+    grid = small_grid()
+    ExperimentEngine(cache=ResultCache(tmp_path)).run(grid)
+    second = ExperimentEngine(cache=ResultCache(tmp_path))
+    second.run(grid)
+    assert all(r.cache_tier == "disk" for r in second.last_report.records)
+    second.run(grid)
+    assert all(r.cache_tier == "memory" for r in second.last_report.records)
+
+
+def test_memory_cache_lru_eviction():
+    from repro.experiments.engine import MemoryResultCache
+
+    lru = MemoryResultCache(capacity=2)
+    lru.put("a", "ra")
+    lru.put("b", "rb")
+    assert lru.get("a") == "ra"  # refreshes a
+    lru.put("c", "rc")  # evicts b
+    assert lru.get("b") is None
+    assert lru.get("a") == "ra"
+    assert lru.get("c") == "rc"
+    assert lru.evictions == 1
+
+
+def test_corrupt_cache_entry_is_quarantined_and_recomputed(tmp_path, caplog):
+    grid = small_grid()
+    cache = ResultCache(tmp_path)
+    cold = ExperimentEngine(cache=cache).run(grid)
+    key = grid.cells[0].key()
+    path = cache.cell_path(key)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # simulate a torn write
+
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.cache"):
+        second = ExperimentEngine(cache=ResultCache(tmp_path))
+        warm = second.run(grid)
+    assert warm == cold  # recomputed, not silently dropped
+    assert any("quarantined" in message for message in caplog.messages)
+    assert path.with_suffix(".pkl.corrupt").exists()
+    assert not second.last_report.records[0].cache_hit
+    assert all(r.cache_hit for r in second.last_report.records[1:])
+    # The recomputed entry is valid again.
+    assert ResultCache(tmp_path).load(key) is not None
+
+
+def test_foreign_header_cache_entry_is_quarantined(tmp_path):
+    grid = small_grid()
+    cache = ResultCache(tmp_path)
+    ExperimentEngine(cache=cache).run(grid)
+    key = grid.cells[0].key()
+    cache.cell_path(key).write_bytes(b"not a cache entry at all")
+    assert ResultCache(tmp_path).load(key) is None
+    assert cache.cell_path(key).with_suffix(".pkl.corrupt").exists()
+
+
+def test_corrupt_order_json_is_quarantined_and_recomputed(tmp_path):
+    spec = s2_landing()
+    engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    expected = engine.order_for(spec, runs=2)
+    order_files = list((tmp_path / "orders").glob("*.json"))
+    assert len(order_files) == 1
+    order_files[0].write_text('["truncated')
+    other = ExperimentEngine(cache=ResultCache(tmp_path))
+    assert other.order_for(spec, runs=2) == expected
+
+
+def test_cell_store_is_atomic_no_tmp_left_behind(tmp_path):
+    grid = small_grid()
+    cache = ResultCache(tmp_path)
+    ExperimentEngine(cache=cache).run(grid)
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# batched order computation
+# ----------------------------------------------------------------------
+def test_orders_for_matches_order_for(tmp_path):
+    sites = synthetic_sites()
+    specs = [sites["s1"], sites["s2"], sites["s1"]]
+    engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    batched = engine.orders_for(specs, runs=2)
+    reference = ExperimentEngine(cache=None)
+    assert batched == [reference.order_for(spec, runs=2) for spec in specs]
+    # The duplicate spec was computed once, in a single grid submission.
+    assert len(engine.reports) == 1
+    assert engine.last_report.cells_done == 2
 
 
 # ----------------------------------------------------------------------
@@ -219,8 +328,7 @@ def test_internet_conditions_cell_deterministic_across_executors():
         conditions=InternetConditions(),
     )
     serial = ExperimentEngine().run_cell(cell)
-    parallel = ExperimentEngine(executor=ParallelExecutor(max_workers=2)).run(
-        Grid(cells=[cell, cell])
-    )
+    with ParallelExecutor(max_workers=2, auto_scale=False) as executor:
+        parallel = ExperimentEngine(executor=executor).run(Grid(cells=[cell, cell]))
     assert parallel[0] == serial
     assert parallel[1] == serial

@@ -1,0 +1,286 @@
+"""Warm pool internals: chunking, assembly, arena, fault tolerance.
+
+Complements ``test_parallel_identity`` (end-to-end bit-identity) with
+targeted coverage of the scheduler pieces: the chunk planner's
+largest-first order, the property that the assembler's reduction is
+independent of chunk arrival order, the corpus arena round-trip, and
+the crash paths — a SIGKILLed worker mid-grid, a worker that dies on
+the same chunk until the retry budget runs out, and a cell that raises
+deterministically inside a worker.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutorError
+from repro.experiments.engine import (
+    Cell,
+    CorpusArena,
+    ExperimentEngine,
+    Grid,
+    SerialExecutor,
+    WarmPoolExecutor,
+    plan_chunks,
+)
+from repro.experiments.engine.executors import _CellAssembler
+from repro.sites.corpus import RANDOM_100_PROFILE, generate_corpus, replay_weight
+from repro.strategies.base import PushStrategy
+from repro.strategies.simple import NoPushStrategy, PushAllStrategy
+
+
+class ExplodingStrategy(PushStrategy):
+    """Raises inside the worker — a deterministic cell failure."""
+
+    name = "exploding"
+
+    def plan(self, main_url, db, is_authoritative):
+        raise RuntimeError("injected strategy failure")
+
+
+def corpus_cells(runs: int = 3):
+    corpus = generate_corpus(RANDOM_100_PROFILE, 2, seed=11)
+    cells = []
+    for index, site in enumerate(corpus):
+        cells.append(
+            Cell(spec=site.spec, strategy=NoPushStrategy(), runs=runs, seed_base=index)
+        )
+        cells.append(
+            Cell(spec=site.spec, strategy=PushAllStrategy(), runs=runs, seed_base=index)
+        )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# chunk planning
+# ----------------------------------------------------------------------
+def test_chunks_cover_each_cell_exactly_once():
+    cells = corpus_cells(runs=5)
+    chunks = plan_chunks(cells, workers=3, chunk_runs=2)
+    for index, cell in enumerate(cells):
+        ranges = sorted(
+            (c.run_lo, c.run_hi) for c in chunks if c.cell_index == index
+        )
+        covered = []
+        for lo, hi in ranges:
+            assert lo < hi <= cell.runs
+            covered.extend(range(lo, hi))
+        assert covered == list(range(cell.runs))
+
+
+def test_chunks_are_scheduled_heaviest_first():
+    cells = corpus_cells(runs=4)
+    chunks = plan_chunks(cells, workers=2, chunk_runs=2)
+    weights = [chunk.weight for chunk in chunks]
+    assert weights == sorted(weights, reverse=True)
+    heaviest = max(replay_weight(cell.spec) for cell in cells)
+    assert chunks[0].weight == heaviest * (chunks[0].run_hi - chunks[0].run_lo)
+
+
+def test_auto_chunking_targets_multiple_chunks_per_worker():
+    cells = corpus_cells(runs=8)
+    chunks = plan_chunks(cells, workers=2)
+    # 4 cells x 8 runs = 32 units; 2 workers want ~8 chunks minimum.
+    assert len(chunks) >= 8
+    assert all(chunk.run_hi - chunk.run_lo <= 4 for chunk in chunks)
+
+
+# ----------------------------------------------------------------------
+# assembler: chunk arrival order never reorders aggregation
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_assembler_reduction_is_arrival_order_independent(data):
+    """Property: for any partition of each cell's runs into chunks and
+    any arrival order of those chunks, the assembled per-cell result
+    lists equal the serial ``[run_0, run_1, ...]`` order exactly."""
+    corpus = generate_corpus(RANDOM_100_PROFILE, 1, seed=3)
+    spec = corpus[0].spec
+    run_counts = data.draw(
+        st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=4)
+    )
+    cells = [
+        Cell(spec=spec, strategy=None, runs=runs, seed_base=index)
+        for index, runs in enumerate(run_counts)
+    ]
+    # Partition each cell's run range into random contiguous chunks;
+    # payloads are (cell_index, run_index) markers standing in for
+    # PageLoadResults, so ordering is fully observable.
+    pending = []
+    for index, cell in enumerate(cells):
+        lo = 0
+        while lo < cell.runs:
+            hi = data.draw(st.integers(min_value=lo + 1, max_value=cell.runs))
+            pending.append((index, lo, [(index, run) for run in range(lo, hi)]))
+            lo = hi
+    arrival = data.draw(st.permutations(pending))
+
+    assembler = _CellAssembler(cells)
+    finished = {}
+    for cell_index, run_lo, payload in arrival:
+        done = assembler.add(cell_index, run_lo, payload, wall_ms=1.0)
+        if done is not None:
+            repeated, wall_ms = done
+            assert cell_index not in finished
+            finished[cell_index] = (repeated, wall_ms)
+    assert sorted(finished) == list(range(len(cells)))
+    for index, cell in enumerate(cells):
+        repeated, wall_ms = finished[index]
+        assert repeated.results == [(index, run) for run in range(cell.runs)]
+        assert repeated.site == spec.name
+        assert repeated.strategy == "no_push"
+        # Cell wall time is the sum over its chunks.
+        chunk_count = sum(1 for c, _lo, _p in pending if c == index)
+        assert wall_ms == pytest.approx(chunk_count * 1.0)
+
+
+# ----------------------------------------------------------------------
+# corpus arena
+# ----------------------------------------------------------------------
+def test_arena_round_trips_segments(tmp_path):
+    corpus = generate_corpus(RANDOM_100_PROFILE, 1, seed=3)
+    segments = {
+        "cells": corpus_cells(runs=2),
+        "sites": ["k0", "k1"],
+        "site:k0": {"payload": b"x" * 10_000},
+    }
+    arena = CorpusArena.create(segments, directory=tmp_path)
+    try:
+        assert set(arena.names()) == set(segments)
+        reopened = CorpusArena(arena.path)
+        assert reopened.load("sites") == ["k0", "k1"]
+        assert reopened.load("site:k0") == {"payload": b"x" * 10_000}
+        assert [cell.key() for cell in reopened.load("cells")] == [
+            cell.key() for cell in segments["cells"]
+        ]
+        # load() memoizes per handle
+        assert reopened.load("sites") is reopened.load("sites")
+        reopened.close()
+    finally:
+        arena.unlink()
+    assert not arena.path.exists()
+
+
+def test_arena_rejects_truncated_file(tmp_path):
+    path = tmp_path / "short.bin"
+    path.write_bytes(b"tiny")
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError, match="truncated"):
+        CorpusArena(path)
+
+
+def test_arena_rejects_bad_magic(tmp_path):
+    arena = CorpusArena.create({"sites": []}, directory=tmp_path)
+    arena.close()
+    blob = bytearray(arena.path.read_bytes())
+    blob[-8:] = b"XXXXXXXX"
+    bad = tmp_path / "bad.bin"
+    bad.write_bytes(bytes(blob))
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError, match="magic"):
+        CorpusArena(bad)
+    arena.unlink()
+
+
+def test_arena_unknown_segment_and_closed_handle(tmp_path):
+    from repro.errors import ExperimentError
+
+    arena = CorpusArena.create({"sites": ["k"]}, directory=tmp_path)
+    with pytest.raises(ExperimentError, match="no segment"):
+        arena.load("missing")
+    loaded = arena.load("sites")
+    arena.close()
+    # Memoized segments survive close(); unloaded ones do not.
+    assert arena.load("sites") is loaded
+    with pytest.raises(ExperimentError, match="closed"):
+        arena.load("cells" if "cells" in arena else "other")
+    arena.unlink()
+
+
+# ----------------------------------------------------------------------
+# fault tolerance
+# ----------------------------------------------------------------------
+def test_sigkilled_worker_chunk_is_requeued_and_results_identical():
+    cells = corpus_cells(runs=3)
+    serial = SerialExecutor().run(cells)
+    executor = WarmPoolExecutor(max_workers=3, auto_scale=False, chunk_runs=1)
+    killed = {"count": 0}
+
+    def sigkill_once(worker, chunk):
+        if killed["count"] == 0 and chunk.cell_index == 1:
+            killed["count"] += 1
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=10)
+
+    executor._dispatch_hook = sigkill_once
+    try:
+        results = executor.run(cells)
+    finally:
+        executor._dispatch_hook = None
+        executor.close()
+    assert killed["count"] == 1
+    assert executor.stats["respawns"] >= 1
+    assert results == serial
+
+
+def test_repeated_crashes_exhaust_retry_budget():
+    cells = corpus_cells(runs=2)
+    executor = WarmPoolExecutor(
+        max_workers=2, auto_scale=False, chunk_runs=1, max_retries=2
+    )
+
+    def always_kill(worker, chunk):
+        if chunk.cell_index == 0 and chunk.run_lo == 0:
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=10)
+
+    executor._dispatch_hook = always_kill
+    try:
+        with pytest.raises(ExecutorError) as excinfo:
+            executor.run(cells)
+        error = excinfo.value
+        assert [index for index, _label, _reason in error.failed_cells] == [0]
+        assert "crashed" in error.failed_cells[0][2]
+        # The pool recovers: the same executor completes the grid once
+        # the fault injection stops.
+        executor._dispatch_hook = None
+        assert executor.run(cells) == SerialExecutor().run(cells)
+    finally:
+        executor._dispatch_hook = None
+        executor.close()
+
+
+def test_deterministic_cell_error_is_structured_and_partial():
+    """A cell raising inside the worker fails that cell only; finished
+    cells keep their results and cache entries (engine side)."""
+    corpus = generate_corpus(RANDOM_100_PROFILE, 1, seed=11)
+    good = Cell(spec=corpus[0].spec, strategy=NoPushStrategy(), runs=2, label="good")
+    bad = Cell(
+        spec=corpus[0].spec, strategy=ExplodingStrategy(), runs=2, label="bad"
+    )
+    with WarmPoolExecutor(max_workers=2, auto_scale=False) as executor:
+        engine = ExperimentEngine(executor=executor, cache=None)
+        with pytest.raises(ExecutorError) as excinfo:
+            engine.run(Grid(name="partial", cells=[good, bad]))
+        failed = excinfo.value.failed_cells
+        assert [(index, label) for index, label, _ in failed] == [(1, "bad")]
+        assert "RuntimeError" in failed[0][2]
+        # The good cell's result survived into the memory tier.
+        assert engine.run_cell(good) is not None
+        assert engine.last_report.records[-1].cache_tier == "memory"
+
+
+def test_executor_rejects_use_after_close():
+    executor = WarmPoolExecutor(max_workers=2, auto_scale=False)
+    executor.close()
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        executor.run(corpus_cells(runs=1))

@@ -15,6 +15,7 @@ from repro.h2.hpack.huffman import (
     huffman_decode,
     huffman_decode_reference,
     huffman_encode,
+    huffman_encode_reference,
     huffman_encoded_length,
 )
 
@@ -22,6 +23,33 @@ from repro.h2.hpack.huffman import (
 @given(data=st.binary(max_size=2048))
 def test_round_trip_identity(data):
     assert huffman_decode(huffman_encode(data)) == data
+
+
+@given(data=st.binary(max_size=2048))
+def test_fast_encoder_equals_reference(data):
+    """The pair-table encoder must be byte-identical to the
+    symbol-at-a-time reference on arbitrary input — same codes, same
+    packing, same all-ones padding."""
+    assert huffman_encode(data) == huffman_encode_reference(data)
+
+
+@given(data=st.binary(min_size=1, max_size=64))
+def test_fast_encoder_equals_reference_on_odd_lengths(data):
+    """The pair loop handles a trailing odd byte separately; exercise
+    both parities explicitly."""
+    assert huffman_encode(data[:-1]) == huffman_encode_reference(data[:-1])
+    assert huffman_encode(data) == huffman_encode_reference(data)
+
+
+@given(
+    text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=512
+    )
+)
+def test_fast_encoder_equals_reference_on_header_text(text):
+    """Header-like ASCII hits the short-code rows of the pair table."""
+    data = text.encode("ascii")
+    assert huffman_encode(data) == huffman_encode_reference(data)
 
 
 @given(data=st.binary(max_size=2048))
