@@ -14,6 +14,11 @@ trajectory behind:
   on the wire, bytes on both links, and a PLT checksum) from every
   replay: optimizations must leave these byte-for-byte identical, so a
   counter drift flags a semantics change even when the tests pass.
+* **tracing overhead** — the same fig-3-shaped grid with the trace
+  subsystem disabled (every hook pays one attribute check) and with a
+  live tracer per replay.  ``--check`` fails if the off-mode wall
+  exceeds the replay section's by more than measurement noise, or if
+  either pass drifts any determinism counter.
 * **grid throughput** — the same fig-3-shaped grid submitted through
   the experiment engine under each executor: serial, the legacy
   per-cell ``ProcessPoolExecutor`` fan-out, and the warm worker pool,
@@ -166,9 +171,18 @@ class Counters:
         }
 
 
-def run_replay_grid(counters: Optional[Counters]) -> None:
-    """One serial pass over the frozen fig-3-shaped grid."""
+def run_replay_grid(counters: Optional[Counters], tracer_factory=None) -> None:
+    """One serial pass over the frozen fig-3-shaped grid.
+
+    ``tracer_factory`` (when given) supplies one fresh tracer per
+    replay; the trace benchmark uses it to measure tracing overhead and
+    to assert that traced runs leave every determinism counter intact.
+    """
     probe = counters.probe if counters is not None else None
+
+    def tracer():
+        return tracer_factory() if tracer_factory is not None else None
+
     corpus = generate_corpus(TOP_100_PROFILE, GRID_SITES, seed=GRID_SEED)
     for site_index, site in enumerate(corpus):
         built = build_site(site.spec)
@@ -179,7 +193,7 @@ def run_replay_grid(counters: Optional[Counters]) -> None:
                 built=built, conditions=DSL_TESTBED, strategy=NoPushStrategy()
             )
             result = testbed.run(
-                seed=load_seed(site_index, run_index), probe=probe
+                seed=load_seed(site_index, run_index), probe=probe, tracer=tracer()
             )
             if counters is not None:
                 counters.observe_result(result)
@@ -194,7 +208,7 @@ def run_replay_grid(counters: Optional[Counters]) -> None:
                 # kept in the derivation to mirror run_repeated exactly.
                 condition_seed(site_index, run_index)
                 result = testbed.run(
-                    seed=load_seed(site_index, run_index), probe=probe
+                    seed=load_seed(site_index, run_index), probe=probe, tracer=tracer()
                 )
                 if counters is not None:
                     counters.observe_result(result)
@@ -213,6 +227,58 @@ def run_replay_benchmark(repetitions: int) -> Dict[str, object]:
         "wall_s": min(walls),
         "wall_all_s": walls,
         "counters": counters.to_json(),
+    }
+
+
+# ----------------------------------------------------------------------
+# tracing overhead (off-mode cost + on-mode determinism, fig-3-shaped)
+# ----------------------------------------------------------------------
+#: Off-mode tracing runs the byte-identical workload of the replay
+#: section, so its wall may differ from ``replay.wall_s`` only by
+#: measurement noise; ``--check`` enforces this generous bound.
+TRACE_OFF_NOISE_FACTOR = 1.5
+
+
+def run_trace_benchmark(repetitions: int) -> Dict[str, object]:
+    """Measure tracing: off-mode overhead and on-mode determinism.
+
+    * ``wall_off_s`` — the frozen grid with tracing compiled in but
+      disabled (every hook pays one attribute check); compared against
+      the replay section's wall under ``--check``.
+    * ``wall_on_s`` + ``events_traced`` — the same grid with a live
+      tracer per replay.
+    * ``counters_off`` / ``counters_on`` — determinism counters from
+      both passes; tracing must leave them byte-for-byte identical.
+    """
+    from repro.trace import Tracer
+
+    counters_off = Counters()
+    start = time.perf_counter()
+    run_replay_grid(counters_off)
+    walls_off = [time.perf_counter() - start]
+    for _ in range(repetitions - 1):
+        start = time.perf_counter()
+        run_replay_grid(None)
+        walls_off.append(time.perf_counter() - start)
+
+    tracers: List[Tracer] = []
+
+    def factory() -> Tracer:
+        tracer = Tracer()
+        tracers.append(tracer)
+        return tracer
+
+    counters_on = Counters()
+    start = time.perf_counter()
+    run_replay_grid(counters_on, tracer_factory=factory)
+    wall_on = time.perf_counter() - start
+    events_traced = sum(len(tracer.events()) for tracer in tracers)
+    return {
+        "wall_off_s": min(walls_off),
+        "wall_on_s": wall_on,
+        "events_traced": events_traced,
+        "counters_off": counters_off.to_json(),
+        "counters_on": counters_on.to_json(),
     }
 
 
@@ -314,12 +380,14 @@ def run_grid_benchmark(repetitions: int) -> Dict[str, object]:
 def build_section(repetitions: int) -> Dict[str, object]:
     micros = run_micros()
     replay = run_replay_benchmark(repetitions)
+    trace = run_trace_benchmark(repetitions)
     grid = run_grid_benchmark(repetitions)
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "micros": micros,
         "replay": replay,
+        "trace": trace,
         "grid": grid,
     }
 
@@ -404,6 +472,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{label} grid warm vs legacy: {grid['speedup_warm_vs_legacy']}x "
         f"(cpus={grid['cpus']}, identical_outputs={grid['identical_outputs']})"
     )
+    trace = section["trace"]
+    print(
+        f"{label} trace off/on wall: {trace['wall_off_s']:.3f} / "
+        f"{trace['wall_on_s']:.3f} s ({trace['events_traced']} events traced)"
+    )
     print(json.dumps(section["replay"]["counters"], indent=2, sort_keys=True))
     failures = []
     if args.check:
@@ -411,6 +484,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append("determinism counters drifted from baseline")
         if not grid["identical_outputs"]:
             failures.append("executors disagreed on grid outputs")
+        replay_counters = section["replay"]["counters"]
+        if trace["counters_off"] != replay_counters:
+            failures.append("tracing-off pass drifted the determinism counters")
+        if trace["counters_on"] != replay_counters:
+            failures.append("tracing-on pass drifted the determinism counters")
+        if trace["events_traced"] <= 0:
+            failures.append("tracing-on pass captured no events")
+        bound = TRACE_OFF_NOISE_FACTOR * section["replay"]["wall_s"]
+        if trace["wall_off_s"] > bound:
+            failures.append(
+                f"tracing-off wall {trace['wall_off_s']:.3f}s exceeds the "
+                f"noise bound {bound:.3f}s — disabled hooks are too expensive"
+            )
     for failure in failures:
         print(f"check FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -189,6 +189,7 @@ class PageLoad:
         config: Optional[BrowserConfig] = None,
         cache: Optional[BrowserCache] = None,
         rng=None,
+        tracer=None,
     ):
         self.sim = sim
         self.topology = topology
@@ -196,6 +197,9 @@ class PageLoad:
         self.ca = ca
         self.main_url = main_url
         self.config = config or BrowserConfig()
+        #: Optional event tracer (``repro.trace``); all hooks are
+        #: read-only so traced loads stay bit-identical.
+        self._tracer = tracer
         # Note: an empty BrowserCache is falsy (it has __len__), so an
         # ``or`` default would silently discard a shared cache object.
         self.cache = cache if cache is not None else BrowserCache()
@@ -242,6 +246,8 @@ class PageLoad:
     def start(self) -> None:
         """Begin the navigation; run the simulator afterwards."""
         self.timeline.navigation_start = self.sim.now
+        if self._tracer is not None:
+            self._tracer.milestone("navigation_start")
         main_domain = split_url(self.main_url)[0]
         # The navigation's own DNS lookup happens before connectEnd; the
         # paper's PLT starts at connectEnd, so pre-warm it.
@@ -256,6 +262,8 @@ class PageLoad:
                 initiator="navigation",
             )
         )
+        if self._tracer is not None:
+            self._tracer.resource_requested(self.main_url, False)
         self._issue_request(fetch)
 
     @property
@@ -269,6 +277,8 @@ class PageLoad:
         fetch = _Fetch(url, rtype)
         fetch.discovered_at = self.sim.now
         self._fetches[url] = fetch
+        if self._tracer is not None:
+            self._tracer.resource_discovered(url, rtype.name, initiator)
         return fetch
 
     def fetch(
@@ -293,6 +303,9 @@ class PageLoad:
             fetch.from_cache = True
             fetch.requested_at = self.sim.now
             fetch.body.extend(cached_body)
+            if self._tracer is not None:
+                self._tracer.cache_hit(url, len(cached_body))
+                self._tracer.resource_requested(url, False)
             self.sim.call_soon(lambda: self._complete_fetch(fetch))
             return fetch
 
@@ -311,6 +324,8 @@ class PageLoad:
                 initiator_url=initiator_url,
             )
         )
+        if self._tracer is not None:
+            self._tracer.resource_requested(url, False)
         if self._is_delayable(fetch):
             if self._delayable_in_flight >= self.config.max_delayable_in_flight:
                 self._delayable_queue.append(fetch)
@@ -409,7 +424,7 @@ class PageLoad:
             enable_push=1 if self.config.enable_push else 0,
             initial_window_size=self.config.initial_window,
         )
-        conn = H2Connection(tcp.client, "client", settings=settings)
+        conn = H2Connection(tcp.client, "client", settings=settings, tracer=self._tracer)
         conn.on_response = lambda sid, headers: self._on_response(entry, sid, headers)
         conn.on_data = lambda sid, data: self._on_data(entry, sid, data)
         conn.on_stream_end = lambda sid: self._on_stream_end(entry, sid)
@@ -420,6 +435,8 @@ class PageLoad:
         entry.established = True
         if self.timeline.connect_end is None:
             self.timeline.connect_end = self.sim.now
+            if self._tracer is not None:
+                self._tracer.milestone("connect_end")
         pending, entry.pending = entry.pending, []
         for fetch in pending:
             self._send_request(entry, fetch)
@@ -478,6 +495,8 @@ class PageLoad:
         fetch = self._stream_fetch.get((id(entry.conn), stream_id))
         if fetch is not None and fetch.response_start is None:
             fetch.response_start = self.sim.now
+            if self._tracer is not None:
+                self._tracer.resource_response(fetch.url)
         if fetch is not None and fetch.rtype == ResourceType.HTML:
             for hint in _parse_link_preloads(headers):
                 self.fetch(hint, classify_url(hint), initiator="hint")
@@ -489,6 +508,8 @@ class PageLoad:
         fetch.body.extend(data)
         if fetch.pushed:
             self.timeline.pushed_bytes += len(data)
+            if self._tracer is not None:
+                self._tracer.push_data(fetch.url, len(data), not fetch.adopted)
         if fetch.rtype == ResourceType.HTML and fetch.url == self.main_url:
             self._on_html_bytes(data)
 
@@ -505,9 +526,16 @@ class PageLoad:
         pseudo = dict(headers)
         url = f"{pseudo.get(':scheme', 'https')}://{pseudo.get(':authority', '')}{pseudo.get(':path', '/')}"
         self.timeline.pushes_received += 1
+        if self._tracer is not None:
+            self._tracer.push_received(entry.conn._trace_name, promised_id, url)
         already_have = url in self.cache or url in self._fetches
         if already_have:
             # Cancel — though bytes may already be in flight (§2.1).
+            if self._tracer is not None:
+                reason = "cached" if url in self.cache else "already_requested"
+                self._tracer.push_rejected(
+                    entry.conn._trace_name, promised_id, url, reason
+                )
             entry.conn.reset_stream_raw(promised_id, ErrorCode.CANCEL)
             self.timeline.pushes_cancelled += 1
             return
@@ -534,6 +562,8 @@ class PageLoad:
                 initiator="push",
             )
         )
+        if self._tracer is not None:
+            self._tracer.resource_requested(url, True)
 
     def _adopt_push(self, fetch: _Fetch, parked: _Fetch) -> None:
         """A discovered resource matches an in-flight pushed stream."""
@@ -546,6 +576,8 @@ class PageLoad:
         fetch.response_start = parked.response_start
         fetch.body = parked.body
         self.timeline.pushes_adopted += 1
+        if self._tracer is not None:
+            self._tracer.push_adopted(fetch.url, parked.stream_id)
         # Rebind the stream to the adopting fetch for future data.
         for key, value in list(self._stream_fetch.items()):
             if value is parked:
@@ -561,6 +593,10 @@ class PageLoad:
             return
         fetch.complete = True
         fetch.finished_at = self.sim.now
+        if self._tracer is not None:
+            self._tracer.resource_finished(
+                fetch.url, len(fetch.body), fetch.pushed, fetch.from_cache
+            )
         if not fetch.from_cache:
             self.cache.store(fetch.url, bytes(fetch.body))
         self._record_resource(fetch)
@@ -766,6 +802,8 @@ class PageLoad:
     def _finish_parsing(self) -> None:
         self._parser_done = True
         self.timeline.dom_content_loaded = self.sim.now
+        if self._tracer is not None:
+            self._tracer.milestone("dom_content_loaded")
         for fetch in self._deferred_scripts:
             if fetch.complete and not fetch.executed:
                 self._execute_script(fetch)
@@ -834,7 +872,7 @@ class PageLoad:
         self._render_started = True
         pending, self._pending_paints = self._pending_paints, []
         for weight, source in pending:
-            self.timeline.record_paint(self.sim.now, weight, source)
+            self._record_paint(weight, source)
         for fetch in self._fetches.values():
             self._maybe_paint_resource(fetch)
 
@@ -842,7 +880,7 @@ class PageLoad:
         if weight <= 0:
             return
         if self._render_started:
-            self.timeline.record_paint(self.sim.now, weight, source)
+            self._record_paint(weight, source)
         else:
             self._pending_paints.append((weight, source))
             self._maybe_start_render()
@@ -855,7 +893,16 @@ class PageLoad:
         if not (fetch.complete and fetch.parsed and self._render_started):
             return
         fetch.painted = True
-        self.timeline.record_paint(self.sim.now, fetch.visual_weight, fetch.url)
+        self._record_paint(fetch.visual_weight, fetch.url)
+
+    def _record_paint(self, weight: float, source: str) -> None:
+        """Record a paint, emitting trace events alongside (paint +
+        first_paint milestone on the first one)."""
+        if self._tracer is not None:
+            if self.timeline.first_paint is None:
+                self._tracer.milestone("first_paint")
+            self._tracer.paint(weight, source)
+        self.timeline.record_paint(self.sim.now, weight, source)
 
     # ------------------------------------------------------------------
     # load completion
@@ -874,6 +921,8 @@ class PageLoad:
             return
         self._onload_fired = True
         self.timeline.onload = self.sim.now
+        if self._tracer is not None:
+            self._tracer.milestone("onload")
         # Late render start for pages with no paintable content yet.
         self._maybe_start_render()
 

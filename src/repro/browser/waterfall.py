@@ -12,11 +12,19 @@ from a :class:`~repro.replay.testbed.PageLoadResult`:
 
 ``▒`` marks wait (request issued, first byte pending), ``█`` transfer,
 and markers show first paint (P) and onload (L).
+
+Two front ends share one renderer: :func:`render_waterfall` reads the
+browser's :class:`~repro.browser.timings.PageTimeline` (the historical
+path, byte-identical output), and :func:`render_waterfall_from_trace`
+reconstructs the same rows from a :class:`repro.trace.core.Trace` event
+stream — which additionally knows about *rejected* pushes, rendered as
+zero-duration rows so a wasted PUSH_PROMISE is visible in the picture.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..replay.testbed import PageLoadResult
 
@@ -24,49 +32,173 @@ from ..replay.testbed import PageLoadResult
 DEFAULT_WIDTH = 60
 
 
+@dataclass
+class WaterfallRow:
+    """One renderable resource timeline, whichever front end built it."""
+
+    url: str
+    requested_at: float
+    response_start: Optional[float] = None
+    finished_at: Optional[float] = None
+    pushed: bool = False
+    from_cache: bool = False
+    #: A push the client refused (reset); rendered as a zero-duration
+    #: row so the wasted promise still shows up in the waterfall.
+    rejected: bool = False
+    reject_reason: str = ""
+
+    def flags(self) -> List[str]:
+        flags: List[str] = []
+        if self.pushed:
+            flags.append("PUSH")
+        if self.from_cache:
+            flags.append("CACHE")
+        if self.rejected:
+            reason = f"({self.reject_reason})" if self.reject_reason else ""
+            flags.append(f"REJECTED{reason}")
+        return flags
+
+
 def render_waterfall(result: PageLoadResult, width: int = DEFAULT_WIDTH) -> str:
     """Render the load as a fixed-width ASCII waterfall."""
     timeline = result.timeline
-    resources = [
-        r for r in timeline.resources.values() if r.requested_at is not None
+    rows = [
+        WaterfallRow(
+            url=r.url,
+            requested_at=r.requested_at,
+            response_start=r.response_start,
+            finished_at=r.finished_at,
+            pushed=r.pushed,
+            from_cache=r.from_cache,
+        )
+        for r in timeline.resources.values()
+        if r.requested_at is not None
     ]
-    if not resources:
+    return render_rows(
+        rows,
+        navigation_start=timeline.navigation_start,
+        first_paint=timeline.first_paint,
+        onload=timeline.onload,
+        width=width,
+    )
+
+
+def render_waterfall_from_trace(trace, width: int = DEFAULT_WIDTH) -> str:
+    """Render a waterfall from a trace event stream instead of a result.
+
+    Consumes ``ResourceRequested``/``ResourceResponse``/
+    ``ResourceFinished``/``PushRejected``/``Milestone`` events; every
+    other event type is ignored, so any tracer output (full or
+    ring-truncated) renders.
+    """
+    rows, navigation_start, first_paint, onload = rows_from_trace(trace)
+    return render_rows(
+        rows,
+        navigation_start=navigation_start,
+        first_paint=first_paint,
+        onload=onload,
+        width=width,
+    )
+
+
+def rows_from_trace(trace):
+    """Extract waterfall rows + milestones from a trace.
+
+    Returns ``(rows, navigation_start, first_paint, onload)``.  Shared
+    by the waterfall renderer and the trace CLI; the first event of each
+    kind wins per URL, matching how the browser timeline records them.
+    """
+    from ..trace.core import (
+        Milestone,
+        PushRejected,
+        ResourceFinished,
+        ResourceRequested,
+        ResourceResponse,
+    )
+
+    rows: List[WaterfallRow] = []
+    by_url: Dict[str, WaterfallRow] = {}
+    navigation_start = 0.0
+    first_paint: Optional[float] = None
+    onload: Optional[float] = None
+    for event in trace.events:
+        if type(event) is ResourceRequested:
+            if event.url not in by_url:
+                row = WaterfallRow(
+                    url=event.url, requested_at=event.t, pushed=event.pushed
+                )
+                by_url[event.url] = row
+                rows.append(row)
+        elif type(event) is ResourceResponse:
+            row = by_url.get(event.url)
+            if row is not None and row.response_start is None:
+                row.response_start = event.t
+        elif type(event) is ResourceFinished:
+            row = by_url.get(event.url)
+            if row is not None and row.finished_at is None:
+                row.finished_at = event.t
+                row.pushed = row.pushed or event.pushed
+                row.from_cache = row.from_cache or event.from_cache
+        elif type(event) is PushRejected:
+            rows.append(
+                WaterfallRow(
+                    url=event.url,
+                    requested_at=event.t,
+                    pushed=True,
+                    rejected=True,
+                    reject_reason=event.reason,
+                )
+            )
+        elif type(event) is Milestone:
+            if event.milestone == "navigation_start":
+                navigation_start = event.t
+            elif event.milestone == "first_paint" and first_paint is None:
+                first_paint = event.t
+            elif event.milestone == "onload" and onload is None:
+                onload = event.t
+    return rows, navigation_start, first_paint, onload
+
+
+def render_rows(
+    rows: List[WaterfallRow],
+    navigation_start: float,
+    first_paint: Optional[float],
+    onload: Optional[float],
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """The shared fixed-width renderer behind both front ends."""
+    if not rows:
         return "(no resources)"
-    start = timeline.navigation_start
-    end = max(r.finished_at or r.requested_at for r in resources)
-    if timeline.onload is not None:
-        end = max(end, timeline.onload)
+    start = navigation_start
+    end = max(r.finished_at or r.requested_at for r in rows)
+    if onload is not None:
+        end = max(end, onload)
     span = max(end - start, 1e-9)
 
     def column(time: float) -> int:
         return min(int((time - start) / span * width), width - 1)
 
     lines: List[str] = []
-    label_width = max(len(_label(r.url)) for r in resources)
+    label_width = max(len(_label(r.url)) for r in rows)
     label_width = min(max(label_width, 10), 44)
-    for resource in sorted(resources, key=lambda r: r.requested_at):
+    for row in sorted(rows, key=lambda r: r.requested_at):
         bar = [" "] * width
-        first_byte = resource.response_start or resource.requested_at
-        finished = resource.finished_at or first_byte
-        for index in range(column(resource.requested_at), column(first_byte) + 1):
+        first_byte = row.response_start or row.requested_at
+        finished = row.finished_at or first_byte
+        for index in range(column(row.requested_at), column(first_byte) + 1):
             bar[index] = "▒"  # wait
         for index in range(column(first_byte), column(finished) + 1):
             bar[index] = "█"  # transfer
-        flags = []
-        if resource.pushed:
-            flags.append("PUSH")
-        if resource.from_cache:
-            flags.append("CACHE")
-        duration = (resource.finished_at or first_byte) - resource.requested_at
+        duration = (row.finished_at or first_byte) - row.requested_at
         lines.append(
-            f"{_label(resource.url):<{label_width}} |{''.join(bar)}| "
-            f"{duration:6.0f}ms {' '.join(flags)}".rstrip()
+            f"{_label(row.url):<{label_width}} |{''.join(bar)}| "
+            f"{duration:6.0f}ms {' '.join(row.flags())}".rstrip()
         )
     markers = [" "] * width
-    if timeline.first_paint is not None:
-        markers[column(timeline.first_paint)] = "P"
-    if timeline.onload is not None:
-        markers[column(timeline.onload)] = "L"
+    if first_paint is not None:
+        markers[column(first_paint)] = "P"
+    if onload is not None:
+        markers[column(onload)] = "L"
     lines.append(f"{'P=first paint, L=onload':<{label_width}} |{''.join(markers)}|")
     lines.append(
         f"{'':<{label_width}}  0ms{'':>{max(width - 14, 0)}}{span:7.0f}ms"

@@ -73,9 +73,14 @@ def _make_strategy(name: str, spec: WebsiteSpec):
         return PreloadHintStrategy()
     if name == "hint_and_push":
         return HintAndPushStrategy()
+    if name == "custom":
+        from .strategies.critical import critical_urls
+        from .strategies.simple import PushListStrategy
+
+        return PushListStrategy(critical_urls(spec), name="custom")
     raise ConfigError(
         f"unknown strategy {name!r} (no_push, push_all, push_<n>, push_css, "
-        f"push_images, hints, hint_and_push)"
+        f"push_images, hints, hint_and_push, custom)"
     )
 
 
@@ -305,6 +310,44 @@ def cmd_waterfall(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .browser.waterfall import render_waterfall_from_trace
+    from .replay import ReplayTestbed
+    from .trace import Tracer, diff_traces, qlog_json, render_diff
+
+    spec = _resolve_site(args.site)
+    built = build_site(spec)
+
+    def traced_run(strategy_name: str):
+        strategy = _make_strategy(strategy_name, spec)
+        testbed = ReplayTestbed(built=built, strategy=strategy)
+        tracer = Tracer()
+        result = testbed.run(seed=args.seed, tracer=tracer)
+        return result, tracer.trace()
+
+    result_a, trace_a = traced_run(args.strategy)
+    result_b, trace_b = traced_run(args.vs)
+    for result, trace in ((result_a, trace_a), (result_b, trace_b)):
+        print(
+            f"{spec.name} / {trace.meta['strategy']}: PLT {result.plt_ms:.0f} ms, "
+            f"SpeedIndex {result.speed_index_ms:.0f} ms, "
+            f"{len(trace.events)} trace events"
+        )
+        print(render_waterfall_from_trace(trace, width=args.width))
+        print()
+    print(render_diff(diff_traces(trace_a, trace_b)))
+    if args.qlog:
+        from pathlib import Path
+
+        out = Path(args.qlog)
+        out.mkdir(parents=True, exist_ok=True)
+        for trace in (trace_a, trace_b):
+            path = out / f"{spec.name}.{trace.meta['strategy']}.qlog.json"
+            path.write_text(qlog_json(trace) + "\n", encoding="utf-8")
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_abtest(args) -> int:
     from .experiments.ab_testing import ABTestConfig, StrategySelector
 
@@ -376,6 +419,20 @@ def build_parser() -> argparse.ArgumentParser:
     waterfall.add_argument("--strategy", default="no_push")
     waterfall.add_argument("--width", type=int, default=60)
     waterfall.set_defaults(func=cmd_waterfall)
+
+    trace = sub.add_parser(
+        "trace", help="trace one site under two strategies and diff the loads"
+    )
+    trace.add_argument("site")
+    trace.add_argument("--strategy", default="push_all")
+    trace.add_argument("--vs", default="no_push", help="baseline strategy to diff against")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--width", type=int, default=60)
+    trace.add_argument(
+        "--qlog", metavar="DIR", default=None,
+        help="also write the two qlog JSON exports to DIR",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     abtest = sub.add_parser("abtest", help="CDN A/B strategy selection (§6)")
     abtest.add_argument("site")

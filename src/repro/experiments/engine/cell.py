@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional
 from ...html.spec import WebsiteSpec
 from ...netsim.conditions import ConditionSampler
 from ...strategies.base import PushStrategy
+from ...trace.store import TraceSpec
 from .fingerprint import fingerprint
 
 
@@ -37,6 +38,13 @@ class Cell:
     #: Free-form tag for experiment-side bookkeeping (e.g. ``"s3/
     #: baseline"``).  Not part of the cache key.
     label: str = ""
+    #: Opt-in trace capture: when set, every run of the cell records a
+    #: wire/event trace stored out-of-band next to the result cache.
+    #: Tracing is observation-only (traced results are bit-identical to
+    #: untraced ones), so it is **not** part of the cache key — but the
+    #: engine treats a traced cell as a cache miss until all of its
+    #: per-run trace artifacts exist on disk.
+    trace: Optional[TraceSpec] = None
 
     def key(self) -> str:
         """Content-addressed cache key; excludes the display label."""
@@ -73,6 +81,7 @@ class Grid:
         seed_base: int = 0,
         conditions: Optional[ConditionSampler] = None,
         label: str = "",
+        trace: Optional[TraceSpec] = None,
     ) -> int:
         """Append a cell; returns its index into the result list."""
         self.cells.append(
@@ -83,6 +92,7 @@ class Grid:
                 seed_base=seed_base,
                 conditions=conditions,
                 label=label,
+                trace=trace,
             )
         )
         return len(self.cells) - 1

@@ -65,6 +65,12 @@ class ExperimentEngine:
         pending: List[Tuple[int, Cell]] = []
         for index, cell in enumerate(grid.cells):
             cached, tier = self._lookup(keys[index])
+            if cached is not None and not self._traces_satisfied(cell, keys[index]):
+                # Tracing is excluded from the cache key (traced results
+                # are bit-identical), so a cached result may predate the
+                # trace request; replay the cell to materialize the
+                # missing per-run artifacts.
+                cached = None
             if cached is not None:
                 results[index] = cached
                 report.records.append(
@@ -102,6 +108,15 @@ class ExperimentEngine:
     def run_cell(self, cell: Cell) -> RepeatedResult:
         """Evaluate a single cell through the cache + executor path."""
         return self.run(Grid(name=cell.describe(), cells=[cell]))[0]
+
+    @staticmethod
+    def _traces_satisfied(cell: Cell, key: str) -> bool:
+        """True when the cell asks for no traces, or all already exist."""
+        if cell.trace is None:
+            return True
+        from ...trace.store import TraceStore
+
+        return TraceStore(cell.trace.dir).has_all(key, max(1, cell.runs))
 
     def _lookup(self, key: str) -> Tuple[Optional[RepeatedResult], str]:
         """Probe the memory tier, then disk; promote disk hits."""

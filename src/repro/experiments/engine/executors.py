@@ -79,6 +79,8 @@ def execute_cell(cell: Cell) -> RepeatedResult:
         conditions=cell.conditions,
         built=built,
         seed_base=cell.seed_base,
+        trace=cell.trace,
+        trace_key=cell.key() if cell.trace is not None else None,
     )
 
 
@@ -312,6 +314,10 @@ def _worker_main(conn) -> None:
                     if db is None:
                         db = db_memo[key] = record_site(built)
                     sampler = cell.conditions or FixedConditions(DSL_TESTBED)
+                    # Workers recompute the cell key themselves — it is
+                    # a pure function of the cell, so every worker and
+                    # the parent agree on the trace artifact names.
+                    trace_key = cell.key() if cell.trace is not None else None
                     started = time.perf_counter()
                     results = [
                         run_single(
@@ -322,6 +328,8 @@ def _worker_main(conn) -> None:
                             built=built,
                             seed_base=cell.seed_base,
                             db=db,
+                            trace=cell.trace,
+                            trace_key=trace_key,
                         )
                         for run_index in range(run_lo, run_hi)
                     ]
@@ -477,6 +485,7 @@ class WarmPoolExecutor(Executor):
             if db is None:
                 db = db_memo[key] = record_site(built)
             sampler = cell.conditions or FixedConditions(DSL_TESTBED)
+            trace_key = cell.key() if cell.trace is not None else None
             started = time.perf_counter()
             runs = [
                 run_single(
@@ -487,6 +496,8 @@ class WarmPoolExecutor(Executor):
                     built=built,
                     seed_base=cell.seed_base,
                     db=db,
+                    trace=cell.trace,
+                    trace_key=trace_key,
                 )
                 for run_index in range(cell.runs)
             ]

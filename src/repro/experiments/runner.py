@@ -96,6 +96,8 @@ def run_single(
     cache_factory: Optional[Callable[[], BrowserCache]] = None,
     seed_base: int = 0,
     db=None,
+    trace=None,
+    trace_key: Optional[str] = None,
 ) -> PageLoadResult:
     """Replay run ``run_index`` of a cell — the unit of the §4.1 loop.
 
@@ -107,6 +109,13 @@ def run_single(
     :class:`~repro.replay.recorddb.RecordDatabase` so warm workers skip
     re-recording the site on every run; the database is read-only during
     replay, which keeps the reuse invisible in the results.
+
+    ``trace`` (a :class:`repro.trace.store.TraceSpec`) plus ``trace_key``
+    (the owning cell's cache key) record this run's wire/event trace and
+    store it out-of-band under the spec's directory.  Trace hooks are
+    read-only, so the returned result is bit-identical either way; the
+    artifact write is atomic, so concurrent workers replaying the same
+    run can only produce identical files.
     """
     sampler = sampler or FixedConditions(DSL_TESTBED)
     built = built or build_site(spec)
@@ -114,11 +123,33 @@ def run_single(
     network = sampler.sample(run_rng)
     testbed = ReplayTestbed(built=built, conditions=network, strategy=strategy, db=db)
     cache = cache_factory() if cache_factory is not None else None
-    return testbed.run(
+    tracer = None
+    if trace is not None and trace_key is not None:
+        from ..trace import BinaryRingSink, ListSink, Tracer
+
+        sink = (
+            BinaryRingSink(trace.ring_capacity)
+            if trace.ring_capacity
+            else ListSink()
+        )
+        tracer = Tracer(sink=sink, meta={"run_index": run_index})
+    result = testbed.run(
         cache=cache,
         seed=load_seed(seed_base, run_index),
         impairment_seed=impairment_seed(seed_base, run_index),
+        tracer=tracer,
     )
+    if tracer is not None:
+        from ..trace import BinaryRingSink, qlog_json
+        from ..trace.store import TraceStore
+
+        sink = tracer.sink
+        if isinstance(sink, BinaryRingSink):
+            payload = sink.dump()
+        else:
+            payload = qlog_json(tracer.trace()).encode("utf-8")
+        TraceStore(trace.dir).store(trace_key, run_index, payload)
+    return result
 
 
 def run_repeated(
@@ -129,12 +160,15 @@ def run_repeated(
     built: Optional[BuiltSite] = None,
     cache_factory: Optional[Callable[[], BrowserCache]] = None,
     seed_base: int = 0,
+    trace=None,
+    trace_key: Optional[str] = None,
 ) -> RepeatedResult:
     """Load a site ``runs`` times under one strategy and environment.
 
     ``conditions`` samples the network per run — ``FixedConditions``
     reproduces the deterministic testbed, ``InternetConditions`` the
-    variable live measurements of Fig. 2a.
+    variable live measurements of Fig. 2a.  ``trace``/``trace_key``
+    record a per-run trace artifact, see :func:`run_single`.
     """
     sampler = conditions or FixedConditions(DSL_TESTBED)
     built = built or build_site(spec)
@@ -147,6 +181,8 @@ def run_repeated(
             built=built,
             cache_factory=cache_factory,
             seed_base=seed_base,
+            trace=trace,
+            trace_key=trace_key,
         )
         for run_index in range(runs)
     ]

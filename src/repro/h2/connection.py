@@ -90,6 +90,7 @@ class H2Connection:
         settings: Optional[Settings] = None,
         chunk_size: int = 16_384,
         connection_recv_window: int = 15 * 1024 * 1024,
+        tracer=None,
     ):
         if role not in ("client", "server"):
             raise ProtocolError(f"invalid role {role!r}")
@@ -97,6 +98,12 @@ class H2Connection:
         self._endpoint = endpoint
         endpoint.on_data = self._on_tcp_data
         endpoint.on_writable = self._pump
+
+        #: Optional event tracer (``repro.trace``).  ``None`` keeps the
+        #: hot paths at one attribute check; the label identifies this
+        #: endpoint in trace events (derived from the TCP endpoint name).
+        self._tracer = tracer
+        self._trace_name = getattr(endpoint, "name", role)
 
         self.local_settings = settings or Settings()
         self.remote_settings = Settings()
@@ -251,6 +258,8 @@ class H2Connection:
             )
         )
         self.push_promises_sent += 1
+        if self._tracer is not None:
+            self._tracer.push_promised(self._trace_name, parent_stream_id, promised_id)
         self._pump()
         return promised_id
 
@@ -282,8 +291,13 @@ class H2Connection:
     # send path
     # ------------------------------------------------------------------
     def _queue_frame(self, frame: Frame) -> None:
-        self._control_queue.append(frame.serialize())
+        payload = frame.serialize()
+        self._control_queue.append(payload)
         self.frames_sent += 1
+        if self._tracer is not None:
+            self._tracer.frame_sent(
+                self._trace_name, frame.TYPE.name, frame.stream_id, len(payload)
+            )
 
     def _queue_header_block(self, frame) -> None:
         """Queue HEADERS/PUSH_PROMISE, splitting into CONTINUATIONs."""
@@ -450,6 +464,10 @@ class H2Connection:
                 + data
             )
             self.frames_sent += 1
+            if self._tracer is not None:
+                self._tracer.frame_sent(
+                    self._trace_name, "DATA", stream_id, sent + _FRAME_HEADER
+                )
             scheduler.on_data_sent(self, stream_id, sent, end)
             if self.on_data_frame_sent is not None:
                 self.on_data_frame_sent(stream_id, sent, end)
@@ -477,8 +495,13 @@ class H2Connection:
     # receive path
     # ------------------------------------------------------------------
     def _on_tcp_data(self, data: bytes) -> None:
+        tracer = self._tracer
         for frame in self._reader.feed(data):
             self.frames_received += 1
+            if tracer is not None:
+                tracer.frame_received(
+                    self._trace_name, frame.TYPE.name, frame.stream_id, frame.wire_size
+                )
             self._dispatch(frame)
         self._pump()
 
@@ -671,6 +694,9 @@ class H2Connection:
                 initial_send_window=self.remote_settings.initial_window_size,
                 initial_recv_window=self.local_settings.initial_window_size,
             )
+            if self._tracer is not None:
+                stream.tracer = self._tracer
+                stream.trace_conn = self._trace_name
             self.streams[stream_id] = stream
         return stream
 

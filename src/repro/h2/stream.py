@@ -47,6 +47,8 @@ class H2Stream:
         "bytes_received",
         "is_pushed",
         "reset_code",
+        "tracer",
+        "trace_conn",
     )
 
     def __init__(self, stream_id: int, initial_send_window: int, initial_recv_window: int):
@@ -75,20 +77,33 @@ class H2Stream:
         #: Error code if reset, else None.
         self.reset_code: Optional[ErrorCode] = None
 
+        #: Optional event tracer (set by the owning connection when
+        #: tracing is on) and its connection label for event payloads.
+        self.tracer = None
+        self.trace_conn = ""
+
     # ------------------------------------------------------------------
     # state transitions
     # ------------------------------------------------------------------
     def open_local(self) -> None:
         self._transition_from({StreamState.IDLE}, StreamState.OPEN)
+        if self.tracer is not None:
+            self.tracer.stream_opened(self.trace_conn, self.stream_id, False)
 
     def open_remote(self) -> None:
         self._transition_from({StreamState.IDLE}, StreamState.OPEN)
+        if self.tracer is not None:
+            self.tracer.stream_opened(self.trace_conn, self.stream_id, False)
 
     def reserve_local(self) -> None:
         self._transition_from({StreamState.IDLE}, StreamState.RESERVED_LOCAL)
+        if self.tracer is not None:
+            self.tracer.stream_opened(self.trace_conn, self.stream_id, True)
 
     def reserve_remote(self) -> None:
         self._transition_from({StreamState.IDLE}, StreamState.RESERVED_REMOTE)
+        if self.tracer is not None:
+            self.tracer.stream_opened(self.trace_conn, self.stream_id, True)
 
     def close_local(self) -> None:
         """We sent END_STREAM."""
@@ -97,6 +112,8 @@ class H2Stream:
             self.state = _HALF_CLOSED_LOCAL
         elif state is _HALF_CLOSED_REMOTE:
             self.state = _CLOSED
+            if self.tracer is not None:
+                self.tracer.stream_closed(self.trace_conn, self.stream_id)
         elif state is not _CLOSED:
             raise StreamError(
                 f"cannot close local side from {self.state}", self.stream_id
@@ -109,16 +126,21 @@ class H2Stream:
             self.state = _HALF_CLOSED_REMOTE
         elif state is _HALF_CLOSED_LOCAL:
             self.state = _CLOSED
+            if self.tracer is not None:
+                self.tracer.stream_closed(self.trace_conn, self.stream_id)
         elif state is not _CLOSED:
             raise StreamError(
                 f"cannot close remote side from {self.state}", self.stream_id
             )
 
     def reset(self, code: ErrorCode) -> None:
+        was_closed = self.state is _CLOSED
         self.state = StreamState.CLOSED
         self.reset_code = code
         self._send_queue.clear()
         self._queued_bytes = 0
+        if self.tracer is not None and not was_closed:
+            self.tracer.stream_reset(self.trace_conn, self.stream_id, code.name)
 
     @property
     def closed(self) -> bool:

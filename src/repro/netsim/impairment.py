@@ -163,6 +163,10 @@ class ImpairmentPipeline:
         self.config = config
         self._rng = rng
         self.name = name
+        #: Optional event tracer (set by the topology when tracing is
+        #: on); drops/reorders are reported read-only, after the RNG
+        #: draws, so tracing never perturbs the impairment pattern.
+        self.tracer = None
         self._bad_state = False
         self._bw_multiplier = 1.0
         self._bw_next_update = 0.0
@@ -206,6 +210,8 @@ class ImpairmentPipeline:
                 probability = loss.rate
             if probability > 0.0 and rng.random() < probability:
                 self.packets_dropped += 1
+                if self.tracer is not None:
+                    self.tracer.packet_dropped(self.name, self.packets_seen)
                 return True, 0.0
         extra = 0.0
         if config.jitter is not None and config.jitter.max_ms > 0.0:
@@ -214,4 +220,8 @@ class ImpairmentPipeline:
         if reorder is not None and reorder.rate > 0.0 and rng.random() < reorder.rate:
             extra += reorder.extra_delay_ms
             self.packets_reordered += 1
+            if self.tracer is not None:
+                self.tracer.packet_reordered(
+                    self.name, self.packets_seen, reorder.extra_delay_ms
+                )
         return False, extra

@@ -139,6 +139,7 @@ class _HalfConnection:
         conditions: NetworkConditions,
         rng: random.Random,
         name: str,
+        tracer=None,
     ):
         self._sim = sim
         self._data_link = data_link
@@ -146,6 +147,9 @@ class _HalfConnection:
         self._conditions = conditions
         self._rng = rng
         self.name = name
+        #: Optional event tracer; read-only observer of cwnd/RTO/loss
+        #: recovery decisions (``None`` costs one check per cc event).
+        self._tracer = tracer
         self.endpoint: Optional[TcpEndpoint] = None
         self.receiver_endpoint: Optional[TcpEndpoint] = None
 
@@ -276,6 +280,11 @@ class _HalfConnection:
         payload, timer, _sent_at, _retx, _end = entry
         timer.cancel()
         self._cc.on_fast_retransmit(self._sim.now)
+        if self._tracer is not None:
+            self._tracer.retransmit(self.name, self._snd_una, "fast")
+            self._cc.trace_sample(
+                self._tracer, self.name, "fast_retransmit", self._rto, self._flight_size()
+            )
         self._transmit(self._snd_una, payload, retransmission=True)
 
     def _on_timeout(self, seq: int) -> None:
@@ -284,6 +293,11 @@ class _HalfConnection:
         payload, _old_timer, _sent_at, _retx, _end = self._in_flight.pop(seq)
         self._cc.on_timeout(self._sim.now)
         self._rto = min(self._rto * 2.0, 60_000.0)  # exponential backoff
+        if self._tracer is not None:
+            self._tracer.retransmit(self.name, seq, "rto")
+            self._cc.trace_sample(
+                self._tracer, self.name, "timeout", self._rto, self._flight_size()
+            )
         self._transmit(seq, payload, retransmission=True)
 
     def _on_ack(self, ack: int) -> None:
@@ -313,6 +327,10 @@ class _HalfConnection:
             if not retransmitted:
                 self._sample_rtt(self._sim.now - sent_at)
         self._cc.on_ack(newly_acked, self._sim.now)
+        if self._tracer is not None:
+            self._cc.trace_sample(
+                self._tracer, self.name, "ack", self._rto, self._flight_size()
+            )
         self._pump()
         # Level-triggered writability (like EPOLLOUT): whenever an ACK
         # frees buffer space, give the application a chance to write.
@@ -371,13 +389,18 @@ class TcpConnection:
         conditions: NetworkConditions,
         rng: Optional[random.Random] = None,
         name: str = "tcp",
+        tracer=None,
     ):
         rng = rng or random.Random(0)
         self.name = name
         # client -> server direction: data on uplink, ACKs on downlink.
-        self._c2s = _HalfConnection(sim, uplink, downlink, conditions, rng, f"{name}:c2s")
+        self._c2s = _HalfConnection(
+            sim, uplink, downlink, conditions, rng, f"{name}:c2s", tracer=tracer
+        )
         # server -> client direction: data on downlink, ACKs on uplink.
-        self._s2c = _HalfConnection(sim, downlink, uplink, conditions, rng, f"{name}:s2c")
+        self._s2c = _HalfConnection(
+            sim, downlink, uplink, conditions, rng, f"{name}:s2c", tracer=tracer
+        )
         self.client = TcpEndpoint(self._c2s, self._s2c, f"{name}:client")
         self.server = TcpEndpoint(self._s2c, self._c2s, f"{name}:server")
 

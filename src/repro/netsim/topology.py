@@ -45,11 +45,15 @@ class Topology:
         handshake: HandshakeModel = TLS12_HANDSHAKE,
         rng: Optional[random.Random] = None,
         impairment_rng: Optional[random.Random] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.conditions = conditions
         self.handshake = handshake
         self._rng = rng or random.Random(0)
+        #: Optional event tracer, threaded into every TCP connection and
+        #: impairment pipeline this topology creates.
+        self._tracer = tracer
         # The impairment pipelines get a *separate* RNG stream (seeded
         # per cell via experiments.seeds.impairment_seed) so that adding
         # or removing impairments never perturbs the handshake/jitter
@@ -62,6 +66,9 @@ class Topology:
             shared_rng = impairment_rng or random.Random(0)
             down_pipeline = ImpairmentPipeline(impairment, shared_rng, name="downlink")
             up_pipeline = ImpairmentPipeline(impairment, shared_rng, name="uplink")
+            if tracer is not None:
+                down_pipeline.tracer = tracer
+                up_pipeline.tracer = tracer
         self.downlink = SharedLink(
             sim,
             conditions.downlink_bytes_per_ms,
@@ -143,6 +150,7 @@ class Topology:
                 conditions=self.conditions,
                 rng=self._rng,
                 name=name,
+                tracer=self._tracer,
             )
             on_established(conn)
 

@@ -114,6 +114,7 @@ class ReplayTestbed:
         timeout_ms: float = 300_000.0,
         probe: Optional[Callable[["ReplayProbe"], None]] = None,
         impairment_seed: Optional[int] = None,
+        tracer=None,
     ) -> PageLoadResult:
         """Replay the site once; returns metrics and the full timeline.
 
@@ -125,8 +126,39 @@ class ReplayTestbed:
         conditions enable one; the engine runner derives it per cell via
         :func:`repro.experiments.seeds.impairment_seed`, and direct
         callers fall back to the same derivation from ``seed``.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`) observes the load:
+        every event is stamped with simulated time and every hook is
+        read-only, so traced results are bit-identical to untraced ones.
+        Traces travel out-of-band — :class:`PageLoadResult` is unchanged.
         """
         sim = Simulator()
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None  # NullTracer: same path as no tracer at all
+        if tracer is not None:
+            tracer.attach(sim)
+            tracer.meta.setdefault("site", self.built.spec.name)
+            tracer.meta.setdefault("strategy", self._strategy_name())
+            tracer.meta.setdefault("seed", seed)
+            tracer.activate()
+        try:
+            return self._run(
+                sim, cache, seed, timeout_ms, probe, impairment_seed, tracer
+            )
+        finally:
+            if tracer is not None:
+                tracer.deactivate()
+
+    def _run(
+        self,
+        sim: Simulator,
+        cache: Optional[BrowserCache],
+        seed: int,
+        timeout_ms: float,
+        probe: Optional[Callable[["ReplayProbe"], None]],
+        impairment_seed: Optional[int],
+        tracer,
+    ) -> PageLoadResult:
         rng = random.Random(seed)
         spec = self.built.spec
         impairment_rng = None
@@ -139,7 +171,9 @@ class ReplayTestbed:
 
                 impairment_seed = derive(seed, 0)
             impairment_rng = random.Random(impairment_seed)
-        topology = Topology(sim, self.conditions, rng=rng, impairment_rng=impairment_rng)
+        topology = Topology(
+            sim, self.conditions, rng=rng, impairment_rng=impairment_rng, tracer=tracer
+        )
         ca = CertificateAuthority()
         farm = ServerFarm()
 
@@ -163,6 +197,7 @@ class ReplayTestbed:
                         certificate=cert,
                         strategy=self.strategy,
                         server_delay_ms=self.conditions.server_delay_ms,
+                        tracer=tracer,
                     )
                 )
 
@@ -184,6 +219,7 @@ class ReplayTestbed:
             config=config,
             cache=cache,
             rng=random.Random(seed + 7919),
+            tracer=tracer,
         )
         page.start()
         sim.run(until=timeout_ms)

@@ -39,11 +39,14 @@ class ReplayServer:
         strategy: Optional[PushStrategy] = None,
         server_delay_ms: float = 0.0,
         chunk_size: int = 1_400,
+        tracer=None,
     ):
         # h2o caps DATA frames near the MSS ("latency-optimized" write
         # path) so receivers can process bytes as segments arrive; a
         # 16 KB frame would stall the client until its last segment.
         self.sim = sim
+        #: Optional event tracer, handed to every accepted connection.
+        self.tracer = tracer
         self.ip = ip
         self.matcher = matcher
         self.certificate = certificate
@@ -60,7 +63,9 @@ class ReplayServer:
     # ------------------------------------------------------------------
     def accept(self, tcp: TcpConnection) -> H2Connection:
         """Attach an H2 server endpoint to an incoming TCP connection."""
-        conn = H2Connection(tcp.server, "server", chunk_size=self.chunk_size)
+        conn = H2Connection(
+            tcp.server, "server", chunk_size=self.chunk_size, tracer=self.tracer
+        )
         conn.on_request = lambda sid, headers, prio: self._on_request(conn, sid, headers)
         self.connections.append(conn)
         return conn

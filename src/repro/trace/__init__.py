@@ -1,0 +1,89 @@
+"""Deterministic wire/event tracing for the replay testbed.
+
+The paper explained its push verdicts "based on inspection of the
+rendering process" (§4.3, §5); this package gives the reproduction the
+same observability in the structured spirit of IETF qlog.  A
+:class:`Tracer` threaded through the stack records typed events —
+stream lifecycle, frames on the wire, push promise/accept/reject,
+cwnd/RTO evolution, impairment drops, cache hits, paint and onload
+milestones — all stamped with **simulated** time, never wall-clock, so
+tracing cannot perturb any experiment output.
+
+Everything here is zero-overhead when disabled: instrumented objects
+hold a ``tracer`` attribute that defaults to ``None`` and hot paths pay
+exactly one attribute check.
+"""
+
+from .core import (
+    EVENT_TYPES,
+    CacheHit,
+    CwndSample,
+    FrameReceived,
+    FrameSent,
+    ListSink,
+    Milestone,
+    NullTracer,
+    PacketDropped,
+    PacketReordered,
+    Paint,
+    PushAdopted,
+    PushData,
+    PushPromised,
+    PushReceived,
+    PushRejected,
+    ResourceDiscovered,
+    ResourceFinished,
+    ResourceRequested,
+    ResourceResponse,
+    Retransmit,
+    StreamClosed,
+    StreamOpened,
+    StreamReset,
+    Trace,
+    TraceEvent,
+    Tracer,
+    is_enabled,
+)
+from .diff import TraceDiff, diff_traces, render_diff
+from .qlog import BinaryRingSink, parse_qlog_events, qlog_json, to_qlog
+from .store import TraceSpec, TraceStore
+
+__all__ = [
+    "BinaryRingSink",
+    "CacheHit",
+    "CwndSample",
+    "EVENT_TYPES",
+    "FrameReceived",
+    "FrameSent",
+    "ListSink",
+    "Milestone",
+    "NullTracer",
+    "PacketDropped",
+    "PacketReordered",
+    "Paint",
+    "PushAdopted",
+    "PushData",
+    "PushPromised",
+    "PushReceived",
+    "PushRejected",
+    "ResourceDiscovered",
+    "ResourceFinished",
+    "ResourceRequested",
+    "ResourceResponse",
+    "Retransmit",
+    "StreamClosed",
+    "StreamOpened",
+    "StreamReset",
+    "Trace",
+    "TraceDiff",
+    "TraceEvent",
+    "TraceSpec",
+    "TraceStore",
+    "Tracer",
+    "diff_traces",
+    "is_enabled",
+    "parse_qlog_events",
+    "qlog_json",
+    "render_diff",
+    "to_qlog",
+]

@@ -1,0 +1,470 @@
+"""Tracer protocol, event taxonomy, and sinks.
+
+Design contract (mirrors DESIGN §10):
+
+* **Determinism.**  Every event is stamped from ``Simulator.now`` — the
+  tracer is attached to the simulator at the start of a run and never
+  reads wall-clock time.  All instrumentation hooks are read-only:
+  they never touch an RNG, never schedule events, and never mutate
+  model state, so a traced run is bit-identical to an untraced one.
+
+* **Zero overhead when off.**  Instrumented objects carry a tracer
+  attribute defaulting to ``None``; the hot-path cost with tracing off
+  is one attribute load and one ``is None`` comparison.  A module-level
+  :data:`enabled` flag mirrors whether any tracer is live so coarse
+  call sites (and tests) can check globally without holding a tracer.
+
+* **Typed events.**  Each event is a small dataclass with a ``t``
+  field (simulated milliseconds) first; the remaining fields are the
+  event payload.  ``qlog_name`` gives the qlog-style category:name and
+  the field annotations drive the compact binary codec in
+  :mod:`repro.trace.qlog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, List, Optional
+
+#: True while at least one :class:`Tracer` is activated (attached to a
+#: live run).  Maintained by :meth:`Tracer.activate`/``deactivate``;
+#: purely informational for coarse gates — per-object ``tracer is not
+#: None`` checks are the canonical hot-path guard.
+enabled = False
+
+_active_tracers = 0
+
+
+def is_enabled() -> bool:
+    """Whether any tracer is currently activated (module-level flag)."""
+    return enabled
+
+
+# ----------------------------------------------------------------------
+# Event taxonomy
+
+
+@dataclass
+class TraceEvent:
+    """Base class: ``t`` is simulated time in milliseconds."""
+
+    qlog_name: ClassVar[str] = "trace:event"
+
+    t: float
+
+    def data(self) -> Dict[str, Any]:
+        """Payload fields (everything but the timestamp)."""
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "t"
+        }
+
+    def signature(self) -> tuple:
+        """Time-free identity used for structural trace alignment."""
+        return (self.qlog_name,) + tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "t"
+        )
+
+
+# -- HTTP/2 stream lifecycle -------------------------------------------
+
+
+@dataclass
+class StreamOpened(TraceEvent):
+    qlog_name: ClassVar[str] = "h2:stream_opened"
+    conn: str
+    stream_id: int
+    pushed: bool
+
+
+@dataclass
+class StreamClosed(TraceEvent):
+    qlog_name: ClassVar[str] = "h2:stream_closed"
+    conn: str
+    stream_id: int
+
+
+@dataclass
+class StreamReset(TraceEvent):
+    qlog_name: ClassVar[str] = "h2:stream_reset"
+    conn: str
+    stream_id: int
+    code: str
+
+
+# -- Frames on the wire ------------------------------------------------
+
+
+@dataclass
+class FrameSent(TraceEvent):
+    qlog_name: ClassVar[str] = "h2:frame_sent"
+    conn: str
+    frame_type: str
+    stream_id: int
+    size: int
+
+
+@dataclass
+class FrameReceived(TraceEvent):
+    qlog_name: ClassVar[str] = "h2:frame_received"
+    conn: str
+    frame_type: str
+    stream_id: int
+    size: int
+
+
+# -- Server push lifecycle ---------------------------------------------
+
+
+@dataclass
+class PushPromised(TraceEvent):
+    """Server sent a PUSH_PROMISE reserving ``promised_stream_id``."""
+
+    qlog_name: ClassVar[str] = "push:promised"
+    conn: str
+    parent_stream_id: int
+    promised_stream_id: int
+
+
+@dataclass
+class PushReceived(TraceEvent):
+    """Client decoded a PUSH_PROMISE for ``url``."""
+
+    qlog_name: ClassVar[str] = "push:received"
+    conn: str
+    promised_stream_id: int
+    url: str
+
+
+@dataclass
+class PushRejected(TraceEvent):
+    """Client cancelled a push (RST_STREAM) instead of accepting it."""
+
+    qlog_name: ClassVar[str] = "push:rejected"
+    conn: str
+    promised_stream_id: int
+    url: str
+    reason: str
+
+
+@dataclass
+class PushAdopted(TraceEvent):
+    """The parser demanded a resource the server had already pushed."""
+
+    qlog_name: ClassVar[str] = "push:adopted"
+    url: str
+    stream_id: int
+
+
+@dataclass
+class PushData(TraceEvent):
+    """Pushed DATA arrived; ``before_demand`` marks speculative bytes
+    received before the parser asked for the resource (the paper's
+    wasted-push accounting)."""
+
+    qlog_name: ClassVar[str] = "push:data"
+    url: str
+    size: int
+    before_demand: bool
+
+
+# -- TCP / congestion control ------------------------------------------
+
+
+@dataclass
+class CwndSample(TraceEvent):
+    """Congestion window evolution, sampled after every cc decision."""
+
+    qlog_name: ClassVar[str] = "tcp:cwnd"
+    conn: str
+    trigger: str
+    cwnd: float
+    ssthresh: float
+    rto_ms: float
+    in_flight: int
+
+
+@dataclass
+class Retransmit(TraceEvent):
+    qlog_name: ClassVar[str] = "tcp:retransmit"
+    conn: str
+    seq: int
+    kind: str
+
+
+# -- Link impairments --------------------------------------------------
+
+
+@dataclass
+class PacketDropped(TraceEvent):
+    qlog_name: ClassVar[str] = "net:packet_dropped"
+    link: str
+    packet_index: int
+
+
+@dataclass
+class PacketReordered(TraceEvent):
+    qlog_name: ClassVar[str] = "net:packet_reordered"
+    link: str
+    packet_index: int
+    extra_delay_ms: float
+
+
+# -- Browser-side resource lifecycle -----------------------------------
+
+
+@dataclass
+class CacheHit(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:cache_hit"
+    url: str
+    size: int
+
+
+@dataclass
+class ResourceDiscovered(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:resource_discovered"
+    url: str
+    rtype: str
+    initiator: str
+
+
+@dataclass
+class ResourceRequested(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:resource_requested"
+    url: str
+    pushed: bool
+
+
+@dataclass
+class ResourceResponse(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:response_start"
+    url: str
+
+
+@dataclass
+class ResourceFinished(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:resource_finished"
+    url: str
+    size: int
+    pushed: bool
+    from_cache: bool
+
+
+@dataclass
+class Milestone(TraceEvent):
+    """Page-level milestone: navigation_start, connect_end, first_paint,
+    dom_content_loaded, onload."""
+
+    qlog_name: ClassVar[str] = "browser:milestone"
+    milestone: str
+
+
+@dataclass
+class Paint(TraceEvent):
+    qlog_name: ClassVar[str] = "browser:paint"
+    weight: float
+    source: str
+
+
+#: Stable, ordered registry — the index is the binary event code, so
+#: append only; never reorder or remove (it would break stored sinks).
+EVENT_TYPES: List[type] = [
+    StreamOpened,
+    StreamClosed,
+    StreamReset,
+    FrameSent,
+    FrameReceived,
+    PushPromised,
+    PushReceived,
+    PushRejected,
+    PushAdopted,
+    PushData,
+    CwndSample,
+    Retransmit,
+    PacketDropped,
+    PacketReordered,
+    CacheHit,
+    ResourceDiscovered,
+    ResourceRequested,
+    ResourceResponse,
+    ResourceFinished,
+    Milestone,
+    Paint,
+]
+
+EVENT_BY_NAME: Dict[str, type] = {cls.qlog_name: cls for cls in EVENT_TYPES}
+
+
+# ----------------------------------------------------------------------
+# Sinks and the tracer itself
+
+
+class ListSink:
+    """Default in-memory sink: keeps every event, in emission order."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass
+class Trace:
+    """A finished trace: run metadata plus the ordered event list."""
+
+    meta: Dict[str, Any]
+    events: List[TraceEvent]
+
+
+class NullTracer:
+    """Explicit no-op tracer (instrumentation treats it like ``None``).
+
+    Exists so call sites can hold a tracer-shaped object
+    unconditionally; it records nothing and never activates the
+    module-level flag.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def attach(self, sim) -> None:  # pragma: no cover - trivial
+        pass
+
+    def activate(self) -> None:
+        pass
+
+    def deactivate(self) -> None:
+        pass
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def trace(self) -> Trace:
+        return Trace(meta={}, events=[])
+
+
+class Tracer:
+    """Collects typed events stamped with simulated time.
+
+    One tracer covers one page load (one :meth:`ReplayTestbed.run`).
+    The testbed calls :meth:`attach` with the run's simulator before
+    the load starts; all emitters then read ``sim.now``.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, meta: Optional[Dict[str, Any]] = None):
+        self.sink = sink if sink is not None else ListSink()
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._sim = None
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, sim) -> None:
+        self._sim = sim
+
+    def activate(self) -> None:
+        global enabled, _active_tracers
+        _active_tracers += 1
+        enabled = True
+
+    def deactivate(self) -> None:
+        global enabled, _active_tracers
+        _active_tracers = max(0, _active_tracers - 1)
+        enabled = _active_tracers > 0
+
+    @property
+    def now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.sink.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return self.sink.events()
+
+    def trace(self) -> Trace:
+        return Trace(meta=dict(self.meta), events=self.sink.events())
+
+    # -- typed emitters (hot paths call these behind a None-check) -----
+    def stream_opened(self, conn: str, stream_id: int, pushed: bool) -> None:
+        self.sink.append(StreamOpened(self.now, conn, stream_id, pushed))
+
+    def stream_closed(self, conn: str, stream_id: int) -> None:
+        self.sink.append(StreamClosed(self.now, conn, stream_id))
+
+    def stream_reset(self, conn: str, stream_id: int, code: str) -> None:
+        self.sink.append(StreamReset(self.now, conn, stream_id, code))
+
+    def frame_sent(self, conn: str, frame_type: str, stream_id: int, size: int) -> None:
+        self.sink.append(FrameSent(self.now, conn, frame_type, stream_id, size))
+
+    def frame_received(self, conn: str, frame_type: str, stream_id: int, size: int) -> None:
+        self.sink.append(FrameReceived(self.now, conn, frame_type, stream_id, size))
+
+    def push_promised(self, conn: str, parent_id: int, promised_id: int) -> None:
+        self.sink.append(PushPromised(self.now, conn, parent_id, promised_id))
+
+    def push_received(self, conn: str, promised_id: int, url: str) -> None:
+        self.sink.append(PushReceived(self.now, conn, promised_id, url))
+
+    def push_rejected(self, conn: str, promised_id: int, url: str, reason: str) -> None:
+        self.sink.append(PushRejected(self.now, conn, promised_id, url, reason))
+
+    def push_adopted(self, url: str, stream_id: int) -> None:
+        self.sink.append(PushAdopted(self.now, url, stream_id))
+
+    def push_data(self, url: str, size: int, before_demand: bool) -> None:
+        self.sink.append(PushData(self.now, url, size, before_demand))
+
+    def cwnd_sample(
+        self,
+        conn: str,
+        trigger: str,
+        cwnd: float,
+        ssthresh: float,
+        rto_ms: float,
+        in_flight: int,
+    ) -> None:
+        self.sink.append(
+            CwndSample(self.now, conn, trigger, cwnd, ssthresh, rto_ms, in_flight)
+        )
+
+    def retransmit(self, conn: str, seq: int, kind: str) -> None:
+        self.sink.append(Retransmit(self.now, conn, seq, kind))
+
+    def packet_dropped(self, link: str, packet_index: int) -> None:
+        self.sink.append(PacketDropped(self.now, link, packet_index))
+
+    def packet_reordered(self, link: str, packet_index: int, extra_delay_ms: float) -> None:
+        self.sink.append(PacketReordered(self.now, link, packet_index, extra_delay_ms))
+
+    def cache_hit(self, url: str, size: int) -> None:
+        self.sink.append(CacheHit(self.now, url, size))
+
+    def resource_discovered(self, url: str, rtype: str, initiator: str) -> None:
+        self.sink.append(ResourceDiscovered(self.now, url, rtype, initiator))
+
+    def resource_requested(self, url: str, pushed: bool) -> None:
+        self.sink.append(ResourceRequested(self.now, url, pushed))
+
+    def resource_response(self, url: str) -> None:
+        self.sink.append(ResourceResponse(self.now, url))
+
+    def resource_finished(self, url: str, size: int, pushed: bool, from_cache: bool) -> None:
+        self.sink.append(ResourceFinished(self.now, url, size, pushed, from_cache))
+
+    def milestone(self, name: str) -> None:
+        self.sink.append(Milestone(self.now, name))
+
+    def paint(self, weight: float, source: str) -> None:
+        self.sink.append(Paint(self.now, weight, source))

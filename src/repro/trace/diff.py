@@ -1,0 +1,281 @@
+"""Trace alignment and strategy diagnosis.
+
+:func:`diff_traces` aligns two traces of the **same site** loaded under
+different push strategies and answers the question the paper answered
+by eyeballing waterfalls (§4.3, §5): *where* did the two loads diverge,
+and what did that cost per resource?
+
+The diagnosis has three parts:
+
+* the first divergent event — structural (different event sequence,
+  e.g. the first PUSH_PROMISE) or, when both runs have the same wire
+  structure, the first timing divergence;
+* a per-resource delta table (request/finish times under A vs B);
+* push accounting: bytes pushed before the parser demanded the
+  resource (speculative, possibly wasted) and pushes rejected outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import (
+    Milestone,
+    PushData,
+    PushRejected,
+    ResourceFinished,
+    ResourceRequested,
+    Trace,
+    TraceEvent,
+)
+
+_MILESTONES = (
+    "navigation_start",
+    "connect_end",
+    "first_paint",
+    "dom_content_loaded",
+    "onload",
+)
+
+
+@dataclass
+class Divergence:
+    """First point where the two traces stop agreeing."""
+
+    index: int
+    kind: str  # "structural" | "timing" | "length"
+    a: Optional[str]
+    b: Optional[str]
+
+
+@dataclass
+class ResourceDelta:
+    url: str
+    a_requested: Optional[float] = None
+    a_finished: Optional[float] = None
+    b_requested: Optional[float] = None
+    b_finished: Optional[float] = None
+    a_pushed: bool = False
+    b_pushed: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def delta_finished(self) -> Optional[float]:
+        if self.a_finished is None or self.b_finished is None:
+            return None
+        return self.a_finished - self.b_finished
+
+
+@dataclass
+class TraceDiff:
+    site: str
+    strategy_a: str
+    strategy_b: str
+    milestones: List[Tuple[str, Optional[float], Optional[float]]]
+    divergence: Optional[Divergence]
+    resources: List[ResourceDelta]
+    push_bytes_before_demand_a: int
+    push_bytes_before_demand_b: int
+    pushes_rejected_a: int
+    pushes_rejected_b: int
+    events_a: int
+    events_b: int
+
+
+def describe_event(event: TraceEvent) -> str:
+    """One-line human rendering of an event (stable field order)."""
+    payload = " ".join(f"{name}={value}" for name, value in event.data().items())
+    return f"{event.qlog_name} {payload} (t={event.t:.3f}ms)".rstrip()
+
+
+# ----------------------------------------------------------------------
+
+
+def _milestone_times(trace: Trace) -> Dict[str, float]:
+    times: Dict[str, float] = {}
+    for event in trace.events:
+        if isinstance(event, Milestone) and event.milestone not in times:
+            times[event.milestone] = event.t
+    return times
+
+
+def _resource_times(trace: Trace) -> Dict[str, Tuple[Optional[float], Optional[float], bool]]:
+    """url -> (first requested_at, first finished_at, pushed)."""
+    table: Dict[str, Tuple[Optional[float], Optional[float], bool]] = {}
+    for event in trace.events:
+        if isinstance(event, ResourceRequested):
+            requested, finished, pushed = table.get(event.url, (None, None, False))
+            if requested is None:
+                table[event.url] = (event.t, finished, pushed or event.pushed)
+        elif isinstance(event, ResourceFinished):
+            requested, finished, pushed = table.get(event.url, (None, None, False))
+            if finished is None:
+                table[event.url] = (requested, event.t, pushed or event.pushed)
+    return table
+
+
+def _rejected_pushes(trace: Trace) -> Dict[str, str]:
+    return {
+        event.url: event.reason
+        for event in trace.events
+        if isinstance(event, PushRejected)
+    }
+
+
+def _push_bytes_before_demand(trace: Trace) -> int:
+    return sum(
+        event.size
+        for event in trace.events
+        if isinstance(event, PushData) and event.before_demand
+    )
+
+
+def _first_divergence(a: Trace, b: Trace) -> Optional[Divergence]:
+    common = min(len(a.events), len(b.events))
+    for index in range(common):
+        ea, eb = a.events[index], b.events[index]
+        if ea.signature() != eb.signature():
+            return Divergence(
+                index, "structural", describe_event(ea), describe_event(eb)
+            )
+    if len(a.events) != len(b.events):
+        longer = a.events if len(a.events) > len(b.events) else b.events
+        extra = describe_event(longer[common])
+        return Divergence(
+            common,
+            "length",
+            extra if longer is a.events else None,
+            extra if longer is b.events else None,
+        )
+    for index in range(common):
+        ea, eb = a.events[index], b.events[index]
+        if abs(ea.t - eb.t) > 1e-9:
+            return Divergence(index, "timing", describe_event(ea), describe_event(eb))
+    return None
+
+
+def diff_traces(a: Trace, b: Trace) -> TraceDiff:
+    """Align two traces of the same site under different strategies."""
+    times_a, times_b = _milestone_times(a), _milestone_times(b)
+    milestones = [
+        (name, times_a.get(name), times_b.get(name))
+        for name in _MILESTONES
+        if name in times_a or name in times_b
+    ]
+    res_a, res_b = _resource_times(a), _resource_times(b)
+    rejected_a, rejected_b = _rejected_pushes(a), _rejected_pushes(b)
+
+    def _order_key(url: str) -> Tuple[float, str]:
+        candidates = [
+            t
+            for t in (res_a.get(url, (None,))[0], res_b.get(url, (None,))[0])
+            if t is not None
+        ]
+        return (min(candidates) if candidates else float("inf"), url)
+
+    resources: List[ResourceDelta] = []
+    # Rejected-only URLs (a push refused before any request) still get a
+    # row — a refused promise is exactly the waste worth diagnosing.
+    seen_a = set(res_a) | set(rejected_a)
+    seen_b = set(res_b) | set(rejected_b)
+    for url in sorted(seen_a | seen_b, key=_order_key):
+        ra = res_a.get(url, (None, None, False))
+        rb = res_b.get(url, (None, None, False))
+        delta = ResourceDelta(
+            url=url,
+            a_requested=ra[0],
+            a_finished=ra[1],
+            b_requested=rb[0],
+            b_finished=rb[1],
+            a_pushed=ra[2],
+            b_pushed=rb[2],
+        )
+        if url not in seen_b:
+            delta.notes.append("only under A")
+        if url not in seen_a:
+            delta.notes.append("only under B")
+        if url in rejected_a:
+            delta.notes.append(f"push rejected under A ({rejected_a[url]})")
+        if url in rejected_b:
+            delta.notes.append(f"push rejected under B ({rejected_b[url]})")
+        resources.append(delta)
+
+    return TraceDiff(
+        site=str(a.meta.get("site", b.meta.get("site", ""))),
+        strategy_a=str(a.meta.get("strategy", "A")),
+        strategy_b=str(b.meta.get("strategy", "B")),
+        milestones=milestones,
+        divergence=_first_divergence(a, b),
+        resources=resources,
+        push_bytes_before_demand_a=_push_bytes_before_demand(a),
+        push_bytes_before_demand_b=_push_bytes_before_demand(b),
+        pushes_rejected_a=len(rejected_a),
+        pushes_rejected_b=len(rejected_b),
+        events_a=len(a.events),
+        events_b=len(b.events),
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:9.1f}" if value is not None else "        —"
+
+
+def render_diff(diff: TraceDiff, max_resources: int = 40) -> str:
+    """Human-readable diagnosis of a :class:`TraceDiff`."""
+    lines: List[str] = []
+    lines.append(
+        f"trace diff: {diff.site or '(site)'} — "
+        f"A={diff.strategy_a} vs B={diff.strategy_b} "
+        f"({diff.events_a} vs {diff.events_b} events)"
+    )
+    if diff.milestones:
+        lines.append("milestones (ms):")
+        for name, ta, tb in diff.milestones:
+            delta = (
+                f"  Δ {ta - tb:+9.1f}" if ta is not None and tb is not None else ""
+            )
+            lines.append(
+                f"  {name:<20} A {_fmt_ms(ta)}   B {_fmt_ms(tb)}{delta}"
+            )
+    if diff.divergence is None:
+        lines.append("traces are identical (no divergent event)")
+    else:
+        div = diff.divergence
+        lines.append(f"first divergence: event #{div.index} ({div.kind})")
+        lines.append(f"  A: {div.a if div.a is not None else '(no further events)'}")
+        lines.append(f"  B: {div.b if div.b is not None else '(no further events)'}")
+    lines.append(
+        "push bytes before demand: "
+        f"A {diff.push_bytes_before_demand_a}   B {diff.push_bytes_before_demand_b}"
+    )
+    if diff.pushes_rejected_a or diff.pushes_rejected_b:
+        lines.append(
+            f"pushes rejected: A {diff.pushes_rejected_a}   B {diff.pushes_rejected_b}"
+        )
+    if diff.resources:
+        lines.append("per-resource finish times (ms):")
+        lines.append(f"  {'resource':<44} {'A-finish':>9} {'B-finish':>9} {'Δ':>9}")
+        for delta in diff.resources[:max_resources]:
+            label = delta.url if len(delta.url) <= 44 else "…" + delta.url[-43:]
+            d = delta.delta_finished
+            flags = []
+            if delta.a_pushed:
+                flags.append("A:push")
+            if delta.b_pushed:
+                flags.append("B:push")
+            flags.extend(delta.notes)
+            suffix = ("  " + "; ".join(flags)) if flags else ""
+            lines.append(
+                f"  {label:<44} {_fmt_ms(delta.a_finished)} "
+                f"{_fmt_ms(delta.b_finished)} "
+                f"{f'{d:+9.1f}' if d is not None else '        —'}{suffix}"
+            )
+        if len(diff.resources) > max_resources:
+            lines.append(
+                f"  … {len(diff.resources) - max_resources} more resources omitted"
+            )
+    return "\n".join(lines)

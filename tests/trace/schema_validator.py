@@ -1,0 +1,57 @@
+"""Minimal pure-python JSON-schema validator (no external deps).
+
+Supports the subset the qlog export schema uses: ``type``, ``enum``,
+``required``, ``properties``, ``additionalProperties`` (boolean form),
+``items``, ``minItems``.  Returns a list of human-readable errors;
+an empty list means the instance validates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str]:
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        ok = isinstance(instance, python_type)
+        # bool is an int subclass; "number"/"integer" must not accept it.
+        if ok and expected in ("number", "integer") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(instance).__name__}")
+            return errors
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", []):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                errors.extend(validate(value, properties[name], f"{path}.{name}"))
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for index, item in enumerate(instance):
+                errors.extend(validate(item, item_schema, f"{path}[{index}]"))
+    return errors

@@ -1,0 +1,82 @@
+"""Binary ring sink: property-based round trips and ring semantics."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import BinaryRingSink, EVENT_TYPES
+from repro.trace.qlog import RING_MAGIC
+
+_VALUE_STRATEGIES = {
+    "float": st.floats(allow_nan=False, allow_infinity=False, width=64),
+    "int": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "bool": st.booleans(),
+    "str": st.text(max_size=40),
+}
+
+
+@st.composite
+def trace_events(draw):
+    cls = draw(st.sampled_from(EVENT_TYPES))
+    values = {
+        f.name: draw(_VALUE_STRATEGIES[f.type])
+        for f in fields(cls)
+        if f.name != "t"
+    }
+    t = draw(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    return cls(t=t, **values)
+
+
+@given(st.lists(trace_events(), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_dump_load_round_trip(events):
+    sink = BinaryRingSink(capacity=64)
+    for event in events:
+        sink.append(event)
+    restored = BinaryRingSink.load(sink.dump())
+    assert restored.events() == events
+    assert restored.dropped == 0
+
+
+@given(st.lists(trace_events(), min_size=9, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_ring_keeps_newest_and_counts_dropped(events):
+    capacity = 8
+    sink = BinaryRingSink(capacity=capacity)
+    for event in events:
+        sink.append(event)
+    assert sink.events() == events[-capacity:]
+    assert sink.dropped == len(events) - capacity
+    restored = BinaryRingSink.load(sink.dump())
+    assert restored.events() == events[-capacity:]
+    assert restored.dropped == len(events) - capacity
+
+
+def test_dump_carries_magic_header():
+    sink = BinaryRingSink(capacity=4)
+    assert sink.dump().startswith(RING_MAGIC)
+
+
+def test_load_rejects_foreign_payload():
+    with pytest.raises(ValueError):
+        BinaryRingSink.load(b"not a ring buffer")
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        BinaryRingSink(capacity=0)
+
+
+def test_string_interning_shares_entries():
+    from repro.trace import FrameSent
+
+    sink = BinaryRingSink(capacity=1024)
+    for index in range(500):
+        sink.append(FrameSent(float(index), "conn-1", "DATA", 1, 1400))
+    # One entry per distinct string, not per record.
+    assert len(sink._strings) == 2
+    assert BinaryRingSink.load(sink.dump()).events() == sink.events()
