@@ -26,6 +26,12 @@ trajectory behind:
   executor must produce fingerprint-identical results
   (``identical_outputs``), which ``--check`` enforces alongside the
   determinism counters.
+* **population streaming** — a one-cohort population study at 1x and
+  10x load counts, recording loads/sec and the tracemalloc peak at
+  both scales (plus ``ru_maxrss`` for context).  The study streams
+  through bounded reducers, so ``--check`` fails if the 10x peak
+  exceeds ~2x the 1x peak — the constant-memory contract of the
+  population layer.
 
 Usage::
 
@@ -375,6 +381,83 @@ def run_grid_benchmark(repetitions: int) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# population streaming (constant-memory contract)
+# ----------------------------------------------------------------------
+POPULATION_BASE_LOADS = 12
+POPULATION_SCALE = 10
+#: The 10x study may peak at most this multiple of the 1x study's
+#: traced peak; with materialized run lists the ratio would be ~10x.
+POPULATION_MEMORY_FACTOR = 2.0
+
+
+def run_population_benchmark() -> Dict[str, object]:
+    """Stream a one-cohort study at 1x and 10x loads; peak must not scale.
+
+    Memory is observed with :mod:`tracemalloc` (``reset_peak`` between
+    scales), which sees exactly the Python allocations the streaming
+    refactor bounds; ``ru_maxrss`` is recorded for context but is
+    monotone over the process lifetime, so it cannot express the
+    per-scale comparison.  A throwaway warm-up study runs first and
+    each measured study starts from a collected heap — otherwise
+    import-time caches and GC timing land in the small base peak and
+    jitter the ratio by tens of percent.
+    """
+    import gc
+    import resource
+    import tracemalloc
+
+    from repro.population import PopulationConfig, run_population
+    from repro.population.cohorts import QUICK_PROFILE, Cohort
+    from repro.population.profiles import population_sampler
+
+    cohort = Cohort(
+        name="bench/wired",
+        spec=generate_corpus(QUICK_PROFILE, 1, seed=GRID_SEED)[0].spec,
+        sampler=population_sampler("wired"),
+        description="perf-harness cohort",
+    )
+
+    def study(loads: int) -> Dict[str, object]:
+        config = PopulationConfig(
+            loads=loads, batch_size=16, seed=GRID_SEED, cohorts=[cohort]
+        )
+        engine = ExperimentEngine(executor=SerialExecutor(), cache=None)
+        gc.collect()
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        start = time.perf_counter()
+        result = run_population(config, engine=engine)
+        wall = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        replays = loads * 2  # paired arms
+        return {
+            "loads": loads,
+            "replays": replays,
+            "wall_s": wall,
+            "loads_per_s": round(replays / wall, 3),
+            "tracemalloc_peak_bytes": peak,
+            "verdicts": [acc.verdict for acc in result.cohorts],
+        }
+
+    study(POPULATION_BASE_LOADS)  # warm-up: imports, freelists, memo caches
+    base = study(POPULATION_BASE_LOADS)
+    scaled = study(POPULATION_BASE_LOADS * POPULATION_SCALE)
+    ratio = (
+        scaled["tracemalloc_peak_bytes"] / base["tracemalloc_peak_bytes"]
+        if base["tracemalloc_peak_bytes"]
+        else 0.0
+    )
+    return {
+        "base": base,
+        "scaled": scaled,
+        "scale": POPULATION_SCALE,
+        "memory_ratio": round(ratio, 3),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+# ----------------------------------------------------------------------
 # result recording
 # ----------------------------------------------------------------------
 def build_section(repetitions: int) -> Dict[str, object]:
@@ -382,6 +465,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
     replay = run_replay_benchmark(repetitions)
     trace = run_trace_benchmark(repetitions)
     grid = run_grid_benchmark(repetitions)
+    population = run_population_benchmark()
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -389,6 +473,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
         "replay": replay,
         "trace": trace,
         "grid": grid,
+        "population": population,
     }
 
 
@@ -477,6 +562,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{label} trace off/on wall: {trace['wall_off_s']:.3f} / "
         f"{trace['wall_on_s']:.3f} s ({trace['events_traced']} events traced)"
     )
+    population = section["population"]
+    print(
+        f"{label} population: {population['scaled']['loads_per_s']} loads/s, "
+        f"peak 1x/{population['scale']}x = "
+        f"{population['base']['tracemalloc_peak_bytes']:,} / "
+        f"{population['scaled']['tracemalloc_peak_bytes']:,} bytes "
+        f"(ratio {population['memory_ratio']})"
+    )
     print(json.dumps(section["replay"]["counters"], indent=2, sort_keys=True))
     failures = []
     if args.check:
@@ -496,6 +589,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(
                 f"tracing-off wall {trace['wall_off_s']:.3f}s exceeds the "
                 f"noise bound {bound:.3f}s — disabled hooks are too expensive"
+            )
+        if population["memory_ratio"] > POPULATION_MEMORY_FACTOR:
+            failures.append(
+                f"population memory peak grew {population['memory_ratio']}x "
+                f"over a {population['scale']}x load scale (bound "
+                f"{POPULATION_MEMORY_FACTOR}x) — the streaming pipeline is "
+                "accumulating per-load state"
             )
     for failure in failures:
         print(f"check FAILED: {failure}", file=sys.stderr)

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 from ..html.resources import FetchedResource
 
 
-@dataclass
+@dataclass(slots=True)
 class PaintEvent:
     """A visual change: ``weight`` units of ATF content became visible."""
 
@@ -22,7 +22,7 @@ class PaintEvent:
     source: str  # what painted (url or "text")
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestTrace:
     """One request as traced for push-order computation (§4.2)."""
 
@@ -36,7 +36,7 @@ class RequestTrace:
     initiator_url: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTimeline:
     """Everything measured during one page load."""
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro order s4                     # §4.2 push-order pipeline
     python -m repro fig 5                        # regenerate a figure
     python -m repro fig 6 --jobs 8 --cache .repro-cache   # parallel + cached
+    python -m repro population --quick           # cohort study smoke
     python -m repro abtest w1                    # §6 CDN A/B selection
 
 Every command prints the same rows/series the corresponding paper
@@ -348,6 +349,33 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_population(args) -> int:
+    import json
+
+    from .population import PopulationConfig, render_population, run_population
+
+    config = PopulationConfig(
+        loads=args.loads,
+        batch_size=args.batch,
+        seed=args.seed,
+        strategy=args.strategy,
+        quick=args.quick,
+    )
+    with _engine_from_args(args) as engine:
+        result = run_population(config, engine=engine)
+        print(render_population(result))
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(
+                json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+        _maybe_report(args, engine)
+    return 0
+
+
 def cmd_abtest(args) -> int:
     from .experiments.ab_testing import ABTestConfig, StrategySelector
 
@@ -433,6 +461,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the two qlog JSON exports to DIR",
     )
     trace.set_defaults(func=cmd_trace)
+
+    population = sub.add_parser(
+        "population",
+        help="population-scale cohort study: paired push verdicts over "
+        "mixed 3G/LTE/DSL/fiber client draws",
+    )
+    population.add_argument(
+        "--quick", action="store_true",
+        help="small sites and cohorts (CI smoke; also the golden config)",
+    )
+    population.add_argument(
+        "--loads", type=int, default=200,
+        help="simulated clients per cohort (default: 200)",
+    )
+    population.add_argument(
+        "--batch", type=int, default=64,
+        help="loads per engine grid; memory is O(batch), results are "
+        "batch-size invariant (default: 64)",
+    )
+    population.add_argument("--seed", type=int, default=2018)
+    population.add_argument(
+        "--strategy", default="push_all",
+        help="push strategy compared against no_push (default: push_all)",
+    )
+    population.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the study record as JSON to PATH",
+    )
+    _add_engine_options(population)
+    population.set_defaults(func=cmd_population)
 
     abtest = sub.add_parser("abtest", help="CDN A/B strategy selection (§6)")
     abtest.add_argument("site")

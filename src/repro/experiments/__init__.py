@@ -17,7 +17,15 @@ from .fig5_interleaving import Fig5Config, Fig5Result, make_test_site, run_fig5
 from .fig6_realworld import Fig6Config, Fig6Result, run_fig6
 from .fig7_lossy import Fig7Config, Fig7Result, Fig7Row, run_fig7
 from .network_sweep import SweepCell, SweepConfig, SweepResult, run_network_sweep
-from .runner import PAPER_RUNS, RepeatedResult, compute_order_for, run_repeated
+from .reducers import CellSummary, RunStats, reducer_for, summarize_results
+from .runner import (
+    PAPER_RUNS,
+    CellResult,
+    RepeatedResult,
+    compute_order_for,
+    run_reduced,
+    run_repeated,
+)
 from .tables import (
     PushableShareResult,
     TypeAnalysisConfig,
@@ -30,6 +38,8 @@ __all__ = [
     "ABTestConfig",
     "ABTestResult",
     "Cell",
+    "CellResult",
+    "CellSummary",
     "ExperimentEngine",
     "Grid",
     "ParallelExecutor",
@@ -59,10 +69,12 @@ __all__ = [
     "PAPER_RUNS",
     "PushableShareResult",
     "RepeatedResult",
+    "RunStats",
     "TypeAnalysisConfig",
     "TypeAnalysisResult",
     "compute_order_for",
     "make_test_site",
+    "reducer_for",
     "run_fig1",
     "run_fig2",
     "run_fig3a",
@@ -72,6 +84,8 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_pushable_share",
+    "run_reduced",
     "run_repeated",
     "run_type_analysis",
+    "summarize_results",
 ]

@@ -9,7 +9,8 @@ push-all cells that appear in both halves of Fig. 3 — execute once.
 Tier 2 — :class:`ResultCache`: the on-disk store.  Layout (under the
 cache root)::
 
-    cells/<key[:2]>/<key>.pkl     checksummed pickled RepeatedResult
+    cells/<key[:2]>/<key>.pkl     checksummed pickled cell result
+                                  (RepeatedResult or CellSummary)
     orders/<key>.json             memoized §4.2 push orders
     records.jsonl                 one JSON line per finished cell
 
@@ -37,7 +38,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import List, Optional
 
-from ..runner import RepeatedResult
+from ..runner import CellResult
 
 logger = logging.getLogger("repro.experiments.cache")
 
@@ -68,12 +69,12 @@ class MemoryResultCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, RepeatedResult]" = OrderedDict()
+        self._entries: "OrderedDict[str, CellResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key: str) -> Optional[RepeatedResult]:
+    def get(self, key: str) -> Optional[CellResult]:
         try:
             self._entries.move_to_end(key)
         except KeyError:
@@ -82,7 +83,7 @@ class MemoryResultCache:
         self.hits += 1
         return self._entries[key]
 
-    def put(self, key: str, result: RepeatedResult) -> None:
+    def put(self, key: str, result: CellResult) -> None:
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -112,7 +113,7 @@ class ResultCache:
     def has(self, key: str) -> bool:
         return self.cell_path(key).exists()
 
-    def load(self, key: str) -> Optional[RepeatedResult]:
+    def load(self, key: str) -> Optional[CellResult]:
         data = self.load_bytes(key)
         if data is None:
             return None
@@ -134,7 +135,7 @@ class ResultCache:
         except FileNotFoundError:
             return None
 
-    def store(self, key: str, result: RepeatedResult) -> Path:
+    def store(self, key: str, result: CellResult) -> Path:
         path = self.cell_path(key)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         framed = CELL_MAGIC + hashlib.sha256(payload).digest() + payload

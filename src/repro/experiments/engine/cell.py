@@ -45,18 +45,31 @@ class Cell:
     #: engine treats a traced cell as a cache miss until all of its
     #: per-run trace artifacts exist on disk.
     trace: Optional[TraceSpec] = None
+    #: Which result reducer executes this cell (see
+    #: :mod:`repro.experiments.reducers`): ``"collect"`` materializes a
+    #: :class:`~repro.experiments.runner.RepeatedResult` (the
+    #: historical default, required wherever timelines are consumed),
+    #: ``"summary"`` folds each run to bounded scalars for
+    #: population-scale grids.
+    reduce: str = "collect"
 
     def key(self) -> str:
-        """Content-addressed cache key; excludes the display label."""
-        return fingerprint(
-            {
-                "spec": self.spec,
-                "strategy": self.strategy,
-                "conditions": self.conditions,
-                "runs": self.runs,
-                "seed_base": self.seed_base,
-            }
-        )
+        """Content-addressed cache key; excludes the display label.
+
+        The reducer changes the stored result *type*, so non-default
+        reducers enter the key; the default is omitted so that every
+        historical cell keeps its exact pre-reducer fingerprint.
+        """
+        payload = {
+            "spec": self.spec,
+            "strategy": self.strategy,
+            "conditions": self.conditions,
+            "runs": self.runs,
+            "seed_base": self.seed_base,
+        }
+        if self.reduce != "collect":
+            payload["reduce"] = self.reduce
+        return fingerprint(payload)
 
     @property
     def strategy_name(self) -> str:
@@ -82,6 +95,7 @@ class Grid:
         conditions: Optional[ConditionSampler] = None,
         label: str = "",
         trace: Optional[TraceSpec] = None,
+        reduce: str = "collect",
     ) -> int:
         """Append a cell; returns its index into the result list."""
         self.cells.append(
@@ -93,6 +107,7 @@ class Grid:
                 conditions=conditions,
                 label=label,
                 trace=trace,
+                reduce=reduce,
             )
         )
         return len(self.cells) - 1

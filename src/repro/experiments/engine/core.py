@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...html.spec import WebsiteSpec
-from ..runner import RepeatedResult
+from ..runner import CellResult
 from .cache import MemoryResultCache, ResultCache, default_cache_dir
 from .cell import Cell, Grid
 from .executors import Executor, SerialExecutor
@@ -56,10 +56,10 @@ class ExperimentEngine:
         self._orders: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------------
-    def run(self, grid: Grid) -> List[RepeatedResult]:
+    def run(self, grid: Grid) -> List[CellResult]:
         """Evaluate every cell; results align with ``grid.cells``."""
         report = ProgressReport(grid_name=grid.name, executor=self.executor.name)
-        results: List[Optional[RepeatedResult]] = [None] * len(grid.cells)
+        results: List[Optional[CellResult]] = [None] * len(grid.cells)
         keys = [cell.key() for cell in grid.cells]
 
         pending: List[Tuple[int, Cell]] = []
@@ -81,7 +81,7 @@ class ExperimentEngine:
             else:
                 pending.append((index, cell))
 
-        def on_result(batch_index: int, result: RepeatedResult, wall_ms: float) -> None:
+        def on_result(batch_index: int, result: CellResult, wall_ms: float) -> None:
             index, cell = pending[batch_index]
             results[index] = result
             self.memory.put(keys[index], result)
@@ -105,7 +105,7 @@ class ExperimentEngine:
             self.reports.append(report)
         return results  # type: ignore[return-value]
 
-    def run_cell(self, cell: Cell) -> RepeatedResult:
+    def run_cell(self, cell: Cell) -> CellResult:
         """Evaluate a single cell through the cache + executor path."""
         return self.run(Grid(name=cell.describe(), cells=[cell]))[0]
 
@@ -118,7 +118,7 @@ class ExperimentEngine:
 
         return TraceStore(cell.trace.dir).has_all(key, max(1, cell.runs))
 
-    def _lookup(self, key: str) -> Tuple[Optional[RepeatedResult], str]:
+    def _lookup(self, key: str) -> Tuple[Optional[CellResult], str]:
         """Probe the memory tier, then disk; promote disk hits."""
         if self.force:
             return None, ""
@@ -214,7 +214,7 @@ class ExperimentEngine:
         index: int,
         cell: Cell,
         key: str,
-        result: RepeatedResult,
+        result: CellResult,
         wall_ms: float,
         hit: bool,
         tier: str = "",

@@ -56,26 +56,32 @@ from ...html.builder import BuiltSite, build_site
 from ...netsim.conditions import DSL_TESTBED, FixedConditions
 from ...replay.recorder import record_site
 from ...sites.corpus import replay_weight
-from ..runner import RepeatedResult, run_repeated, run_single
+from ..reducers import reducer_for
+from ..runner import CellResult, run_reduced, run_single
 from .arena import CorpusArena
 from .cell import Cell
 from .fingerprint import fingerprint
 
 #: Callback fired per finished cell: (cell index, result, wall ms).
-ResultCallback = Callable[[int, RepeatedResult, float], None]
+ResultCallback = Callable[[int, CellResult, float], None]
 
 #: Auto chunk sizing targets this many chunks per worker, so work
 #: stealing has slack without drowning the pipes in tiny messages.
 _CHUNKS_PER_WORKER = 4
 
 
-def execute_cell(cell: Cell) -> RepeatedResult:
-    """Run one cell to completion (also the legacy worker entry point)."""
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one cell to completion (also the legacy worker entry point).
+
+    The cell's reducer folds each run as it finishes — for ``summary``
+    cells no full :class:`PageLoadResult` outlives its own replay.
+    """
     built = build_site(cell.spec)
-    return run_repeated(
+    return run_reduced(
         cell.spec,
         cell.strategy,
         runs=cell.runs,
+        reducer=reducer_for(cell.reduce),
         conditions=cell.conditions,
         built=built,
         seed_base=cell.seed_base,
@@ -84,7 +90,7 @@ def execute_cell(cell: Cell) -> RepeatedResult:
     )
 
 
-def _timed_execute(cell: Cell) -> Tuple[RepeatedResult, float]:
+def _timed_execute(cell: Cell) -> Tuple[CellResult, float]:
     started = time.perf_counter()
     result = execute_cell(cell)
     return result, (time.perf_counter() - started) * 1000.0
@@ -99,7 +105,7 @@ class Executor:
         self,
         cells: Sequence[Cell],
         on_result: Optional[ResultCallback] = None,
-    ) -> List[RepeatedResult]:
+    ) -> List[CellResult]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -115,8 +121,8 @@ class SerialExecutor(Executor):
         self,
         cells: Sequence[Cell],
         on_result: Optional[ResultCallback] = None,
-    ) -> List[RepeatedResult]:
-        results: List[RepeatedResult] = []
+    ) -> List[CellResult]:
+        results: List[CellResult] = []
         for index, cell in enumerate(cells):
             result, wall_ms = _timed_execute(cell)
             results.append(result)
@@ -142,13 +148,13 @@ class LegacyParallelExecutor(Executor):
         self,
         cells: Sequence[Cell],
         on_result: Optional[ResultCallback] = None,
-    ) -> List[RepeatedResult]:
+    ) -> List[CellResult]:
         if not cells:
             return []
         if len(cells) == 1 or self.max_workers == 1:
             # Pool startup costs more than one cell; degrade gracefully.
             return SerialExecutor().run(cells, on_result)
-        results: List[Optional[RepeatedResult]] = [None] * len(cells)
+        results: List[Optional[CellResult]] = [None] * len(cells)
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             futures = {
                 pool.submit(_timed_execute, cell): index
@@ -218,11 +224,14 @@ def plan_chunks(
 class _CellAssembler:
     """Reduce out-of-order chunk results back into serial-order cells.
 
-    Chunks of one cell may arrive in any order from any worker; results
-    are keyed by their run range and concatenated in ascending run
-    order once the cell is complete — the exact aggregation order of
-    the serial ``run_repeated`` loop, making the reduction independent
-    of scheduling by construction.
+    Chunks of one cell may arrive in any order from any worker; their
+    *reduced segments* (per-run payloads, already folded worker-side by
+    the cell's reducer) are keyed by run range and concatenated in
+    ascending run order once the cell is complete — the exact
+    aggregation order of the serial ``run_reduced`` loop, making the
+    reduction independent of scheduling by construction.  Concatenation
+    of ordered segments is associative, so any chunk geometry yields
+    the same payload sequence and hence a bit-identical assembly.
     """
 
     def __init__(self, cells: Sequence[Cell]):
@@ -233,7 +242,7 @@ class _CellAssembler:
 
     def add(
         self, cell_index: int, run_lo: int, results: list, wall_ms: float
-    ) -> Optional[Tuple[RepeatedResult, float]]:
+    ) -> Optional[Tuple[CellResult, float]]:
         """Record one chunk; returns the finished cell when complete."""
         parts = self._parts[cell_index]
         if run_lo in parts:
@@ -249,12 +258,10 @@ class _CellAssembler:
         ordered: list = []
         for lo in sorted(parts):
             ordered.extend(parts[lo])
-        repeated = RepeatedResult(
-            site=cell.spec.name,
-            strategy=cell.strategy_name,
-            results=ordered,
+        assembled = reducer_for(cell.reduce).assemble(
+            cell.spec.name, cell.strategy_name, ordered
         )
-        return repeated, self._walls[cell_index]
+        return assembled, self._walls[cell_index]
 
 
 def _site_key(cell: Cell) -> str:
@@ -318,18 +325,24 @@ def _worker_main(conn) -> None:
                     # a pure function of the cell, so every worker and
                     # the parent agree on the trace artifact names.
                     trace_key = cell.key() if cell.trace is not None else None
+                    # Fold worker-side: for summary cells only the
+                    # bounded per-run payload crosses the pipe, and no
+                    # full PageLoadResult outlives its own replay.
+                    reducer = reducer_for(cell.reduce)
                     started = time.perf_counter()
                     results = [
-                        run_single(
-                            cell.spec,
-                            cell.strategy,
-                            run_index,
-                            sampler=sampler,
-                            built=built,
-                            seed_base=cell.seed_base,
-                            db=db,
-                            trace=cell.trace,
-                            trace_key=trace_key,
+                        reducer.fold(
+                            run_single(
+                                cell.spec,
+                                cell.strategy,
+                                run_index,
+                                sampler=sampler,
+                                built=built,
+                                seed_base=cell.seed_base,
+                                db=db,
+                                trace=cell.trace,
+                                trace_key=trace_key,
+                            )
                         )
                         for run_index in range(run_lo, run_hi)
                     ]
@@ -442,7 +455,7 @@ class WarmPoolExecutor(Executor):
         self,
         cells: Sequence[Cell],
         on_result: Optional[ResultCallback] = None,
-    ) -> List[RepeatedResult]:
+    ) -> List[CellResult]:
         if self._closed:
             raise ExperimentError("executor is closed")
         if not cells:
@@ -467,7 +480,7 @@ class WarmPoolExecutor(Executor):
         self,
         cells: Sequence[Cell],
         on_result: Optional[ResultCallback],
-    ) -> List[RepeatedResult]:
+    ) -> List[CellResult]:
         """In-process path for a single effective worker.
 
         Skips pool + arena overhead but keeps the warm memoization:
@@ -475,7 +488,7 @@ class WarmPoolExecutor(Executor):
         the grid, exactly as one pool worker would."""
         built_memo: Dict[str, BuiltSite] = {}
         db_memo: Dict[str, object] = {}
-        results: List[RepeatedResult] = []
+        results: List[CellResult] = []
         for index, cell in enumerate(cells):
             key = _site_key(cell)
             built = built_memo.get(key)
@@ -486,24 +499,27 @@ class WarmPoolExecutor(Executor):
                 db = db_memo[key] = record_site(built)
             sampler = cell.conditions or FixedConditions(DSL_TESTBED)
             trace_key = cell.key() if cell.trace is not None else None
+            reducer = reducer_for(cell.reduce)
             started = time.perf_counter()
-            runs = [
-                run_single(
-                    cell.spec,
-                    cell.strategy,
-                    run_index,
-                    sampler=sampler,
-                    built=built,
-                    seed_base=cell.seed_base,
-                    db=db,
-                    trace=cell.trace,
-                    trace_key=trace_key,
+            payloads = [
+                reducer.fold(
+                    run_single(
+                        cell.spec,
+                        cell.strategy,
+                        run_index,
+                        sampler=sampler,
+                        built=built,
+                        seed_base=cell.seed_base,
+                        db=db,
+                        trace=cell.trace,
+                        trace_key=trace_key,
+                    )
                 )
                 for run_index in range(cell.runs)
             ]
             wall_ms = (time.perf_counter() - started) * 1000.0
-            result = RepeatedResult(
-                site=cell.spec.name, strategy=cell.strategy_name, results=runs
+            result = reducer.assemble(
+                cell.spec.name, cell.strategy_name, payloads
             )
             results.append(result)
             if on_result is not None:
@@ -568,11 +584,11 @@ class WarmPoolExecutor(Executor):
         cells: Sequence[Cell],
         arena: CorpusArena,
         on_result: Optional[ResultCallback],
-    ) -> List[RepeatedResult]:
+    ) -> List[CellResult]:
         chunks = plan_chunks(cells, self.effective_workers, self.chunk_runs)
         queue: deque = deque(chunks)
         assembler = _CellAssembler(cells)
-        results: List[Optional[RepeatedResult]] = [None] * len(cells)
+        results: List[Optional[CellResult]] = [None] * len(cells)
         retries: Dict[Tuple[int, int, int], int] = {}
         failed: Dict[int, str] = {}
         unfinished = set(range(len(cells)))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..metrics.stats import cdf_points, percentile
+from ..metrics.stats import cdf_points, percentiles
 
 
 def render_cdf(
@@ -20,7 +20,10 @@ def render_cdf(
     quantiles: Sequence[float] = (5, 25, 50, 75, 95),
 ) -> str:
     """One CDF as its quantile row (the readable form of a figure line)."""
-    cells = "  ".join(f"p{int(q):02d}={percentile(values, q):8.1f}" for q in quantiles)
+    points = percentiles(values, quantiles)
+    cells = "  ".join(
+        f"p{int(q):02d}={point:8.1f}" for q, point in zip(quantiles, points)
+    )
     return f"{name:<28} n={len(values):<4} {cells} [{unit}]"
 
 

@@ -1,22 +1,29 @@
-"""Shared experiment machinery: repeated runs and aggregation.
+"""Shared experiment machinery: repeated runs and reducer aggregation.
 
 The paper replays each website 31 times per setting and reports the
 median (§4.1).  ``run_repeated`` is that loop; experiments default to
 fewer repetitions so the benchmark suite stays tractable, and every
 experiment config exposes ``runs`` to restore the paper's 31.
+
+Aggregation flows through the reducer protocol of
+:mod:`repro.experiments.reducers`: :func:`run_reduced` folds each run
+into the cell's reducer as it finishes, and :class:`RepeatedResult` —
+the historical collect-everything result — is now a thin shim whose
+aggregate properties delegate to the same :class:`CellSummary`
+reduction the population pipeline uses.  The shim keeps every figure,
+table, and golden record bit-identical while the engine, executors,
+and cache no longer assume a materialized run list.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from ..browser.cache import BrowserCache
-from ..errors import ExperimentError
 from ..html.builder import BuiltSite, build_site
 from ..html.spec import WebsiteSpec
-from ..metrics.stats import median, std_error
 from ..netsim.conditions import (
     DSL_TESTBED,
     ConditionSampler,
@@ -25,6 +32,7 @@ from ..netsim.conditions import (
 )
 from ..replay.testbed import PageLoadResult, ReplayTestbed
 from ..strategies.base import PushStrategy
+from .reducers import CellSummary, RunReducer, reducer_for, summarize_results
 from .seeds import condition_seed, impairment_seed, load_seed
 
 #: The paper's repetition count per site and setting.
@@ -33,11 +41,23 @@ PAPER_RUNS = 31
 
 @dataclass
 class RepeatedResult:
-    """All runs of one (site, strategy, environment) cell."""
+    """All runs of one (site, strategy, environment) cell.
+
+    A thin shim over the reducer protocol: the run list is retained
+    (Fig. 6 and the §4.2 order pipeline consume timelines), but every
+    aggregate below is computed by folding the runs through the same
+    ``summary`` reducer that population cells use — one aggregation
+    code path, whichever way a cell was reduced.
+    """
 
     site: str
     strategy: str
     results: List[PageLoadResult]
+
+    @property
+    def summary(self) -> CellSummary:
+        """The runs folded through the ``summary`` reducer."""
+        return summarize_results(self.site, self.strategy, self.results)
 
     @property
     def plt_values(self) -> List[float]:
@@ -49,19 +69,19 @@ class RepeatedResult:
 
     @property
     def median_plt(self) -> float:
-        return median(self.plt_values)
+        return self.summary.median_plt
 
     @property
     def median_si(self) -> float:
-        return median(self.si_values)
+        return self.summary.median_si
 
     @property
     def plt_std_error(self) -> float:
-        return std_error(self.plt_values)
+        return self.summary.plt_std_error
 
     @property
     def si_std_error(self) -> float:
-        return std_error(self.si_values)
+        return self.summary.si_std_error
 
     @property
     def pushed_bytes_per_run(self) -> List[int]:
@@ -71,20 +91,17 @@ class RepeatedResult:
     def pushed_bytes(self) -> int:
         """Bytes pushed per load; asserts the runs agree.
 
-        Under any one strategy every run pushes the same plan, so the
-        per-run values must agree; a disagreement means the cell mixed
-        configurations (or a model bug) and is surfaced rather than
-        silently reporting ``results[0]``.
+        Flows through the reducer's pushed-bytes tally, which raises
+        when runs disagree (a mixed-configuration cell or model bug)
+        instead of silently reporting ``results[0]``.
         """
-        if not self.results:
-            return 0
-        distinct = set(self.pushed_bytes_per_run)
-        if len(distinct) > 1:
-            raise ExperimentError(
-                f"{self.site}/{self.strategy}: pushed_bytes disagree across runs: "
-                f"{sorted(distinct)}"
-            )
-        return distinct.pop()
+        return self.summary.pushed_bytes
+
+
+#: What an executed cell evaluates to: the collect reducer's
+#: :class:`RepeatedResult` or a bounded :class:`CellSummary`.  Both
+#: expose the same aggregate API (``median_plt``, ``pushed_bytes``...).
+CellResult = Union[RepeatedResult, CellSummary]
 
 
 def run_single(
@@ -152,6 +169,53 @@ def run_single(
     return result
 
 
+def run_reduced(
+    spec: WebsiteSpec,
+    strategy: Optional[PushStrategy],
+    runs: int,
+    reducer: RunReducer,
+    conditions: Optional[ConditionSampler] = None,
+    built: Optional[BuiltSite] = None,
+    cache_factory: Optional[Callable[[], BrowserCache]] = None,
+    seed_base: int = 0,
+    db=None,
+    trace=None,
+    trace_key: Optional[str] = None,
+):
+    """The §4.1 loop as a reduction: fold each run as it finishes.
+
+    Each :class:`PageLoadResult` is handed to ``reducer.fold`` the
+    moment its replay returns, so with a bounded-payload reducer (the
+    population pipeline's ``summary``) the full result — timeline,
+    paint trace, request log — becomes garbage before the next run
+    starts: memory stays constant in ``runs``.  The ``collect``
+    reducer reproduces the historical materialize-everything loop bit
+    for bit.
+    """
+    sampler = conditions or FixedConditions(DSL_TESTBED)
+    built = built or build_site(spec)
+    payloads = [
+        reducer.fold(
+            run_single(
+                spec,
+                strategy,
+                run_index,
+                sampler=sampler,
+                built=built,
+                cache_factory=cache_factory,
+                seed_base=seed_base,
+                db=db,
+                trace=trace,
+                trace_key=trace_key,
+            )
+        )
+        for run_index in range(runs)
+    ]
+    return reducer.assemble(
+        spec.name, strategy.name if strategy else "no_push", payloads
+    )
+
+
 def run_repeated(
     spec: WebsiteSpec,
     strategy: Optional[PushStrategy],
@@ -168,28 +232,20 @@ def run_repeated(
     ``conditions`` samples the network per run — ``FixedConditions``
     reproduces the deterministic testbed, ``InternetConditions`` the
     variable live measurements of Fig. 2a.  ``trace``/``trace_key``
-    record a per-run trace artifact, see :func:`run_single`.
+    record a per-run trace artifact, see :func:`run_single`.  This is
+    :func:`run_reduced` under the ``collect`` reducer.
     """
-    sampler = conditions or FixedConditions(DSL_TESTBED)
-    built = built or build_site(spec)
-    results: List[PageLoadResult] = [
-        run_single(
-            spec,
-            strategy,
-            run_index,
-            sampler=sampler,
-            built=built,
-            cache_factory=cache_factory,
-            seed_base=seed_base,
-            trace=trace,
-            trace_key=trace_key,
-        )
-        for run_index in range(runs)
-    ]
-    return RepeatedResult(
-        site=spec.name,
-        strategy=strategy.name if strategy else "no_push",
-        results=results,
+    return run_reduced(
+        spec,
+        strategy,
+        runs,
+        reducer_for("collect"),
+        conditions=conditions,
+        built=built,
+        cache_factory=cache_factory,
+        seed_base=seed_base,
+        trace=trace,
+        trace_key=trace_key,
     )
 
 

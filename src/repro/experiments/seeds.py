@@ -32,6 +32,8 @@ _CONDITION_XOR = 0x5EED
 _LOAD_STRIDE = 1000
 _IMPAIRMENT_STRIDE = 9_999_991
 _IMPAIRMENT_XOR = 0xD10D
+_POPULATION_COHORT_STRIDE = 69_995_159
+_POPULATION_XOR = 0xB07
 
 
 def condition_seed(seed_base: int, run_index: int) -> int:
@@ -53,3 +55,25 @@ def impairment_seed(seed_base: int, run_index: int) -> int:
     decorrelated impairment patterns.
     """
     return (seed_base * _IMPAIRMENT_STRIDE + run_index) ^ _IMPAIRMENT_XOR
+
+
+def population_seed_base(population_seed: int, cohort_index: int, load_index: int) -> int:
+    """Seed base for one simulated client load of a population cohort.
+
+    The population driver executes each load as its own single-run cell,
+    so the seed base *is* the load's identity: it depends only on the
+    study seed, the cohort's position, and the load's index within the
+    cohort — never on batch geometry, executor choice, or how many
+    loads ran before it.  Re-running a study with a different
+    ``batch_size`` therefore replays byte-identical loads.
+
+    The paired no-push/push arms of a load share this seed base
+    (common random numbers): both arms draw the same client profile and
+    the same in-load jitter, so their difference isolates the push
+    strategy.
+    """
+    return (
+        population_seed * _CONDITION_STRIDE
+        + cohort_index * _POPULATION_COHORT_STRIDE
+        + load_index
+    ) ^ _POPULATION_XOR

@@ -7,18 +7,25 @@ from .speedindex import (
     visual_complete_time,
 )
 from .stats import (
+    P2Quantile,
+    StreamingMoments,
+    TDigest,
     cdf_points,
     confidence_interval,
     fraction_below,
     mean,
     median,
     percentile,
+    percentiles,
     relative_change,
     std_error,
     stdev,
 )
 
 __all__ = [
+    "P2Quantile",
+    "StreamingMoments",
+    "TDigest",
     "cdf_points",
     "confidence_interval",
     "first_visual_change",
@@ -26,6 +33,7 @@ __all__ = [
     "mean",
     "median",
     "percentile",
+    "percentiles",
     "relative_change",
     "speed_index",
     "speed_index_of",

@@ -3,12 +3,29 @@
 The paper reports medians over 31 runs, standard errors (Fig. 2a),
 averages with 95% / 99.5% confidence intervals (Fig. 4, Fig. 6), and
 CDFs over sites.  These helpers implement exactly those reductions.
+
+Two tiers live side by side:
+
+* **Exact reductions** over materialized sequences (``mean``,
+  ``median``, ``percentile``...).  :func:`percentile` is the *oracle*
+  every streaming estimator is tested against; :func:`percentiles`
+  is the single sorted-once path reports use to evaluate many
+  quantiles of one series.
+* **Streaming accumulators** for population-scale runs where the
+  sample can never be materialized: :class:`StreamingMoments`
+  (count/mean/min/max/variance via Welford, merged with Chan's
+  parallel update), :class:`P2Quantile` (the Jain/Chlamtac P²
+  estimator — five markers, sequential only), and :class:`TDigest`
+  (a small merging t-digest whose ``merge`` is commutative by
+  construction).  All of them hold O(1) state regardless of how many
+  values they fold, which is what lets cohort accumulators absorb
+  hundreds of thousands of page loads with constant memory.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 def mean(values: Sequence[float]) -> float:
@@ -58,12 +75,34 @@ def confidence_interval(
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile, q in [0, 100]."""
+    """Linear-interpolation percentile, q in [0, 100].
+
+    This is the exact oracle: the streaming estimators below
+    (:class:`P2Quantile`, :class:`TDigest`) are tested against it, and
+    anything that has the full sample in hand should use it (or
+    :func:`percentiles` for several quantiles of one series).
+    """
     if not values:
         raise ValueError("percentile of empty sequence")
+    return _percentile_sorted(sorted(values), q)
+
+
+def percentiles(values: Sequence[float], qs: Iterable[float]) -> List[float]:
+    """Exact percentiles of one series, sorting it only once.
+
+    Evaluating a CDF row used to call :func:`percentile` per quantile
+    and re-sort the sample each time; this is the deduplicated path.
+    """
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    ordered = sorted(values)
+    return [_percentile_sorted(ordered, q) for q in qs]
+
+
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Shared kernel of :func:`percentile`/:func:`percentiles`."""
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -96,3 +135,270 @@ def relative_change(measured: float, baseline: float) -> float:
     if baseline == 0:
         raise ValueError("baseline must be non-zero")
     return (measured - baseline) / baseline * 100.0
+
+
+# ----------------------------------------------------------------------
+# Streaming accumulators (population-scale, bounded memory)
+# ----------------------------------------------------------------------
+class StreamingMoments:
+    """Count / mean / min / max / variance without keeping the sample.
+
+    ``add`` is Welford's online update; ``merge`` is Chan's parallel
+    combination, so partial accumulators built over disjoint shards can
+    be folded together.  Count, min, and max merge exactly; mean and
+    variance merge up to float rounding (the Hypothesis suite bounds
+    the drift).
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "StreamingMoments") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty accumulator")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator), 0.0 below two values."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def std_error(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self.stdev / math.sqrt(self.count)
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² online quantile estimator (five markers).
+
+    O(1) state and O(1) per value, but strictly *sequential*: marker
+    positions depend on arrival order, so there is no ``merge``.  The
+    population pipeline folds it along the deterministic grid order and
+    uses :class:`TDigest` wherever shards must be combined; the
+    Hypothesis suite bounds its rank error against :func:`percentile`.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float = 0.5):
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        if len(self._heights) < 5:
+            return len(self._heights)
+        return int(self._positions[4])
+
+    def add(self, value: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for marker in range(cell + 1, 5):
+            self._positions[marker] += 1.0
+        for marker in range(5):
+            self._desired[marker] += self._increments[marker]
+        # Adjust the three interior markers toward their desired ranks.
+        for marker in (1, 2, 3):
+            delta = self._desired[marker] - self._positions[marker]
+            below = self._positions[marker] - self._positions[marker - 1]
+            above = self._positions[marker + 1] - self._positions[marker]
+            if (delta >= 1.0 and above > 1.0) or (delta <= -1.0 and below > 1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(marker, step)
+                if heights[marker - 1] < candidate < heights[marker + 1]:
+                    heights[marker] = candidate
+                else:
+                    heights[marker] = self._linear(marker, step)
+                self._positions[marker] += step
+
+    def _parabolic(self, marker: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        return h[marker] + step / (p[marker + 1] - p[marker - 1]) * (
+            (p[marker] - p[marker - 1] + step)
+            * (h[marker + 1] - h[marker])
+            / (p[marker + 1] - p[marker])
+            + (p[marker + 1] - p[marker] - step)
+            * (h[marker] - h[marker - 1])
+            / (p[marker] - p[marker - 1])
+        )
+
+    def _linear(self, marker: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        other = marker + int(step)
+        return h[marker] + step * (h[other] - h[marker]) / (p[other] - p[marker])
+
+    def value(self) -> float:
+        """Current estimate; exact while fewer than five values seen."""
+        if not self._heights:
+            raise ValueError("quantile of empty accumulator")
+        if len(self._heights) < 5:
+            return _percentile_sorted(self._heights, self.q * 100.0)
+        return self._heights[2]
+
+
+class TDigest:
+    """A small merging t-digest for streaming quantiles and CDFs.
+
+    Values buffer until ``2 * compression`` points accumulate, then a
+    deterministic compress pass sorts centroids by ``(mean, weight)``
+    and greedily merges neighbours under the usual scale-function
+    bound ``k(q)=compression * (asin-like q ramp)``.  ``merge``
+    concatenates centroid lists and recompresses, so it is commutative
+    by construction (the sort erases argument order); associativity
+    holds approximately and is bounded by the Hypothesis suite.
+    """
+
+    __slots__ = ("compression", "_means", "_weights", "_unmerged", "count")
+
+    def __init__(self, compression: int = 100):
+        if compression < 20:
+            raise ValueError("compression must be >= 20")
+        self.compression = compression
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._unmerged = 0
+        self.count = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0.0:
+            raise ValueError("weight must be positive")
+        self._means.append(value)
+        self._weights.append(weight)
+        self.count += weight
+        self._unmerged += 1
+        if self._unmerged >= 2 * self.compression:
+            self._compress()
+
+    def merge(self, other: "TDigest") -> None:
+        self._means.extend(other._means)
+        self._weights.extend(other._weights)
+        self.count += other.count
+        self._compress()
+
+    def _compress(self) -> None:
+        if not self._means:
+            self._unmerged = 0
+            return
+        order = sorted(range(len(self._means)), key=lambda i: (self._means[i], self._weights[i]))
+        means = [self._means[i] for i in order]
+        weights = [self._weights[i] for i in order]
+        new_means = [means[0]]
+        new_weights = [weights[0]]
+        seen = weights[0]
+        for mean, weight in zip(means[1:], weights[1:]):
+            q0 = (seen - new_weights[-1]) / self.count
+            q1 = (seen + weight) / self.count
+            if self._k(q1) - self._k(q0) <= 1.0:
+                total = new_weights[-1] + weight
+                new_means[-1] += (mean - new_means[-1]) * weight / total
+                new_weights[-1] = total
+            else:
+                new_means.append(mean)
+                new_weights.append(weight)
+            seen += weight
+        self._means = new_means
+        self._weights = new_weights
+        self._unmerged = 0
+
+    def _k(self, q: float) -> float:
+        """Scale function k1 (arcsine): fine at the tails, coarse mid."""
+        q = min(1.0, max(0.0, q))
+        return self.compression * (math.asin(2.0 * q - 1.0) / math.pi + 0.5)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            raise ValueError("quantile of empty digest")
+        self._compress()
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        target = q * self.count
+        seen = 0.0
+        for index, weight in enumerate(weights):
+            center = seen + weight / 2.0
+            if target <= center:
+                if index == 0:
+                    return means[0]
+                prev_center = seen - weights[index - 1] / 2.0
+                span = center - prev_center
+                fraction = (target - prev_center) / span if span > 0 else 0.0
+                return means[index - 1] + fraction * (means[index] - means[index - 1])
+            seen += weight
+        return means[-1]
+
+    def cdf_points(self, points: int = 20) -> List[Tuple[float, float]]:
+        """Approximate CDF as (value, fraction) pairs for reporting."""
+        if self.count == 0:
+            return []
+        qs = [i / (points - 1) for i in range(points)] if points > 1 else [0.5]
+        return [(self.quantile(q), q) for q in qs]
+
+    @property
+    def centroids(self) -> List[Tuple[float, float]]:
+        """Compressed (mean, weight) pairs — exposed for tests."""
+        self._compress()
+        return list(zip(self._means, self._weights))

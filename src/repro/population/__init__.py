@@ -1,0 +1,54 @@
+"""Population-scale cohort studies: is push worth it for *your* clients?
+
+The paper's verdict (§7) is that push's benefit depends on the site,
+the strategy, and above all the network.  This package operationalizes
+that: it replays whole client *populations* — weighted mixtures of 3G,
+LTE, noisy DSL, and fiber clients on a spread of devices — against
+site cohorts, streams every load through bounded accumulators, and
+reports per-cohort quantiles plus a deploy/don't-deploy push verdict.
+
+Entry points: :func:`run_population` (library),
+``python -m repro population`` (CLI).
+"""
+
+from .cohorts import QUICK_PROFILE, Cohort, default_cohorts, quick_cohorts
+from .driver import PopulationConfig, run_population
+from .profiles import (
+    DEFAULT_DEVICES,
+    GLOBAL_MIX,
+    MIXES,
+    MOBILE_MIX,
+    WIRED_MIX,
+    DeviceClass,
+    PopulationSampler,
+    population_sampler,
+)
+from .report import (
+    REPORT_QUANTILES,
+    ArmAccumulator,
+    CohortAccumulator,
+    PopulationResult,
+    render_population,
+)
+
+__all__ = [
+    "ArmAccumulator",
+    "Cohort",
+    "CohortAccumulator",
+    "DEFAULT_DEVICES",
+    "DeviceClass",
+    "GLOBAL_MIX",
+    "MIXES",
+    "MOBILE_MIX",
+    "PopulationConfig",
+    "PopulationResult",
+    "PopulationSampler",
+    "QUICK_PROFILE",
+    "REPORT_QUANTILES",
+    "WIRED_MIX",
+    "default_cohorts",
+    "population_sampler",
+    "quick_cohorts",
+    "render_population",
+    "run_population",
+]

@@ -1,0 +1,96 @@
+"""Cohort definitions: who loads which site over which client mix.
+
+A :class:`Cohort` is one row of a population study: a site model, a
+client-profile mixture, and a human-readable identity.  The driver
+replays ``loads`` simulated clients per cohort, each under both the
+no-push baseline and the study's push strategy (common random
+numbers), and reports per-cohort quantiles and a push verdict.
+
+Sites come from the deterministic generative corpus
+(:mod:`repro.sites.corpus`), so cohorts are reproducible from their
+seeds alone — no fixtures, no recorded payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..html.spec import WebsiteSpec
+from ..sites.corpus import (
+    RANDOM_100_PROFILE,
+    TOP_100_PROFILE,
+    CorpusProfile,
+    generate_corpus,
+)
+from .profiles import PopulationSampler, population_sampler
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One population-study row: a site under a client mix."""
+
+    name: str
+    spec: WebsiteSpec
+    sampler: PopulationSampler
+    description: str = ""
+
+
+#: A deliberately small site population for smoke tests and CI: the
+#: corpus machinery with the object counts turned down so one load
+#: costs a few milliseconds.
+QUICK_PROFILE = CorpusProfile(
+    name="quick",
+    min_objects=6,
+    max_objects=12,
+    heavy_third_party_prob=0.25,
+    min_html=8_000,
+    max_html=20_000,
+    min_tp_domains=1,
+    max_tp_domains=3,
+)
+
+
+def _site(profile: CorpusProfile, index: int, seed: int = 2018) -> WebsiteSpec:
+    return generate_corpus(profile, count=index + 1, seed=seed)[index].spec
+
+
+def default_cohorts() -> list:
+    """The standard study: popular/long-tail sites across client mixes."""
+    return [
+        Cohort(
+            name="top/mobile",
+            spec=_site(TOP_100_PROFILE, 0),
+            sampler=population_sampler("mobile"),
+            description="popular site, cellular-only clients",
+        ),
+        Cohort(
+            name="top/global",
+            spec=_site(TOP_100_PROFILE, 1),
+            sampler=population_sampler("global"),
+            description="popular site, global client mix",
+        ),
+        Cohort(
+            name="random/wired",
+            spec=_site(RANDOM_100_PROFILE, 0),
+            sampler=population_sampler("wired"),
+            description="long-tail site, wired clients",
+        ),
+    ]
+
+
+def quick_cohorts() -> list:
+    """Two small cohorts for `--quick` smokes and the golden record."""
+    return [
+        Cohort(
+            name="quick/mobile",
+            spec=_site(QUICK_PROFILE, 0),
+            sampler=population_sampler("mobile"),
+            description="small site, cellular-only clients",
+        ),
+        Cohort(
+            name="quick/wired",
+            spec=_site(QUICK_PROFILE, 1),
+            sampler=population_sampler("wired"),
+            description="small site, wired clients",
+        ),
+    ]

@@ -1,0 +1,184 @@
+"""Client-profile sampling for population-scale studies.
+
+The paper measures push on one emulated DSL link (§4.1) and briefly on
+a lossy variant (§5.6).  A deployment decision, though, is made against
+a *population*: the CDN's clients arrive over 3G, LTE, DSL with a noisy
+last mile, and fiber, on devices from low-end phones to desktops, each
+with its own RTT/bandwidth/loss draw.  This module models that client
+mix as a :class:`PopulationSampler` — a ``ConditionSampler`` that first
+draws an access network from a weighted mixture over the named
+:data:`repro.netsim.conditions.PROFILES`, then perturbs its RTT and
+bandwidth log-normally (no two LTE clients see the same link), and
+finally applies a device class.
+
+Device slowness is proxied by extra per-request processing delay
+(``server_delay_ms``): the simulator has no client CPU model, but the
+end-to-end effect of a slow device — every request/response exchange
+takes a few extra milliseconds — is exactly what that knob adds, and it
+is already part of every deterministic replay.
+
+Samplers are plain picklable objects, so population cells fan out to
+warm workers like any other cell, and they are stateless between
+``sample`` calls: a load's draw depends only on the RNG handed in,
+which the seed derivation pins to the load's identity (see
+:func:`repro.experiments.seeds.population_seed_base`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from ..errors import ConfigError
+from ..netsim.conditions import ConditionSampler, NetworkConditions, profile
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """A device tier: its mixture weight and per-request overhead."""
+
+    name: str
+    weight: float
+    processing_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ConfigError(f"device weight must be >= 0, got {self.weight}")
+        if self.processing_delay_ms < 0:
+            raise ConfigError(
+                f"processing_delay_ms must be >= 0, got {self.processing_delay_ms}"
+            )
+
+
+#: A 2018-flavoured device mix: half mid-range, a long low-end tail.
+DEFAULT_DEVICES: Tuple[DeviceClass, ...] = (
+    DeviceClass("low_end", weight=0.30, processing_delay_ms=8.0),
+    DeviceClass("mid_range", weight=0.50, processing_delay_ms=3.0),
+    DeviceClass("high_end", weight=0.20, processing_delay_ms=0.0),
+)
+
+
+class PopulationSampler(ConditionSampler):
+    """Weighted mixture of named network profiles with per-client jitter.
+
+    ``mix`` maps profile names (keys of :data:`~repro.netsim.conditions.
+    PROFILES`) to non-negative weights; weights are normalized at
+    construction.  Each ``sample``:
+
+    1. draws an access profile by weight,
+    2. scales its RTT by ``lognormvariate(0, rtt_sigma)`` and divides
+       both link rates by independent ``lognormvariate(0,
+       bandwidth_sigma)`` draws (slower clients are more likely than
+       faster ones, matching measured last-mile distributions),
+    3. draws a device class and adds its processing delay.
+
+    The draw order is part of the determinism contract — reordering it
+    changes every population study's numbers.
+    """
+
+    def __init__(
+        self,
+        mix: Sequence[Tuple[str, float]],
+        rtt_sigma: float = 0.25,
+        bandwidth_sigma: float = 0.30,
+        devices: Sequence[DeviceClass] = DEFAULT_DEVICES,
+    ):
+        if not mix:
+            raise ConfigError("population mix must name at least one profile")
+        total = sum(weight for _, weight in mix)
+        if total <= 0:
+            raise ConfigError("population mix weights must sum to > 0")
+        #: Normalized ``(name, conditions, weight)`` in declaration order.
+        self.components = tuple(
+            (name, profile(name), weight / total) for name, weight in mix
+        )
+        if rtt_sigma < 0 or bandwidth_sigma < 0:
+            raise ConfigError("sigmas must be >= 0")
+        self.rtt_sigma = rtt_sigma
+        self.bandwidth_sigma = bandwidth_sigma
+        device_total = sum(device.weight for device in devices)
+        if not devices or device_total <= 0:
+            raise ConfigError("device mix must have positive total weight")
+        self.devices = tuple(devices)
+        self._device_total = device_total
+
+    # ------------------------------------------------------------------
+    def _pick_profile(self, rng: random.Random) -> NetworkConditions:
+        roll = rng.random()
+        cumulative = 0.0
+        for _, conditions, weight in self.components:
+            cumulative += weight
+            if roll < cumulative:
+                return conditions
+        return self.components[-1][1]
+
+    def _pick_device(self, rng: random.Random) -> DeviceClass:
+        roll = rng.random() * self._device_total
+        cumulative = 0.0
+        for device in self.devices:
+            cumulative += device.weight
+            if roll < cumulative:
+                return device
+        return self.devices[-1]
+
+    def sample(self, rng: random.Random) -> NetworkConditions:
+        base = self._pick_profile(rng)
+        rtt = base.rtt_ms * rng.lognormvariate(0.0, self.rtt_sigma)
+        down = base.downlink_bytes_per_ms / rng.lognormvariate(0.0, self.bandwidth_sigma)
+        up = base.uplink_bytes_per_ms / rng.lognormvariate(0.0, self.bandwidth_sigma)
+        device = self._pick_device(rng)
+        return replace(
+            base,
+            rtt_ms=rtt,
+            downlink_bytes_per_ms=down,
+            uplink_bytes_per_ms=up,
+            server_delay_ms=base.server_delay_ms + device.processing_delay_ms,
+        )
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{name}:{weight:.0%}" for name, _, weight in self.components
+        )
+        return f"mix({parts})"
+
+
+#: A global 2018-ish client mix: mobile-majority with a fiber tail.
+GLOBAL_MIX: Tuple[Tuple[str, float], ...] = (
+    ("cellular_3g", 0.25),
+    ("cellular_lte", 0.35),
+    ("lossy_dsl", 0.25),
+    ("fiber", 0.15),
+)
+
+#: Mobile-only clients (an app CDN's population).
+MOBILE_MIX: Tuple[Tuple[str, float], ...] = (
+    ("cellular_3g", 0.40),
+    ("cellular_lte", 0.60),
+)
+
+#: Wired-only clients (a desktop-heavy property).
+WIRED_MIX: Tuple[Tuple[str, float], ...] = (
+    ("lossy_dsl", 0.45),
+    ("cable", 0.30),
+    ("fiber", 0.25),
+)
+
+#: Named mixes selectable from configs and the CLI.
+MIXES = {
+    "global": GLOBAL_MIX,
+    "mobile": MOBILE_MIX,
+    "wired": WIRED_MIX,
+}
+
+
+def population_sampler(mix_name: str, **kwargs) -> PopulationSampler:
+    """Build a sampler from a named mix; raises ``ConfigError``."""
+    try:
+        mix = MIXES[mix_name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown population mix {mix_name!r} "
+            f"(available: {', '.join(sorted(MIXES))})"
+        ) from None
+    return PopulationSampler(mix, **kwargs)

@@ -1,0 +1,195 @@
+"""Bounded-memory cohort accumulators and the population report.
+
+Everything a cohort reports — per-arm quantiles, means, pushed bytes,
+the paired per-load delta distribution, the push verdict — folds out of
+:class:`ArmAccumulator`/:class:`CohortAccumulator`, which hold only
+streaming state (:class:`~repro.metrics.stats.StreamingMoments` plus a
+:class:`~repro.metrics.stats.TDigest`), never the loads themselves.
+Memory is therefore constant in the number of loads, which is what
+lets the driver pump hundreds of thousands of simulated clients
+through one process.
+
+Accumulators ``merge`` associatively (moments via Chan, digests via
+the t-digest's commutative merge), so shard-level partials — e.g. one
+accumulator per worker — combine into the same study-level report.
+The driver itself folds loads in index order for bit-stable output;
+merging is for callers that shard cohorts explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..experiments.reducers import CellSummary
+from ..metrics.stats import StreamingMoments, TDigest
+
+#: Quantiles every cohort reports (CDF sample points).
+REPORT_QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+
+#: Median PLT deltas inside ±this fraction are called "neutral".
+VERDICT_THRESHOLD = 0.01
+
+
+class ArmAccumulator:
+    """Streaming summary of one strategy arm of one cohort."""
+
+    __slots__ = ("plt", "si", "plt_digest", "pushed_bytes_total")
+
+    def __init__(self, compression: int = 100):
+        self.plt = StreamingMoments()
+        self.si = StreamingMoments()
+        self.plt_digest = TDigest(compression)
+        self.pushed_bytes_total = 0
+
+    def add(self, summary: CellSummary) -> None:
+        """Fold one load's single-run summary cell."""
+        for stats in summary.run_stats:
+            self.plt.add(stats.plt_ms)
+            self.si.add(stats.speed_index_ms)
+            self.plt_digest.add(stats.plt_ms)
+            self.pushed_bytes_total += stats.pushed_bytes
+
+    def merge(self, other: "ArmAccumulator") -> None:
+        self.plt.merge(other.plt)
+        self.si.merge(other.si)
+        self.plt_digest.merge(other.plt_digest)
+        self.pushed_bytes_total += other.pushed_bytes_total
+
+    def to_json(self) -> Dict:
+        return {
+            "loads": self.plt.count,
+            "plt_mean_ms": self.plt.mean,
+            "plt_min_ms": self.plt.minimum,
+            "plt_max_ms": self.plt.maximum,
+            "plt_quantiles_ms": {
+                f"p{int(q * 100):02d}": self.plt_digest.quantile(q)
+                for q in REPORT_QUANTILES
+            },
+            "si_mean_ms": self.si.mean,
+            "pushed_bytes_total": self.pushed_bytes_total,
+        }
+
+
+class CohortAccumulator:
+    """Paired no-push/push streaming state for one cohort."""
+
+    __slots__ = ("name", "strategy", "baseline", "treatment", "delta", "helped")
+
+    def __init__(self, name: str, strategy: str, compression: int = 100):
+        self.name = name
+        self.strategy = strategy
+        self.baseline = ArmAccumulator(compression)
+        self.treatment = ArmAccumulator(compression)
+        #: Per-load paired PLT delta (push − no-push); common random
+        #: numbers make this far tighter than the marginal difference.
+        self.delta = StreamingMoments()
+        self.helped = 0
+
+    def add_pair(self, baseline: CellSummary, treatment: CellSummary) -> None:
+        self.baseline.add(baseline)
+        self.treatment.add(treatment)
+        delta = treatment.median_plt - baseline.median_plt
+        self.delta.add(delta)
+        if delta < 0:
+            self.helped += 1
+
+    def merge(self, other: "CohortAccumulator") -> None:
+        self.baseline.merge(other.baseline)
+        self.treatment.merge(other.treatment)
+        self.delta.merge(other.delta)
+        self.helped += other.helped
+
+    # ------------------------------------------------------------------
+    @property
+    def loads(self) -> int:
+        return self.delta.count
+
+    @property
+    def helped_fraction(self) -> float:
+        return self.helped / self.loads if self.loads else 0.0
+
+    @property
+    def median_delta_pct(self) -> float:
+        """Median-of-medians shift: push p50 vs baseline p50, in %."""
+        base = self.baseline.plt_digest.quantile(0.5)
+        treat = self.treatment.plt_digest.quantile(0.5)
+        return (treat - base) / base * 100.0 if base else 0.0
+
+    @property
+    def verdict(self) -> str:
+        """Per-cohort deployment call, mirroring the paper's framing."""
+        if self.loads == 0:
+            return "no_data"
+        shift = self.median_delta_pct / 100.0
+        if shift < -VERDICT_THRESHOLD and self.helped_fraction >= 0.5:
+            return "push_helps"
+        if shift > VERDICT_THRESHOLD and self.helped_fraction < 0.5:
+            return "push_hurts"
+        return "neutral"
+
+    def to_json(self) -> Dict:
+        return {
+            "cohort": self.name,
+            "strategy": self.strategy,
+            "loads": self.loads,
+            "no_push": self.baseline.to_json(),
+            "push": self.treatment.to_json(),
+            "delta_plt_mean_ms": self.delta.mean if self.loads else 0.0,
+            "helped_fraction": self.helped_fraction,
+            "median_delta_pct": self.median_delta_pct,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class PopulationResult:
+    """All cohort accumulators of one study, plus run bookkeeping."""
+
+    strategy: str
+    seed: int
+    cohorts: List[CohortAccumulator] = field(default_factory=list)
+    #: Engine cache-tier tallies (memory/disk hits, misses) summed over
+    #: batches — diagnostics only, excluded from the golden record
+    #: because they depend on cache state, not on the measurements.
+    cache_tiers: Dict[str, int] = field(default_factory=dict)
+
+    def cohort(self, name: str) -> CohortAccumulator:
+        for accumulator in self.cohorts:
+            if accumulator.name == name:
+                return accumulator
+        raise KeyError(name)
+
+    def to_json(self) -> Dict:
+        """Deterministic study record (the golden-file payload)."""
+        return {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "cohorts": [accumulator.to_json() for accumulator in self.cohorts],
+        }
+
+
+def render_population(result: PopulationResult) -> str:
+    """The study as aligned text: one quantile block per cohort."""
+    lines = [
+        f"population study — strategy={result.strategy} seed={result.seed}",
+    ]
+    for acc in result.cohorts:
+        base, push = acc.baseline, acc.treatment
+        lines.append("")
+        lines.append(
+            f"{acc.name:<16} n={acc.loads}  verdict={acc.verdict}  "
+            f"Δp50={acc.median_delta_pct:+.2f}%  "
+            f"helped={acc.helped_fraction * 100:.1f}%"
+        )
+        for label, arm in (("no_push", base), (result.strategy, push)):
+            cells = "  ".join(
+                f"p{int(q * 100):02d}={arm.plt_digest.quantile(q):8.1f}"
+                for q in REPORT_QUANTILES
+            )
+            lines.append(f"  {label:<12} {cells} [ms]")
+        lines.append(
+            f"  pushed bytes: {push.pushed_bytes_total:,} "
+            f"({push.pushed_bytes_total / max(1, acc.loads):,.0f}/load)"
+        )
+    return "\n".join(lines)

@@ -31,7 +31,7 @@ from .recorddb import RecordDatabase
 from .recorder import record_site
 
 
-@dataclass
+@dataclass(slots=True)
 class PageLoadResult:
     """Outcome of one replayed page load."""
 

@@ -1,0 +1,154 @@
+"""The reducer protocol: shim equivalence, engine identity, caching.
+
+Three contracts:
+
+* ``RepeatedResult`` is now a shim over the ``summary`` reducer — its
+  aggregates must equal a ``summary`` cell's, field for field;
+* a ``summary`` cell is bit-identical across serial, warm-serial, and
+  warm-pool execution under any chunk geometry;
+* summary cells round-trip through both cache tiers, and the ``reduce``
+  field only enters ``Cell.key()`` when non-default (historical keys
+  must not move).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.engine import (
+    Cell,
+    ExperimentEngine,
+    Grid,
+    ResultCache,
+    SerialExecutor,
+    WarmPoolExecutor,
+)
+from repro.experiments.fig5_interleaving import make_test_site
+from repro.experiments.reducers import (
+    CellSummary,
+    RunStats,
+    reducer_for,
+    summarize_results,
+)
+from repro.experiments.runner import RepeatedResult, run_reduced, run_repeated
+from repro.strategies.simple import NoPushStrategy, PushAllStrategy
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_test_site(64)
+
+
+def paired_grid(spec, reduce: str) -> Grid:
+    grid = Grid(name=f"reducers-{reduce}")
+    grid.add(spec, NoPushStrategy(), runs=5, seed_base=2, reduce=reduce)
+    grid.add(spec, PushAllStrategy(), runs=5, seed_base=2, reduce=reduce)
+    return grid
+
+
+def test_reducer_registry():
+    assert reducer_for("collect").name == "collect"
+    assert reducer_for("summary").name == "summary"
+    with pytest.raises(ConfigError):
+        reducer_for("bogus")
+
+
+def test_summary_matches_collect_shim(spec):
+    collected = run_repeated(spec, PushAllStrategy(), runs=5, seed_base=1)
+    summary = run_reduced(
+        spec, PushAllStrategy(), runs=5, reducer=reducer_for("summary"), seed_base=1
+    )
+    assert isinstance(collected, RepeatedResult)
+    assert isinstance(summary, CellSummary)
+    assert collected.summary == summary
+    # Shim properties delegate to the very same reduction.
+    assert collected.median_plt == summary.median_plt
+    assert collected.median_si == summary.median_si
+    assert collected.plt_std_error == summary.plt_std_error
+    assert collected.si_std_error == summary.si_std_error
+    assert collected.pushed_bytes == summary.pushed_bytes
+    assert collected.plt_values == list(summary.plt_values)
+    assert collected.pushed_bytes_per_run == list(summary.pushed_bytes_per_run)
+
+
+def test_pushed_bytes_disagreement_raises():
+    def stats(pushed):
+        return RunStats(
+            plt_ms=1.0,
+            speed_index_ms=1.0,
+            first_visual_change_ms=0.0,
+            pushed_bytes=pushed,
+            downlink_bytes=0,
+            uplink_bytes=0,
+            connections=1,
+            requests=1,
+        )
+
+    summary = reducer_for("summary").assemble("s", "push", [stats(10), stats(20)])
+    with pytest.raises(ExperimentError, match="pushed_bytes disagree"):
+        summary.pushed_bytes
+
+
+def test_summary_identical_across_executors_and_chunking(spec):
+    serial = ExperimentEngine(executor=SerialExecutor(), cache=None).run(
+        paired_grid(spec, "summary")
+    )
+    for chunk_runs in (1, 2, 5):
+        with WarmPoolExecutor(
+            max_workers=2, chunk_runs=chunk_runs, auto_scale=False
+        ) as executor:
+            pooled = ExperimentEngine(executor=executor, cache=None).run(
+                paired_grid(spec, "summary")
+            )
+        assert pooled == serial, f"chunk_runs={chunk_runs} diverged"
+    # Warm-serial degradation path (effective_workers == 1).
+    with WarmPoolExecutor(max_workers=1, auto_scale=False) as executor:
+        warm_serial = ExperimentEngine(executor=executor, cache=None).run(
+            paired_grid(spec, "summary")
+        )
+    assert warm_serial == serial
+
+
+def test_summary_equals_collect_summary_through_engine(spec):
+    engine = ExperimentEngine(executor=SerialExecutor(), cache=None)
+    collected = engine.run(paired_grid(spec, "collect"))
+    summaries = engine.run(paired_grid(spec, "summary"))
+    assert [result.summary for result in collected] == summaries
+
+
+def test_reduce_field_gated_out_of_default_key(spec):
+    collect_cell = Cell(spec=spec, strategy=PushAllStrategy(), runs=3)
+    explicit = Cell(spec=spec, strategy=PushAllStrategy(), runs=3, reduce="collect")
+    summary_cell = Cell(spec=spec, strategy=PushAllStrategy(), runs=3, reduce="summary")
+    # The default reducer must not move any historical cache key.
+    assert collect_cell.key() == explicit.key()
+    # A different stored result type must change the key.
+    assert summary_cell.key() != collect_cell.key()
+
+
+def test_summary_round_trips_both_cache_tiers(spec, tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = ExperimentEngine(executor=SerialExecutor(), cache=cache)
+    grid = paired_grid(spec, "summary")
+    first = engine.run(grid)
+    # Memory tier.
+    memory_hit = engine.run(paired_grid(spec, "summary"))
+    assert memory_hit == first
+    # Disk tier (fresh engine, same cache directory).
+    fresh = ExperimentEngine(executor=SerialExecutor(), cache=cache)
+    disk_hit = fresh.run(paired_grid(spec, "summary"))
+    assert disk_hit == first
+    tiers = [record.cache_tier for record in fresh.last_report.records]
+    assert tiers == ["disk", "disk"]
+
+
+def test_summarize_results_drops_timelines(spec):
+    """A CellSummary holds no timeline, resource, or paint references."""
+    collected = run_repeated(spec, NoPushStrategy(), runs=2, seed_base=0)
+    summary = summarize_results(
+        collected.site, collected.strategy, collected.results
+    )
+    for stats in summary.run_stats:
+        assert isinstance(stats, RunStats)
+    assert not hasattr(summary, "results")
