@@ -14,6 +14,12 @@ trajectory behind:
   on the wire, bytes on both links, and a PLT checksum) from every
   replay: optimizations must leave these byte-for-byte identical, so a
   counter drift flags a semantics change even when the tests pass.
+* **fastcore vs oracle** — the same fig-3-shaped grid run once per
+  simulation core (pure-Python oracle, fastcore, and the compiled
+  fastcore when the ``[fast]`` extra is installed).  ``--check`` fails
+  if the cores disagree on any determinism counter or if the hpack
+  round-trip micro regresses past the recorded baseline by more than
+  measurement noise.
 * **tracing overhead** — the same fig-3-shaped grid with the trace
   subsystem disabled (every hook pays one attribute check) and with a
   live tracer per replay.  ``--check`` fails if the off-mode wall
@@ -233,6 +239,59 @@ def run_replay_benchmark(repetitions: int) -> Dict[str, object]:
         "wall_s": min(walls),
         "wall_all_s": walls,
         "counters": counters.to_json(),
+    }
+
+
+# ----------------------------------------------------------------------
+# fastcore vs oracle (same frozen grid, explicit core selection)
+# ----------------------------------------------------------------------
+#: The hpack round-trip micro may not regress past the recorded
+#: baseline by more than timing noise under ``--check``.
+HPACK_NOISE_FACTOR = 1.15
+
+
+def run_fastcore_benchmark(repetitions: int) -> Dict[str, object]:
+    """Time the frozen grid under each simulation core.
+
+    The pure-Python oracle and the fastcore must produce bit-identical
+    determinism counters — that equivalence is the contract that lets
+    the fastcore replace the oracle at all.  The compiled fastcore is
+    timed too when the mypyc extension is installed (``[fast]`` extra);
+    its absence is recorded, never an error.
+    """
+    from repro.core import compiled_available, set_core_mode
+
+    def timed(mode: str) -> tuple:
+        set_core_mode(mode)
+        try:
+            counters = Counters()
+            start = time.perf_counter()
+            run_replay_grid(counters)
+            walls = [time.perf_counter() - start]
+            for _ in range(repetitions - 1):
+                start = time.perf_counter()
+                run_replay_grid(None)
+                walls.append(time.perf_counter() - start)
+            return min(walls), counters.to_json()
+        finally:
+            set_core_mode(None)
+
+    python_wall, python_counters = timed("python")
+    fast_wall, fast_counters = timed("fast")
+    walls = {"python": python_wall, "fast": fast_wall}
+    counters = {"python": python_counters, "fast": fast_counters}
+    identical = python_counters == fast_counters
+    if compiled_available():
+        compiled_wall, compiled_counters = timed("compiled")
+        walls["compiled"] = compiled_wall
+        counters["compiled"] = compiled_counters
+        identical = identical and compiled_counters == python_counters
+    return {
+        "wall_s": walls,
+        "counters": counters,
+        "identical_counters": identical,
+        "speedup_fast_vs_python": round(python_wall / fast_wall, 3),
+        "compiled_available": compiled_available(),
     }
 
 
@@ -461,8 +520,15 @@ def run_population_benchmark() -> Dict[str, object]:
 # result recording
 # ----------------------------------------------------------------------
 def build_section(repetitions: int) -> Dict[str, object]:
+    # Micros are best-of-repetitions like every timed section: single
+    # samples on a shared host are too noisy for the --check bound.
     micros = run_micros()
+    for _ in range(repetitions - 1):
+        for name, value in run_micros().items():
+            if value < micros[name]:
+                micros[name] = value
     replay = run_replay_benchmark(repetitions)
+    fastcore = run_fastcore_benchmark(repetitions)
     trace = run_trace_benchmark(repetitions)
     grid = run_grid_benchmark(repetitions)
     population = run_population_benchmark()
@@ -471,6 +537,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
         "python": platform.python_version(),
         "micros": micros,
         "replay": replay,
+        "fastcore": fastcore,
         "trace": trace,
         "grid": grid,
         "population": population,
@@ -538,6 +605,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             speedup["grid_warm_vs_legacy"] = current["grid"][
                 "speedup_warm_vs_legacy"
             ]
+        # The fastcore section compares cores within one run (the
+        # oracle *is* the pre-PR engine), mirroring the grid section.
+        if "fastcore" in current:
+            speedup["fastcore_vs_oracle"] = current["fastcore"][
+                "speedup_fast_vs_python"
+            ]
         document["speedup"] = speedup
         print(f"replay speedup vs baseline: {speedup['replay']}x")
         print(f"determinism counters match baseline: {counters_match}")
@@ -556,6 +629,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"{label} grid warm vs legacy: {grid['speedup_warm_vs_legacy']}x "
         f"(cpus={grid['cpus']}, identical_outputs={grid['identical_outputs']})"
+    )
+    fastcore = section["fastcore"]
+    for name, value in fastcore["wall_s"].items():
+        print(f"{label} fastcore {name}: {value:.3f} s")
+    print(
+        f"{label} fastcore vs oracle: {fastcore['speedup_fast_vs_python']}x "
+        f"(identical_counters={fastcore['identical_counters']}, "
+        f"compiled_available={fastcore['compiled_available']})"
     )
     trace = section["trace"]
     print(
@@ -590,6 +671,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"tracing-off wall {trace['wall_off_s']:.3f}s exceeds the "
                 f"noise bound {bound:.3f}s — disabled hooks are too expensive"
             )
+        if not fastcore["identical_counters"]:
+            failures.append(
+                "fastcore and oracle disagreed on the determinism counters"
+            )
+        if fastcore["counters"]["python"] != replay_counters:
+            failures.append(
+                "explicit-oracle pass drifted from the replay section counters"
+            )
+        if baseline:
+            base_hpack = baseline["micros"].get("hpack_round_trip_2k_s")
+            cur_hpack = section["micros"]["hpack_round_trip_2k_s"]
+            if base_hpack and cur_hpack > base_hpack * HPACK_NOISE_FACTOR:
+                failures.append(
+                    f"hpack round trip {cur_hpack:.4f}s regressed past the "
+                    f"baseline {base_hpack:.4f}s (noise factor "
+                    f"{HPACK_NOISE_FACTOR}x)"
+                )
         if population["memory_ratio"] > POPULATION_MEMORY_FACTOR:
             failures.append(
                 f"population memory peak grew {population['memory_ratio']}x "

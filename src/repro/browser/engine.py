@@ -162,6 +162,7 @@ class _ConnectionEntry:
         "pending",
         "html_stream_id",
         "chain",
+        "stream_fetch",
     )
 
     def __init__(self, ip: str, domain: str):
@@ -174,6 +175,10 @@ class _ConnectionEntry:
         #: (stream_id, weight, fetch) in creation order — the Chromium
         #: H2 dependency chain (see _parent_for).
         self.chain: List[tuple] = []
+        #: stream id -> in-flight fetch on this connection.  Keyed by
+        #: the bare int (the entry scopes the connection), so the
+        #: per-DATA-frame lookup allocates no tuple key.
+        self.stream_fetch: Dict[int, _Fetch] = {}
 
 
 class PageLoad:
@@ -208,7 +213,6 @@ class PageLoad:
         self.main_thread.on_idle = self._check_onload
 
         self._fetches: Dict[str, _Fetch] = {}
-        self._stream_fetch: Dict[tuple, _Fetch] = {}  # (conn_key, stream_id)
         self._pushed_unclaimed: Dict[str, _Fetch] = {}
         self._connections: Dict[str, _ConnectionEntry] = {}
 
@@ -473,7 +477,7 @@ class PageLoad:
             fetch.requested_at = self.sim.now
         if fetch.rtype == ResourceType.HTML and entry.html_stream_id is None:
             entry.html_stream_id = stream_id
-        self._stream_fetch[(id(entry.conn), stream_id)] = fetch
+        entry.stream_fetch[stream_id] = fetch
 
     def _parent_for(self, entry: _ConnectionEntry, weight: int) -> int:
         """Chromium's H2 dependency chain: a new stream depends on the
@@ -492,7 +496,7 @@ class PageLoad:
     # connection events
     # ------------------------------------------------------------------
     def _on_response(self, entry: _ConnectionEntry, stream_id: int, headers) -> None:
-        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        fetch = entry.stream_fetch.get(stream_id)
         if fetch is not None and fetch.response_start is None:
             fetch.response_start = self.sim.now
             if self._tracer is not None:
@@ -502,7 +506,7 @@ class PageLoad:
                 self.fetch(hint, classify_url(hint), initiator="hint")
 
     def _on_data(self, entry: _ConnectionEntry, stream_id: int, data: bytes) -> None:
-        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        fetch = entry.stream_fetch.get(stream_id)
         if fetch is None or fetch.cancelled:
             return
         fetch.body.extend(data)
@@ -514,7 +518,7 @@ class PageLoad:
             self._on_html_bytes(data)
 
     def _on_stream_end(self, entry: _ConnectionEntry, stream_id: int) -> None:
-        fetch = self._stream_fetch.get((id(entry.conn), stream_id))
+        fetch = entry.stream_fetch.get(stream_id)
         if fetch is None or fetch.cancelled:
             return
         if fetch.pushed and not fetch.adopted:
@@ -545,7 +549,7 @@ class PageLoad:
         fetch.discovered_at = self.sim.now
         fetch.stream_id = promised_id
         fetch.conn_key = entry.domain
-        self._stream_fetch[(id(entry.conn), promised_id)] = fetch
+        entry.stream_fetch[promised_id] = fetch
         self._pushed_unclaimed[url] = fetch
         # Chromium (as of v64) does not reprioritize promised streams —
         # the server's plan-order chain governs pushed-stream priority —
@@ -579,9 +583,11 @@ class PageLoad:
         if self._tracer is not None:
             self._tracer.push_adopted(fetch.url, parked.stream_id)
         # Rebind the stream to the adopting fetch for future data.
-        for key, value in list(self._stream_fetch.items()):
-            if value is parked:
-                self._stream_fetch[key] = fetch
+        for conn_entry in self._connections.values():
+            table = conn_entry.stream_fetch
+            for key, value in list(table.items()):
+                if value is parked:
+                    table[key] = fetch
         if parked.complete:
             self.sim.call_soon(lambda: self._complete_fetch(fetch))
 

@@ -24,6 +24,7 @@ prints the engine's per-grid timing/cache summary to stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -395,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HTTP/2 Server Push replay testbed (CoNEXT'18 reproduction)",
     )
+    parser.add_argument(
+        "--core", choices=["fast", "python", "compiled"], default=None,
+        help="simulation core: 'fast' batch-steppable engine (default), "
+        "'python' pure-Python oracle, 'compiled' mypyc build of the "
+        "fastcore (requires the [fast] extra); overrides $REPRO_CORE",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("sites", help="list bundled website models").set_defaults(
@@ -505,6 +512,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.core is not None:
+        from .core import set_core_mode
+
+        set_core_mode(args.core)
+        # Engine worker processes import a fresh interpreter and read
+        # the environment, so export the choice for them too.
+        os.environ["REPRO_CORE"] = args.core
     try:
         return args.func(args)
     except ConfigError as exc:

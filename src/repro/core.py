@@ -1,0 +1,74 @@
+"""Simulation-core selection: fastcore vs pure-Python oracle.
+
+The replay hot loop exists in two interchangeable implementations:
+
+* ``fast`` — the batch-steppable fastcore (:mod:`repro.sim.fastcore`):
+  a calendar queue with dedicated monotonic timer lanes, no-handle
+  scheduling for fire-and-forget events, and same-timestamp batch
+  dispatch.  This is the default.
+* ``python`` — the original heap-based :class:`repro.sim.events.Simulator`,
+  retained verbatim as the **bit-identity oracle**.  Every observable
+  of a replay (event order, wire bytes, PLT, determinism counters,
+  engine cache fingerprints) must be identical under both cores; the
+  fastcore-vs-oracle equivalence suite and the golden records enforce
+  this, following the ``huffman_decode_reference`` pattern.
+
+Selection is by the ``REPRO_CORE`` environment variable (``fast`` |
+``python``), the ``--core`` CLI flag, or :func:`set_core_mode`.  When
+the optional mypyc-compiled build of the fastcore is installed
+(``pip install -e .[fast]``), ``fast`` transparently uses it; the pure
+interpretation of the same module is used otherwise, so ``fast`` never
+requires a compiler.  ``REPRO_CORE=compiled`` insists on the compiled
+extension and raises if it is absent — CI uses it to make sure the
+compiled job really exercised compiled code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_VALID = ("fast", "python", "compiled")
+
+#: Process-wide override; ``None`` defers to the environment.
+_mode_override: Optional[str] = None
+
+
+def _env_mode() -> str:
+    mode = os.environ.get("REPRO_CORE", "fast").strip().lower()
+    return mode if mode in _VALID else "fast"
+
+
+def core_mode() -> str:
+    """The active core: ``fast``, ``python``, or ``compiled``."""
+    return _mode_override if _mode_override is not None else _env_mode()
+
+
+def set_core_mode(mode: Optional[str]) -> None:
+    """Override the core for this process (``None`` restores env/default)."""
+    global _mode_override
+    if mode is not None and mode not in _VALID:
+        raise ValueError(f"invalid core mode {mode!r}; choose from {_VALID}")
+    _mode_override = mode
+
+
+def compiled_available() -> bool:
+    """True when the mypyc-compiled fastcore extension is importable."""
+    try:
+        from .sim import fastcore
+
+        return not fastcore.__file__.endswith(".py")
+    except ImportError:  # pragma: no cover - fastcore always ships
+        return False
+
+
+def use_fastcore() -> bool:
+    """True when simulators should be built on the fastcore."""
+    mode = core_mode()
+    if mode == "compiled" and not compiled_available():
+        raise RuntimeError(
+            "REPRO_CORE=compiled but the mypyc-compiled fastcore is not "
+            "installed; build it with `pip install -e .[fast]` or use "
+            "REPRO_CORE=fast"
+        )
+    return mode in ("fast", "compiled")

@@ -15,6 +15,7 @@ paper's Interleaving Push is implemented (see ``repro.server``).
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
@@ -61,6 +62,10 @@ _HALF_CLOSED_LOCAL = StreamState.HALF_CLOSED_LOCAL
 
 _DATA_TYPE = int(FrameType.DATA)
 _END_STREAM_RAW = int(Flag.END_STREAM)
+_WINDOW_UPDATE_TYPE = int(FrameType.WINDOW_UPDATE)
+
+# Precompiled 4-octet WINDOW_UPDATE payload packer.
+_pack_increment = struct.Struct(">I").pack
 
 
 class DataScheduler:
@@ -334,14 +339,16 @@ class H2Connection:
 
     def _flush_control(self) -> None:
         queue = self._control_queue
-        endpoint = self._endpoint
+        # Direct half-connection access (TcpEndpoint.send_buffer_space /
+        # send are thin wrappers; this loop runs per flushed frame).
+        half = self._endpoint._out
         while queue:
             payload = queue[0]
-            if endpoint.send_buffer_space <= 0:
+            if half._buffered >= half._max_buffer:
                 return
             # Control frames may exceed the socket buffer (e.g. a large
             # header block); write whatever fits and resume on writable.
-            accepted = endpoint.send(payload)
+            accepted = half.enqueue(payload)
             if accepted < len(payload):
                 queue[0] = payload[accepted:]
                 return
@@ -397,7 +404,11 @@ class H2Connection:
             # Nothing could possibly be ready (the common case on the
             # client side, which never queues body bytes).
             return
-        endpoint = self._endpoint
+        # Direct half-connection access: send_buffer_space /
+        # unsent_buffered / congestion_window are endpoint property
+        # chains re-read on every loop iteration of the hottest loop in
+        # a replay.
+        half = self._endpoint._out
         streams = self.streams
         conn_window = self._conn_send_window
         scheduler = self.scheduler
@@ -413,7 +424,7 @@ class H2Connection:
         # keeping the list bit-identical to a fresh recomputation.
         ready: Optional[List[int]] = None
         while True:
-            space = endpoint.send_buffer_space
+            space = half._max_buffer - half._buffered
             if space <= _FRAME_HEADER:
                 return
             # TCP_NOTSENT_LOWAT-style pacing: stop queueing DATA once
@@ -424,7 +435,7 @@ class H2Connection:
             # loss collapses cwnd, the backlog cap keeps scheduling
             # decisions close to the wire, so priority changes are not
             # stranded behind kilobytes of already-committed DATA.
-            if endpoint.unsent_buffered >= 2.0 * endpoint.congestion_window:
+            if half._buffered >= 2.0 * half._cc.cwnd:
                 return
             if ready is None:
                 ready = self._ready_streams()
@@ -457,7 +468,7 @@ class H2Connection:
             conn_window.consume(sent)
             # Equivalent to DataFrame(...).serialize() for an unpadded
             # frame, without building the frame object.
-            endpoint.send(
+            half.enqueue(
                 _pack_header(
                     sent, _DATA_TYPE, _END_STREAM_RAW if end else 0, stream_id
                 )
@@ -496,30 +507,93 @@ class H2Connection:
     # ------------------------------------------------------------------
     def _on_tcp_data(self, data: bytes) -> None:
         tracer = self._tracer
-        for frame in self._reader.feed(data):
-            self.frames_received += 1
-            if tracer is not None:
+        if tracer is not None:
+            # Traced path: materialize frames so the tracer sees every
+            # frame (DATA included) with its wire size.
+            for frame in self._reader.feed(data):
+                self.frames_received += 1
                 tracer.frame_received(
                     self._trace_name, frame.TYPE.name, frame.stream_id, frame.wire_size
                 )
-            self._dispatch(frame)
-        self._pump()
+                self._dispatch(frame)
+            self._pump()
+            return
+        self._reader.feed_dispatch(data, self._on_frame, self._fast_data)
+        # _pump is a no-op without queued control bytes or candidate
+        # streams; skipping it saves the call chain per received segment.
+        if self._control_queue or self._send_candidates:
+            self._pump()
+
+    def _on_frame(self, frame: Frame) -> None:
+        """Non-DATA dispatch target for the fused receive path."""
+        self.frames_received += 1
+        self._dispatch(frame)
+
+    def _fast_data(self, stream_id: int, data: bytes, raw_flags: int) -> None:
+        """Unpadded-DATA dispatch target for the fused receive path.
+
+        Behaviourally identical to ``_dispatch(DataFrame(...))`` +
+        ``_handle_data`` with the frame object, flag decoding, and
+        window bookkeeping inlined.
+        """
+        self.frames_received += 1
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.state is _CLOSED:
+            return  # data for a reset stream was already in flight
+        size = len(data)
+        end = raw_flags & _END_STREAM_RAW
+        stream.bytes_received += size
+        # Inlined ReceiveWindow.on_data for the stream window: always
+        # account the bytes; emit credit once half the window is spent
+        # (suppressed when the stream just ended, as _handle_data does).
+        recv_window = stream.recv_window
+        consumed = recv_window._consumed_since_update + size
+        if consumed * 2 > recv_window._capacity:
+            recv_window._consumed_since_update = 0
+            if not end:
+                self._queue_window_update(stream_id, consumed)
+        else:
+            recv_window._consumed_since_update = consumed
+        conn_window = self._conn_recv_window
+        conn_consumed = conn_window._consumed_since_update + size
+        if conn_consumed * 2 > conn_window._capacity:
+            conn_window._consumed_since_update = 0
+            self._queue_window_update(0, conn_consumed)
+        else:
+            conn_window._consumed_since_update = conn_consumed
+        if size and self.on_data is not None:
+            self.on_data(stream_id, data)
+        if end:
+            self._end_remote(stream)
+
+    def _queue_window_update(self, stream_id: int, increment: int) -> None:
+        """``_queue_frame(WindowUpdateFrame(...))`` without the object.
+
+        Only called from the untraced fast path, so no tracer hook.
+        """
+        self._control_queue.append(
+            _pack_header(4, _WINDOW_UPDATE_TYPE, 0, stream_id)
+            + _pack_increment(increment & 0x7FFFFFFF)
+        )
+        self.frames_sent += 1
 
     def _dispatch(self, frame: Frame) -> None:
         if self._header_fragments is not None and not isinstance(frame, ContinuationFrame):
             raise ProtocolError("expected CONTINUATION frame")
-        if isinstance(frame, SettingsFrame):
-            self._handle_settings(frame)
+        # Ladder ordered by receive frequency on the fused path (DATA
+        # short-circuits through _fast_data, so WINDOW_UPDATE dominates).
+        if isinstance(frame, WindowUpdateFrame):
+            self._handle_window_update(frame)
+        elif isinstance(frame, DataFrame):
+            self._handle_data(frame)
         elif isinstance(frame, HeadersFrame):
             self._handle_headers(frame)
         elif isinstance(frame, ContinuationFrame):
             self._handle_continuation(frame)
-        elif isinstance(frame, DataFrame):
-            self._handle_data(frame)
+        elif isinstance(frame, SettingsFrame):
+            self._handle_settings(frame)
         elif isinstance(frame, PushPromiseFrame):
             self._handle_push_promise(frame)
-        elif isinstance(frame, WindowUpdateFrame):
-            self._handle_window_update(frame)
         elif isinstance(frame, RstStreamFrame):
             self._handle_rst(frame)
         elif isinstance(frame, PriorityFrame):

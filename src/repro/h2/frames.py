@@ -32,6 +32,7 @@ _HEADER_STRUCT = struct.Struct(">IBI")  # (length << 8 | type), flags, stream id
 _RAW_ACK = Flag.ACK._value_
 _RAW_PADDED = Flag.PADDED._value_
 _RAW_PRIORITY = Flag.PRIORITY._value_
+_RAW_DATA_TYPE = int(FrameType.DATA)
 
 
 def _pack_header(length: int, frame_type: int, flags: int, stream_id: int) -> bytes:
@@ -572,6 +573,70 @@ class FrameReader:
         elif offset < n:
             buf.extend(data if offset == 0 else memoryview(data)[offset:])
         return frames
+
+    def feed_dispatch(self, data, on_frame, on_data) -> None:
+        """Parse and dispatch frames inline, in exact wire order.
+
+        The fused receive path: unpadded DATA frames — the overwhelming
+        majority of received frames during a transfer — are handed to
+        ``on_data(stream_id, body, raw_flags)`` without constructing a
+        :class:`DataFrame`; every other complete frame is parsed as in
+        :meth:`feed` and handed to ``on_frame(frame)``.  Dispatching
+        inline (rather than returning a list) preserves the relative
+        order of DATA and non-DATA frames, which :meth:`feed` guarantees
+        and the connection logic depends on (HEADERS before their DATA).
+        """
+        buf = self._buffer
+        if buf or self._expect_preface:
+            buf.extend(data)
+            if self._expect_preface:
+                from .constants import CONNECTION_PREFACE
+
+                if len(buf) < len(CONNECTION_PREFACE):
+                    return
+                if bytes(buf[: len(CONNECTION_PREFACE)]) != CONNECTION_PREFACE:
+                    raise ProtocolError("invalid connection preface")
+                del buf[: len(CONNECTION_PREFACE)]
+                self._expect_preface = False
+            src: Union[bytes, bytearray] = buf
+            view: Optional[memoryview] = memoryview(buf)
+        else:
+            src = data
+            view = None
+        n = len(src)
+        offset = 0
+        unpack_from = _HEADER_STRUCT.unpack_from
+        parsers = _PARSERS
+        flag_cache = _FLAG_CACHE
+        try:
+            while n - offset >= FRAME_HEADER_SIZE:
+                length_type, flags, stream_id = unpack_from(src, offset)
+                total = FRAME_HEADER_SIZE + (length_type >> 8)
+                if n - offset < total:
+                    break
+                start = offset + FRAME_HEADER_SIZE
+                end = offset + total
+                frame_type = length_type & 0xFF
+                if frame_type == _RAW_DATA_TYPE and not flags & _RAW_PADDED:
+                    body = src[start:end] if view is None else bytes(view[start:end])
+                    on_data(stream_id & 0x7FFFFFFF, body, flags)
+                else:
+                    parser = parsers.get(frame_type)
+                    if parser is not None:  # §4.1: skip unknown types
+                        body = src[start:end] if view is None else bytes(view[start:end])
+                        flag = flag_cache.get(flags)
+                        if flag is None:
+                            flag = flag_cache[flags] = Flag(flags)
+                        on_frame(parser.parse(flag, stream_id & 0x7FFFFFFF, body))
+                offset += total
+        finally:
+            if view is not None:
+                view.release()
+        if view is not None:
+            if offset:
+                del buf[:offset]
+        elif offset < n:
+            buf.extend(data if offset == 0 else memoryview(data)[offset:])
 
     @property
     def buffered_bytes(self) -> int:

@@ -18,15 +18,34 @@ from .static_table import lookup_exact, lookup_name
 
 Header = Tuple[str, str]
 
+#: Memo for encoded string literals.  Header names and most values
+#: (methods, status codes, content types, hostnames) repeat heavily
+#: across requests, and the Huffman length/encode pass is the single
+#: most expensive step of encoding.  Bounded so pathological value
+#: diversity (e.g. unique URLs) cannot grow it without limit.
+_STRING_MEMO: dict = {}
+_STRING_MEMO_MAX = 8192
+
+#: Indexed header field (pattern ``1xxxxxxx``) for indices that fit the
+#: 7-bit prefix — covers the whole static table and the near end of the
+#: dynamic table, i.e. virtually every indexed emission.
+_INDEXED_FIELD = tuple(bytes([0x80 | i]) for i in range(127))
+
 
 def _encode_string(text: str) -> bytes:
+    cached = _STRING_MEMO.get(text)
+    if cached is not None:
+        return cached
     raw = text.encode("ascii", errors="replace")
-    huff = None
     if huffman_encoded_length(raw) < len(raw):
         huff = huffman_encode(raw)
-    if huff is not None:
-        return encode_integer(len(huff), 7, 0x80) + huff
-    return encode_integer(len(raw), 7, 0x00) + raw
+        encoded = encode_integer(len(huff), 7, 0x80) + huff
+    else:
+        encoded = encode_integer(len(raw), 7, 0x00) + raw
+    if len(_STRING_MEMO) >= _STRING_MEMO_MAX:
+        _STRING_MEMO.clear()
+    _STRING_MEMO[text] = encoded
+    return encoded
 
 
 class HpackEncoder:
@@ -52,11 +71,12 @@ class HpackEncoder:
         sensitive: Iterable[str] = (),
     ) -> bytes:
         """Encode a complete header list into a header block."""
-        sensitive_names = {name.lower() for name in sensitive}
+        sensitive_names = {name.lower() for name in sensitive} if sensitive else ()
         out = bytearray()
-        for size in self._pending_resize:
-            out.extend(encode_integer(size, 5, 0x20))
-        self._pending_resize.clear()
+        if self._pending_resize:
+            for size in self._pending_resize:
+                out.extend(encode_integer(size, 5, 0x20))
+            self._pending_resize.clear()
         for name, value in headers:
             name = name.lower()
             out.extend(self._encode_field(name, value, name in sensitive_names))
@@ -67,9 +87,11 @@ class HpackEncoder:
             return self._literal(name, value, pattern=0x10, prefix=4, index_name=True)
         static_exact = lookup_exact(name, value)
         if static_exact is not None:
-            return encode_integer(static_exact, 7, 0x80)
+            return _INDEXED_FIELD[static_exact]
         dynamic_exact, dynamic_name = self._table.find(name, value)
         if dynamic_exact is not None:
+            if dynamic_exact < 127:
+                return _INDEXED_FIELD[dynamic_exact]
             return encode_integer(dynamic_exact, 7, 0x80)
         # Literal with incremental indexing (pattern 01, 6-bit prefix).
         self._table.add(name, value)

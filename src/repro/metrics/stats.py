@@ -386,7 +386,12 @@ class TDigest:
                 prev_center = seen - weights[index - 1] / 2.0
                 span = center - prev_center
                 fraction = (target - prev_center) / span if span > 0 else 0.0
-                return means[index - 1] + fraction * (means[index] - means[index - 1])
+                value = means[index - 1] + fraction * (means[index] - means[index - 1])
+                # The interpolation arithmetic can overshoot the
+                # bracketing centroid means by an ulp even though
+                # 0 <= fraction <= 1; quantiles must never leave the
+                # observed value range.
+                return min(max(value, means[index - 1]), means[index])
             seen += weight
         return means[-1]
 

@@ -13,6 +13,7 @@ import random
 from typing import Callable, Optional
 
 from ..sim import Simulator
+from ..sim.events import _NO_ARG
 from .impairment import ImpairmentPipeline
 
 
@@ -55,6 +56,11 @@ class SharedLink:
         self._impairments = impairments
         self._busy_until = 0.0
         self.bytes_transmitted = 0
+        #: Per-link delivery lane: clean-link arrivals are monotone
+        #: (FIFO serialization + constant propagation), so deliveries
+        #: bypass the simulator heap; jitter/impairment reordering
+        #: falls back to the heap per event inside the lane.
+        self._deliver_lane = sim.timer_lane()
 
     @property
     def rate(self) -> float:
@@ -73,8 +79,12 @@ class SharedLink:
         """Current queueing delay a new arrival would experience."""
         return max(0.0, self._busy_until - self._sim.now)
 
-    def transmit(self, size: int, deliver: Callable[[], None]) -> float:
+    def transmit(self, size: int, deliver: Callable, arg1=_NO_ARG, arg2=_NO_ARG) -> float:
         """Enqueue ``size`` bytes; call ``deliver`` when they arrive.
+
+        Up to two arguments may be carried inline for the delivery
+        callback (``deliver(arg1, arg2)``), which lets per-segment hot
+        paths avoid allocating a closure per packet.
 
         Returns the absolute simulated arrival time.
         """
@@ -101,7 +111,7 @@ class SharedLink:
                 return finish + delay
             delay += extra
         arrival = finish + delay
-        self._sim.schedule_at(arrival, deliver)
+        self._deliver_lane.schedule_call_abs(arrival, deliver, arg1, arg2)
         return arrival
 
     def reset_counters(self) -> None:

@@ -34,7 +34,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from ..errors import NetworkError
-from ..sim import Simulator, Timer
+from ..sim import EventHandle, Simulator
 from .conditions import NetworkConditions
 from .congestion import make_congestion_control
 from .link import SharedLink
@@ -163,10 +163,21 @@ class _HalfConnection:
         # Congestion control policy (Reno reproduces the historical
         # inline window arithmetic bit for bit; see netsim.congestion).
         self._cc = make_congestion_control(conditions.congestion_control, conditions.mss)
-        #: seq -> (payload, rto timer, send time, was retransmitted,
+        #: seq -> (payload, rto handle, send time, was retransmitted,
         #: end seq) — the end is precomputed so the per-ACK scan does
         #: not call ``len`` on every in-flight payload.
-        self._in_flight: Dict[int, Tuple[bytes, Timer, float, bool, int]] = {}
+        self._in_flight: Dict[int, Tuple[bytes, EventHandle, float, bool, int]] = {}
+        #: While no retransmission has occurred, ``_in_flight`` insertion
+        #: order equals sequence order, so the per-ACK scan can stop at
+        #: the first unacked entry instead of filtering the whole dict.
+        #: Any retransmission re-inserts out of order and permanently
+        #: drops back to the exhaustive (historical) scan.
+        self._ordered = True
+        #: Dedicated timer lanes: RTO deadlines (now + rto) and delayed
+        #: ACK deadlines (now + 5ms) are each near-monotone within their
+        #: class, so arming/cancelling bypasses the main event heap on
+        #: the fastcore (the oracle shim schedules on its heap).
+        self._rto_lane = sim.timer_lane()
         self._was_full = False
         self.bytes_enqueued = 0
         # RFC 6298 adaptive retransmission timeout.  A fixed RTO melts
@@ -185,7 +196,7 @@ class _HalfConnection:
         self._reorder: Dict[int, bytes] = {}
         self.bytes_delivered = 0
         self._segments_since_ack = 0
-        self._ack_timer = Timer(sim, self._send_ack_now)
+        self._ack_timer = sim.timer_lane().timer(self._send_ack_now)
 
     # ------------------------------------------------------------------
     # sender side
@@ -250,14 +261,15 @@ class _HalfConnection:
         return b"".join(chunks)
 
     def _transmit(self, seq: int, payload: bytes, retransmission: bool) -> None:
-        rto = Timer(self._sim, lambda: self._on_timeout(seq))
-        rto.start(self._rto)
+        rto = self._rto_lane.schedule(self._rto, self._on_timeout, seq)
         self._in_flight[seq] = (payload, rto, self._sim.now, retransmission, seq + len(payload))
+        if retransmission:
+            self._ordered = False
         if self._conditions.loss_rate > 0 and self._rng.random() < self._conditions.loss_rate:
             # The segment is lost on the wire; the RTO timer recovers it.
             return
         size = len(payload) + HEADER_OVERHEAD
-        self._data_link.transmit(size, lambda: self._on_segment_arrival(seq, payload))
+        self._data_link.transmit(size, self._on_segment_arrival, seq, payload)
 
     def _sample_rtt(self, rtt: float) -> None:
         """RFC 6298 smoothed RTT / RTO update (Karn's rule applied by
@@ -321,11 +333,27 @@ class _HalfConnection:
         newly_acked = ack - self._snd_una
         self._snd_una = ack
         in_flight = self._in_flight
-        for seq in [s for s, entry in in_flight.items() if entry[4] <= ack]:
-            _payload, timer, sent_at, retransmitted, _end = in_flight.pop(seq)
-            timer.cancel()
-            if not retransmitted:
-                self._sample_rtt(self._sim.now - sent_at)
+        if self._ordered:
+            # Loss-free steady state: insertion order == seq order, so
+            # the acked entries are a prefix — stop at the first entry
+            # past the ACK instead of filtering the whole flight.
+            now = self._sim.now
+            acked_seqs = []
+            for seq, entry in in_flight.items():
+                if entry[4] > ack:
+                    break
+                acked_seqs.append(seq)
+                entry[1].cancel()
+                if not entry[3]:
+                    self._sample_rtt(now - entry[2])
+            for seq in acked_seqs:
+                del in_flight[seq]
+        else:
+            for seq in [s for s, entry in in_flight.items() if entry[4] <= ack]:
+                _payload, timer, sent_at, retransmitted, _end = in_flight.pop(seq)
+                timer.cancel()
+                if not retransmitted:
+                    self._sample_rtt(self._sim.now - sent_at)
         self._cc.on_ack(newly_acked, self._sim.now)
         if self._tracer is not None:
             self._cc.trace_sample(
@@ -369,8 +397,7 @@ class _HalfConnection:
     def _send_ack_now(self) -> None:
         self._ack_timer.cancel()
         self._segments_since_ack = 0
-        ack = self._rcv_next
-        self._ack_link.transmit(ACK_SIZE, lambda: self._on_ack(ack))
+        self._ack_link.transmit(ACK_SIZE, self._on_ack, self._rcv_next)
 
 
 class TcpConnection:

@@ -23,7 +23,7 @@ from ..metrics.speedindex import speed_index_of
 from ..netsim.conditions import DSL_TESTBED, NetworkConditions
 from ..netsim.topology import Topology
 from ..server.h2server import ReplayServer, ServerFarm
-from ..sim import Simulator
+from ..sim import Simulator, new_simulator
 from ..strategies.base import PushStrategy
 from .certs import CertificateAuthority
 from .matcher import RequestMatcher
@@ -132,7 +132,7 @@ class ReplayTestbed:
         read-only, so traced results are bit-identical to untraced ones.
         Traces travel out-of-band — :class:`PageLoadResult` is unchanged.
         """
-        sim = Simulator()
+        sim = new_simulator()
         if tracer is not None and not getattr(tracer, "enabled", True):
             tracer = None  # NullTracer: same path as no tracer at all
         if tracer is not None:

@@ -1,17 +1,42 @@
 """Deterministic discrete-event simulation kernel.
 
-All timing in the testbed derives from one :class:`~repro.sim.events.Simulator`
-instance so that repeated runs of the same configuration are identical —
-the property the paper's replay testbed exists to provide.
+All timing in the testbed derives from one simulator instance so that
+repeated runs of the same configuration are identical — the property
+the paper's replay testbed exists to provide.
+
+Two interchangeable engines implement the same contract (see
+:mod:`repro.core`): the heap-based :class:`Simulator` oracle and the
+batch-steppable :class:`~repro.sim.fastcore.FastSimulator`.  Model code
+should obtain its engine from :func:`new_simulator` so the choice stays
+a deployment knob rather than a code path.
 """
 
-from .events import DEFAULT_PRIORITY, EventHandle, Simulator
+from .events import DEFAULT_PRIORITY, EventHandle, LaneTimer, Simulator
+from .fastcore import FastSimulator, TimerLane
 from .timers import PeriodicTimer, Timer
+
+
+def new_simulator():
+    """Build a simulator honouring the active core mode.
+
+    Returns a :class:`FastSimulator` under ``REPRO_CORE=fast`` (the
+    default) or ``compiled``, and the heap oracle :class:`Simulator`
+    under ``REPRO_CORE=python``.  Both are bit-identical in every
+    observable; see :mod:`repro.core`.
+    """
+    from ..core import use_fastcore
+
+    return FastSimulator() if use_fastcore() else Simulator()
+
 
 __all__ = [
     "DEFAULT_PRIORITY",
     "EventHandle",
+    "FastSimulator",
+    "LaneTimer",
     "PeriodicTimer",
     "Simulator",
     "Timer",
+    "TimerLane",
+    "new_simulator",
 ]

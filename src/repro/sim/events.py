@@ -26,9 +26,14 @@ from ..errors import SimulationError
 DEFAULT_PRIORITY = 10
 
 # Queue-entry slots: [time, priority, seq, callback, cancelled, popped].
+# The fastcore extends entries with two inline-argument slots; the
+# handle below only touches the shared prefix, so it works on both.
 _TIME = 0
 _CANCELLED = 4
 _POPPED = 5
+
+#: Sentinel marking "no inline argument" in the batch scheduling API.
+_NO_ARG = object()
 
 
 class EventHandle:
@@ -55,6 +60,67 @@ class EventHandle:
     def time(self) -> float:
         """Simulated time at which the event is (was) scheduled."""
         return self._event[_TIME]
+
+
+class LaneTimer:
+    """Restartable one-shot timer armed through a timer lane.
+
+    Works on any lane object exposing ``schedule(delay, callback) ->
+    EventHandle`` — the fastcore's monotonic :class:`TimerLane` and the
+    oracle's heap-backed shim alike.
+    """
+
+    __slots__ = ("_lane", "_callback", "_handle")
+
+    def __init__(self, lane, callback: Callable[[], None]):
+        self._lane = lane
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float) -> None:
+        self.cancel()
+        self._handle = self._lane.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class _HeapTimerLane:
+    """Oracle counterpart of the fastcore's :class:`TimerLane`.
+
+    Schedules straight onto the oracle heap — no behavioural shortcut —
+    so model code written against the lane API runs identically (same
+    sequence-number allocation order, hence same dispatch order) on
+    both cores.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+
+    def schedule(self, delay: float, callback: Callable, arg1=_NO_ARG, arg2=_NO_ARG) -> EventHandle:
+        if arg1 is _NO_ARG:
+            return self._sim.schedule(delay, callback)
+        if arg2 is _NO_ARG:
+            return self._sim.schedule(delay, lambda: callback(arg1))
+        return self._sim.schedule(delay, lambda: callback(arg1, arg2))
+
+    def schedule_call_abs(self, when: float, callback: Callable, arg1=_NO_ARG, arg2=_NO_ARG) -> None:
+        self._sim.schedule_call_at(when, callback, arg1, arg2)
+
+    def timer(self, callback: Callable[[], None]) -> LaneTimer:
+        return LaneTimer(self, callback)
 
 
 class Simulator:
@@ -120,6 +186,29 @@ class Simulator:
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at the current instant (after queued work)."""
         return self.schedule(0.0, callback)
+
+    def schedule_call(self, delay: float, callback: Callable, arg1=_NO_ARG, arg2=_NO_ARG) -> None:
+        """Fire-and-forget :meth:`schedule` taking up to two arguments.
+
+        The fastcore dispatches the arguments without allocating a
+        closure or an :class:`EventHandle`; here they are folded into a
+        closure so the observable behaviour (and sequence-number
+        allocation) is identical.
+        """
+        if arg1 is _NO_ARG:
+            self.schedule(delay, callback)
+        elif arg2 is _NO_ARG:
+            self.schedule(delay, lambda: callback(arg1))
+        else:
+            self.schedule(delay, lambda: callback(arg1, arg2))
+
+    def schedule_call_at(self, when: float, callback: Callable, arg1=_NO_ARG, arg2=_NO_ARG) -> None:
+        """Absolute-time :meth:`schedule_call`."""
+        self.schedule_call(when - self._now, callback, arg1, arg2)
+
+    def timer_lane(self) -> _HeapTimerLane:
+        """Allocate a timer lane (heap-backed on the oracle)."""
+        return _HeapTimerLane(self)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""

@@ -19,7 +19,7 @@ memory; these tests bound what that trade costs:
 import math
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.stats import (
@@ -143,6 +143,9 @@ def test_p2_is_rank_bounded_on_iid_data(seed, n, q):
 # ----------------------------------------------------------------------
 @given(samples, st.sampled_from([0.1, 0.5, 0.9, 0.99]))
 @settings(max_examples=60)
+# Regression: interpolation overshot max(values) by one ulp before
+# quantile() clamped to the bracketing centroid means.
+@example(values=[0.0, 0.0, 0.0, 1.7142552735144818, 4098.597161132954], q=0.9)
 def test_tdigest_is_rank_bounded(values, q):
     digest = TDigest(compression=100)
     for value in values:
