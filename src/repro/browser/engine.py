@@ -44,6 +44,7 @@ from ..html.tokenizer import (
     HeadEndToken,
     HtmlTokenizer,
     ImageToken,
+    PreloadToken,
     ScriptToken,
     StylesheetToken,
     TextToken,
@@ -389,7 +390,16 @@ class PageLoad:
                 fetch.response_start = self.sim.now
             if fetch.rtype == ResourceType.HTML:
                 for hint in _parse_link_preloads(headers):
-                    self.fetch(hint, classify_url(hint), initiator="hint")
+                    self._preload_hint(hint, "link_header")
+
+        def on_informational(status, headers) -> None:
+            if status != 103:
+                return
+            hints = _parse_link_preloads(headers)
+            if self._tracer is not None:
+                self._tracer.early_hints_received(f"h1-{domain}", 0, len(hints))
+            for hint in hints:
+                self._preload_hint(hint, "early_hints")
 
         def on_data(chunk: bytes) -> None:
             fetch.body.extend(chunk)
@@ -402,6 +412,7 @@ class PageLoad:
             on_data=on_data,
             on_complete=lambda: self._complete_fetch(fetch),
             headers=[("user-agent", "repro-browser/1.0 (HTTP/1.1)")],
+            on_informational=on_informational,
         )
 
     def _connection_for(self, domain: str) -> _ConnectionEntry:
@@ -428,8 +439,20 @@ class PageLoad:
             enable_push=1 if self.config.enable_push else 0,
             initial_window_size=self.config.initial_window,
         )
-        conn = H2Connection(tcp.client, "client", settings=settings, tracer=self._tracer)
+        if getattr(tcp, "transport", "tcp") == "quic":
+            from ..mechanisms.h2quic import H2OverQuicConnection
+
+            conn: H2Connection = H2OverQuicConnection(
+                tcp.client, "client", settings=settings, tracer=self._tracer
+            )
+        else:
+            conn = H2Connection(
+                tcp.client, "client", settings=settings, tracer=self._tracer
+            )
         conn.on_response = lambda sid, headers: self._on_response(entry, sid, headers)
+        conn.on_informational = (
+            lambda sid, headers: self._on_informational(entry, sid, headers)
+        )
         conn.on_data = lambda sid, data: self._on_data(entry, sid, data)
         conn.on_stream_end = lambda sid: self._on_stream_end(entry, sid)
         conn.on_push_promise = (
@@ -503,7 +526,31 @@ class PageLoad:
                 self._tracer.resource_response(fetch.url)
         if fetch is not None and fetch.rtype == ResourceType.HTML:
             for hint in _parse_link_preloads(headers):
-                self.fetch(hint, classify_url(hint), initiator="hint")
+                self._preload_hint(hint, "link_header")
+
+    def _on_informational(
+        self, entry: _ConnectionEntry, stream_id: int, headers
+    ) -> None:
+        """An interim response arrived (103 Early Hints, RFC 8297)."""
+        status = next((value for name, value in headers if name == ":status"), "")
+        if status != "103":
+            return
+        hints = _parse_link_preloads(headers)
+        if self._tracer is not None:
+            self._tracer.early_hints_received(
+                entry.conn._trace_name, stream_id, len(hints)
+            )
+        for hint in hints:
+            self._preload_hint(hint, "early_hints")
+
+    def _preload_hint(self, url: str, source: str) -> None:
+        """Fetch a preload-announced resource (link header / 103 hint)."""
+        rtype = classify_url(url)
+        if self._tracer is not None and url not in self._fetches:
+            self._tracer.preload_discovered(url, rtype.name, source)
+        # Link-header hints keep their historical initiator tag.
+        initiator = "hint" if source == "link_header" else source
+        self.fetch(url, rtype, initiator=initiator)
 
     def _on_data(self, entry: _ConnectionEntry, stream_id: int, data: bytes) -> None:
         fetch = entry.stream_fetch.get(stream_id)
@@ -686,6 +733,17 @@ class PageLoad:
             fetch.visual_weight = max(fetch.visual_weight, token.visual_weight)
             fetch.above_fold = token.above_fold
             fetch.parsed = True  # fonts need no DOM element to apply
+        elif isinstance(token, PreloadToken) and token.url:
+            rtype = _PRELOAD_AS_TYPES.get(token.as_type) or classify_url(token.url)
+            if self._tracer is not None and token.url not in self._fetches:
+                self._tracer.preload_discovered(token.url, rtype.name, "link_tag")
+            fetch = self.fetch(token.url, rtype, initiator="preload_tag")
+            if fetch.rtype == ResourceType.CSS and fetch.token_offset == 0:
+                # A preload is a fetch hint only: until the real
+                # <link rel=stylesheet> is parsed (which overwrites the
+                # offset), the stylesheet must not register a CSSOM
+                # dependency for scripts that follow the announcement.
+                fetch.token_offset = _NO_CSSOM_OFFSET
 
     # ------------------------------------------------------------------
     # DOM parser
@@ -948,6 +1006,18 @@ def _parse_link_preloads(headers) -> List[str]:
 
 #: Sentinel marking the parser as blocked on an inline script.
 _INLINE_SENTINEL = _Fetch("inline:", ResourceType.JS)
+
+#: Token offset meaning "no CSSOM dependency yet" for preload-initiated
+#: stylesheet fetches (larger than any real document offset).
+_NO_CSSOM_OFFSET = 1 << 30
+
+#: ``as`` destination -> resource class for generic preload tokens.
+_PRELOAD_AS_TYPES = {
+    "style": ResourceType.CSS,
+    "script": ResourceType.JS,
+    "image": ResourceType.IMAGE,
+    "fetch": ResourceType.OTHER,
+}
 
 
 def _css_child_weight(source: str, url: str) -> float:

@@ -273,8 +273,10 @@ def _run_fig(args, engine, exp) -> int:
         print(exp.run_fig6(exp.Fig6Config(runs=args.runs), engine=engine).render())
     elif figure == "7":
         print(exp.run_fig7(exp.Fig7Config(runs=args.runs), engine=engine).render())
+    elif figure == "8":
+        print(exp.run_fig8(exp.Fig8Config(runs=args.runs), engine=engine).render())
     else:
-        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3, 3a, 3b, 4, 5, 6, 7)")
+        raise ConfigError(f"unknown figure {figure!r} (1, 2, 3, 3a, 3b, 4, 5, 6, 7, 8)")
     _maybe_report(args, engine)
     return 0
 
@@ -292,6 +294,30 @@ def cmd_fig7(args) -> int:
         config = dataclasses.replace(config, burst=True)
     with _engine_from_args(args) as engine:
         print(exp.run_fig7(config, engine=engine).render())
+        _maybe_report(args, engine)
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    from . import experiments as exp
+
+    if args.quick:
+        config = exp.Fig8Config.quick()
+    else:
+        config = exp.Fig8Config(runs=args.runs)
+    with _engine_from_args(args) as engine:
+        result = exp.run_fig8(config, engine=engine)
+        print(result.render())
+        if args.fingerprints:
+            import json
+            from pathlib import Path
+
+            Path(args.fingerprints).write_text(
+                json.dumps(result.cell_fingerprints(), indent=2, sort_keys=True)
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.fingerprints}", file=sys.stderr)
         _maybe_report(args, engine)
     return 0
 
@@ -448,6 +474,22 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--runs", type=int, default=5)
     _add_engine_options(fig7)
     fig7.set_defaults(func=cmd_fig7)
+
+    fig8 = sub.add_parser(
+        "fig8",
+        help="push vs preload/103 Early Hints/QUIC (extension)",
+    )
+    fig8.add_argument(
+        "--quick", action="store_true", help="small CI-sized sweep"
+    )
+    fig8.add_argument("--runs", type=int, default=5)
+    fig8.add_argument(
+        "--fingerprints", metavar="PATH", default=None,
+        help="also write per-cell result fingerprints as JSON to PATH "
+        "(the CI cross-core identity check)",
+    )
+    _add_engine_options(fig8)
+    fig8.set_defaults(func=cmd_fig8)
 
     waterfall = sub.add_parser("waterfall", help="render a load as an ASCII waterfall")
     waterfall.add_argument("site")

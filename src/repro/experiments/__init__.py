@@ -16,6 +16,13 @@ from .fig4_custom import Fig4Config, Fig4Result, run_fig4
 from .fig5_interleaving import Fig5Config, Fig5Result, make_test_site, run_fig5
 from .fig6_realworld import Fig6Config, Fig6Result, run_fig6
 from .fig7_lossy import Fig7Config, Fig7Result, Fig7Row, run_fig7
+from .fig8_mechanisms import (
+    Fig8Config,
+    Fig8Result,
+    Fig8Row,
+    make_mechanism_site,
+    run_fig8,
+)
 from .network_sweep import SweepCell, SweepConfig, SweepResult, run_network_sweep
 from .reducers import CellSummary, RunStats, reducer_for, summarize_results
 from .runner import (
@@ -61,6 +68,9 @@ __all__ = [
     "Fig7Config",
     "Fig7Result",
     "Fig7Row",
+    "Fig8Config",
+    "Fig8Result",
+    "Fig8Row",
     "StrategySelector",
     "SweepCell",
     "SweepConfig",
@@ -73,6 +83,7 @@ __all__ = [
     "TypeAnalysisConfig",
     "TypeAnalysisResult",
     "compute_order_for",
+    "make_mechanism_site",
     "make_test_site",
     "reducer_for",
     "run_fig1",
@@ -83,6 +94,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_fig8",
     "run_pushable_share",
     "run_reduced",
     "run_repeated",

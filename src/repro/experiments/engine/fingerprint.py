@@ -51,10 +51,20 @@ def jsonable(value: Any) -> Any:
             ]
         }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = {
-            field.name: jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
+        # A dataclass may declare FINGERPRINT_NEUTRAL (a plain class
+        # attribute, not a field): fields whose value equals their
+        # neutral default are omitted from the document.  This is how
+        # later-added knobs (e.g. ``NetworkConditions.transport``) stay
+        # out of every historical fingerprint — a cell that does not
+        # exercise the knob keeps its exact pre-knob cache key, the
+        # same convention ``Cell.key`` uses for ``reduce``.
+        neutral = getattr(type(value), "FINGERPRINT_NEUTRAL", None)
+        fields = {}
+        for field in dataclasses.fields(value):
+            item = getattr(value, field.name)
+            if neutral is not None and field.name in neutral and item == neutral[field.name]:
+                continue
+            fields[field.name] = jsonable(item)
         return {"__type__": _type_name(value), **fields}
     if hasattr(value, "__dict__"):
         # Plain objects (strategies, condition samplers): type + state.

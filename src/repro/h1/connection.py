@@ -38,6 +38,8 @@ class H1ClientConnection:
 
         # callbacks for the in-flight exchange
         self.on_response: Optional[Callable[[int, List[Header]], None]] = None
+        #: Interim (1xx) response heads, e.g. 103 Early Hints (RFC 8297).
+        self.on_informational: Optional[Callable[[int, List[Header]], None]] = None
         self.on_data: Optional[Callable[[bytes], None]] = None
         self.on_complete: Optional[Callable[[], None]] = None
 
@@ -68,13 +70,19 @@ class H1ClientConnection:
         self._process()
 
     def _process(self) -> None:
-        if self._expecting_body is None:
+        while self._expecting_body is None:
             end = self._recv_buffer.find(_HEADER_END)
             if end == -1:
                 return
             head = bytes(self._recv_buffer[:end]).decode("ascii", errors="replace")
             del self._recv_buffer[: end + len(_HEADER_END)]
             status, headers = _parse_response_head(head)
+            if 100 <= status < 200:
+                # Interim response: header-only, no body, the final
+                # response to the same request follows on the wire.
+                if self.on_informational is not None:
+                    self.on_informational(status, headers)
+                continue
             self._expecting_body = _content_length(headers)
             self._body_received = 0
             if self.on_response is not None:
@@ -105,9 +113,15 @@ class H1ServerConnection:
         self,
         endpoint: TcpEndpoint,
         handler: Callable[[str, str, List[Header]], Tuple[int, List[Header], bytes]],
+        interim_handler: Optional[
+            Callable[[str, str, List[Header]], List[Tuple[int, List[Header]]]]
+        ] = None,
     ):
         self._endpoint = endpoint
         self._handler = handler
+        #: Optional hook returning interim (1xx) responses to write
+        #: before the final one — the RFC 8297 Early Hints path.
+        self._interim_handler = interim_handler
         endpoint.on_data = self._on_data
         endpoint.on_writable = self._pump
         self._recv_buffer = bytearray()
@@ -123,8 +137,24 @@ class H1ServerConnection:
             del self._recv_buffer[: end + len(_HEADER_END)]
             method, path, headers = _parse_request_head(head)
             host = next((v for k, v in headers if k.lower() == "host"), "")
-            status, response_headers, body = self._handler(method, f"https://{host}{path}", headers)
+            url = f"https://{host}{path}"
+            if self._interim_handler is not None:
+                for interim_status, interim_headers in self._interim_handler(
+                    method, url, headers
+                ):
+                    self._write_interim(interim_status, interim_headers)
+            status, response_headers, body = self._handler(method, url, headers)
             self._respond(status, response_headers, body)
+
+    def _write_interim(self, status: int, headers: List[Header]) -> None:
+        """Write an interim response head: no body, no Content-Length."""
+        reason = "Early Hints" if status == 103 else "Informational"
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines += [f"{name}: {value}" for name, value in headers
+                  if not name.startswith(":")]
+        wire = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        self._send_buffer.extend(wire)
+        self._pump()
 
     def _respond(self, status: int, headers: List[Header], body: bytes) -> None:
         lines = [f"HTTP/1.1 {status} {'OK' if status == 200 else 'Not Found'}"]

@@ -49,6 +49,7 @@ class H1OriginPool:
         on_data: Callable,
         on_complete: Callable,
         headers: Optional[list] = None,
+        on_informational: Optional[Callable] = None,
     ) -> None:
         self._queue.append(
             {
@@ -57,6 +58,7 @@ class H1OriginPool:
                 "on_data": on_data,
                 "on_complete": on_complete,
                 "headers": headers or [],
+                "on_informational": on_informational,
             }
         )
         self._dispatch()
@@ -101,6 +103,7 @@ class H1OriginPool:
         pooled.busy = True
         conn = pooled.conn
         conn.on_response = request["on_response"]
+        conn.on_informational = request["on_informational"]
         conn.on_data = request["on_data"]
 
         def complete() -> None:

@@ -139,6 +139,7 @@ class H2Connection:
         # --- event callbacks (set by server / browser layers) ---
         self.on_request: Optional[Callable[[int, List[Header], PriorityData], None]] = None
         self.on_response: Optional[Callable[[int, List[Header]], None]] = None
+        self.on_informational: Optional[Callable[[int, List[Header]], None]] = None
         self.on_data: Optional[Callable[[int, bytes], None]] = None
         self.on_stream_end: Optional[Callable[[int], None]] = None
         self.on_push_promise: Optional[Callable[[int, int, List[Header]], None]] = None
@@ -214,6 +215,23 @@ class H2Connection:
         )
         if end_stream:
             stream.close_local()
+        self._pump()
+
+    def respond_informational(self, stream_id: int, headers: List[Header]) -> None:
+        """Server: send an interim (1xx) HEADERS block on an open stream.
+
+        Informational responses — 103 Early Hints here — precede the
+        final HEADERS, never carry END_STREAM, and leave the stream
+        state untouched (RFC 9113 §8.1): the final ``respond`` call
+        still records the response headers and closes the stream.
+        """
+        if self.role != "server":
+            raise ProtocolError("only servers send interim responses")
+        self._require_stream(stream_id)
+        block = self._encoder.encode(headers)
+        self._queue_header_block(
+            HeadersFrame(stream_id=stream_id, flags=Flag.END_HEADERS, header_block=block)
+        )
         self._pump()
 
     def send_body(self, stream_id: int, data: bytes, end_stream: bool = False) -> None:
@@ -664,6 +682,17 @@ class H2Connection:
             if self.on_request is not None:
                 self.on_request(stream_id, headers, PriorityData())
         else:
+            for name, value in headers:
+                if name != ":status":
+                    continue
+                if value[:1] == "1":
+                    # Interim response (e.g. 103 Early Hints): surface
+                    # it without touching stream state or the recorded
+                    # response headers — the final HEADERS follow.
+                    if self.on_informational is not None:
+                        self.on_informational(stream_id, headers)
+                    return
+                break
             if stream.state == StreamState.RESERVED_REMOTE:
                 stream.state = StreamState.HALF_CLOSED_LOCAL
             stream.response_headers = headers

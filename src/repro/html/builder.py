@@ -90,6 +90,14 @@ def _build_html(spec: WebsiteSpec) -> bytes:
         f'<meta charset="utf-8"><title>{spec.name}</title>',
     ]
     for res in spec.resources:
+        # Preload announcements lead the head so the scanner sees them
+        # before any reference; a directly-referenced font is skipped
+        # because its reference *is* already a rel=preload link.
+        if res.preload and not (
+            res.rtype == ResourceType.FONT and res.loaded_by is None
+        ):
+            head_parts.append(_preload_tag(spec, res))
+    for res in spec.resources:
         if res.in_head and res.loaded_by is None:
             head_parts.append(_ref_tag(spec, res))
     if spec.head_inline_script_ms > 0:
@@ -140,6 +148,21 @@ def _build_html(spec: WebsiteSpec) -> bytes:
     shortfall = spec.html_size - (len(skeleton) - len("@PAD@"))
     pad = f"<!--{'x' * max(shortfall - 7, 0)}-->" if shortfall > 7 else ""
     return skeleton.replace("@PAD@", pad).encode("utf-8")
+
+
+#: ``as`` attribute values per resource class (Fetch destination names).
+_PRELOAD_AS = {
+    ResourceType.CSS: "style",
+    ResourceType.JS: "script",
+    ResourceType.IMAGE: "image",
+    ResourceType.FONT: "font",
+    ResourceType.OTHER: "fetch",
+}
+
+
+def _preload_tag(spec: WebsiteSpec, res: ResourceSpec) -> str:
+    url = res.url(spec.primary_domain)
+    return f'<link rel="preload" as="{_PRELOAD_AS[res.rtype]}" href="{url}">'
 
 
 def _ref_tag(spec: WebsiteSpec, res: ResourceSpec) -> str:

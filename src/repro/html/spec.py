@@ -50,6 +50,16 @@ class ResourceSpec:
     #: For CSS: fraction of the stylesheet's rules needed to paint
     #: above-the-fold content (what penthouse would extract).
     critical_fraction: float = 0.25
+    #: Announce this resource with a ``<link rel="preload">`` tag at the
+    #: top of ``<head>`` — the author-side push alternative the web
+    #: standardized on.  Off by default; pages without the flag render
+    #: byte-identically to every earlier release.
+    preload: bool = False
+
+    #: Fingerprint-neutral defaults: cells whose specs leave these knobs
+    #: at their default keep their historical cache keys (see
+    #: repro.experiments.engine.fingerprint).
+    FINGERPRINT_NEUTRAL = {"preload": False}
 
     def url(self, primary_domain: str) -> str:
         return make_url(self.domain or primary_domain, self.name)

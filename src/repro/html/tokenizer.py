@@ -69,6 +69,19 @@ class FontToken(Token):
 
 
 @dataclass
+class PreloadToken(Token):
+    """Generic ``<link rel="preload">`` announcement (non-font ``as``).
+
+    Fonts keep their dedicated :class:`FontToken` — a font reference has
+    always been spelled ``rel=preload as=font`` in built pages — so this
+    token only ever carries style/script/image/fetch destinations.
+    """
+
+    url: str = ""
+    as_type: str = ""
+
+
+@dataclass
 class TextToken(Token):
     """A paragraph of page text contributing visual weight when parsed."""
 
@@ -189,6 +202,12 @@ class HtmlTokenizer:
                 url=attrs.get("href", ""),
                 visual_weight=float(attrs.get("data-vw", 0) or 0),
                 above_fold=attrs.get("data-atf", "1") != "0",
+            )
+        if rel == "preload":
+            return PreloadToken(
+                offset=end,
+                url=attrs.get("href", ""),
+                as_type=attrs.get("as", "").lower(),
             )
         return None
 

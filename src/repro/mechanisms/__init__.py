@@ -1,0 +1,73 @@
+"""The post-push mechanisms: preload, 103 Early Hints, QUIC framing.
+
+The paper evaluates Server Push as deployed in 2018; this subsystem
+models the mechanisms the web converged on after browsers removed push:
+
+* **preload markup** — ``<link rel="preload">`` tags let the author
+  announce late-discovered resources at the top of the document, so the
+  preload scanner fetches them without server involvement;
+* **103 Early Hints** (RFC 8297) — the server announces resources in an
+  interim response *before* it starts generating the final one,
+  recovering push's server-think-time head start without pushing bytes;
+* **H2 over QUIC** — :class:`H2OverQuicConnection` maps the unchanged
+  HTTP/2 layer onto per-resource QUIC streams, removing transport
+  head-of-line blocking under loss.
+
+:func:`apply_mechanism` is the catalog entry point used by the fig8
+experiment: it turns a mechanism name into the (site spec, strategy)
+pair that deploys it, so every mechanism is swept through the same
+grid/engine machinery as the paper's push strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from ..html.spec import WebsiteSpec
+from ..strategies.base import PushStrategy
+from ..units import require_choice
+from .h2quic import H2OverQuicConnection
+
+#: Discovery mechanisms fig8 sweeps against each other.
+MECHANISMS = ("none", "push", "preload", "early_hints")
+
+
+def apply_mechanism(
+    mechanism: str,
+    spec: WebsiteSpec,
+    urls: Optional[Sequence[str]] = None,
+) -> Tuple[WebsiteSpec, PushStrategy]:
+    """Deploy ``mechanism`` on ``spec``; returns ``(spec, strategy)``.
+
+    ``urls`` selects the announced/pushed sub-resources (default: all of
+    them).  ``push`` and ``early_hints`` are server-side deployments —
+    the spec is returned unchanged; ``preload`` is an author-side markup
+    change — the returned spec carries ``preload=True`` resource flags
+    and the server pushes nothing.
+    """
+    from ..strategies.simple import NoPushStrategy, PushListStrategy
+
+    require_choice("mechanism", mechanism, MECHANISMS)
+    if urls is None:
+        urls = [res.url(spec.primary_domain) for res in spec.resources]
+    if mechanism == "none":
+        return spec, NoPushStrategy()
+    if mechanism == "push":
+        return spec, PushListStrategy(list(urls), name="push")
+    if mechanism == "early_hints":
+        from ..strategies.hints import EarlyHintsStrategy
+
+        return spec, EarlyHintsStrategy(list(urls))
+    # preload: flag the selected resources; build_site emits the tags.
+    selected = set(urls)
+    resources = [
+        replace(res, preload=True)
+        if res.url(spec.primary_domain) in selected
+        else res
+        for res in spec.resources
+    ]
+    return replace(spec, resources=resources), NoPushStrategy()
+
+
+__all__ = ["H2OverQuicConnection", "MECHANISMS", "apply_mechanism"]

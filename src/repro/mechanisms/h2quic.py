@@ -1,0 +1,154 @@
+"""HTTP/2 framing over the QUIC transport.
+
+The reproduction keeps the HTTP layer constant across transports so
+that fig8's tcp-vs-quic contrast isolates *transport* behaviour: the
+same HPACK encoder, priority tree, flow-control windows, push state
+machine, and data scheduler drive both stacks.  What changes is the
+mapping onto the wire (an HTTP/3-flavored framing, simplified):
+
+* **Control plane on QUIC stream 0.**  The connection preface and every
+  non-DATA frame (SETTINGS, HEADERS, PUSH_PROMISE, WINDOW_UPDATE,
+  RST_STREAM, ...) ride the ordered control stream, parsed by the
+  unchanged :class:`~repro.h2.frames.FrameReader`.
+* **Bodies on per-resource QUIC streams.**  DATA payloads are written
+  raw to the QUIC stream matching their H2 stream id — no 9-byte frame
+  header — with END_STREAM mapped to the QUIC fin.  A loss on one
+  body stream therefore stalls only that resource, while TCP would
+  hold every multiplexed byte behind the hole.
+
+Because control frames are ordered only among themselves, body bytes
+can arrive for a pushed stream before its PUSH_PROMISE; the adapter
+parks such early frames and replays them once the stream exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..h2.connection import (
+    H2Connection,
+    _END_STREAM_RAW,
+)
+from ..h2.constants import StreamState
+from ..netsim.quic import QuicEndpoint
+
+_CLOSED = StreamState.CLOSED
+
+
+class H2OverQuicConnection(H2Connection):
+    """One endpoint of an HTTP/2 connection mapped onto QUIC streams."""
+
+    def __init__(self, endpoint: QuicEndpoint, role: str, **kwargs):
+        #: (data, fin) frames that arrived before their stream existed
+        #: (control-plane loss delaying a PUSH_PROMISE behind body
+        #: bytes of the promised stream).
+        self._early_frames: Dict[int, List[Tuple[bytes, bool]]] = {}
+        super().__init__(endpoint, role, **kwargs)
+        endpoint.on_stream_data = self._on_quic_stream_data
+
+    # ------------------------------------------------------------------
+    # send path: bodies bypass H2 DATA framing
+    # ------------------------------------------------------------------
+    def _flush_data(self) -> None:
+        # Mirrors H2Connection._flush_data with the emission retargeted
+        # at the per-stream QUIC plane: no 9-byte DATA header on the
+        # wire, END_STREAM becomes the stream fin.  Scheduler, pacing,
+        # and flow-control bookkeeping are identical by construction so
+        # both transports make the same scheduling decisions.
+        if not self._send_candidates:
+            return
+        half = self._endpoint._out
+        streams = self.streams
+        conn_window = self._conn_send_window
+        scheduler = self.scheduler
+        priority_tree = self.priority_tree
+        max_frame = self.remote_settings.max_frame_size
+        chunk_size = self._chunk_size
+        ready = None
+        while True:
+            space = half._max_buffer - half._buffered
+            if space <= 0:
+                return
+            if half._buffered >= 2.0 * half._cc.cwnd:
+                return
+            if ready is None:
+                ready = self._ready_streams()
+            if not ready:
+                return
+            if len(ready) == 1 and ready[0] in priority_tree:
+                stream_id = ready[0]
+            else:
+                stream_id = scheduler.select(self, ready)
+            if stream_id is None:
+                return
+            stream = streams[stream_id]
+            available = conn_window._window
+            budget = min(
+                chunk_size,
+                space,
+                max_frame,
+                available if available > 0 else 0,
+            )
+            size = min(stream.sendable_bytes(), budget)
+            data, end = stream.take_body(size)
+            if not data and not end:
+                return
+            sent = len(data)
+            stream.send_window.consume(sent)
+            conn_window.consume(sent)
+            half.enqueue_stream(stream_id, data, bool(end))
+            self.frames_sent += 1
+            if self._tracer is not None:
+                self._tracer.frame_sent(self._trace_name, "DATA", stream_id, sent)
+            scheduler.on_data_sent(self, stream_id, sent, end)
+            if self.on_data_frame_sent is not None:
+                self.on_data_frame_sent(stream_id, sent, end)
+                ready = None
+            if end:
+                self._send_candidates.discard(stream_id)
+                stream.close_local()
+                if stream.state is _CLOSED:
+                    priority_tree.remove(stream_id)
+                ready = None
+            elif stream._queued_bytes == 0:
+                self._send_candidates.discard(stream_id)
+                if ready is not None:
+                    ready.remove(stream_id)
+            elif ready is not None:
+                if conn_window._window <= 0:
+                    ready = None
+                elif not stream.wants_to_send():
+                    ready.remove(stream_id)
+
+    # ------------------------------------------------------------------
+    # receive path: per-stream payloads feed the DATA machinery
+    # ------------------------------------------------------------------
+    def _on_quic_stream_data(self, stream_id: int, data: bytes, fin: bool) -> None:
+        if stream_id not in self.streams:
+            # Body bytes outran the control-plane frame that opens this
+            # stream (possible only when stream 0 suffered a loss);
+            # park them until the PUSH_PROMISE / HEADERS arrive.
+            self._early_frames.setdefault(stream_id, []).append((data, fin))
+            return
+        if self._tracer is not None:
+            self._tracer.frame_received(self._trace_name, "DATA", stream_id, len(data))
+        self._fast_data(stream_id, data, _END_STREAM_RAW if fin else 0)
+        if self._control_queue or self._send_candidates:
+            self._pump()
+
+    def _drain_early_frames(self, stream_id: int) -> None:
+        frames = self._early_frames.pop(stream_id, None)
+        if frames is None:
+            return
+        for data, fin in frames:
+            self._on_quic_stream_data(stream_id, data, fin)
+
+    def _handle_push_promise(self, frame) -> None:
+        super()._handle_push_promise(frame)
+        if self._early_frames:
+            self._drain_early_frames(frame.promised_stream_id)
+
+    def _finish_header_block(self, stream_id: int, block: bytes, end_stream: bool) -> None:
+        super()._finish_header_block(stream_id, block, end_stream)
+        if self._early_frames:
+            self._drain_early_frames(stream_id)

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 from ..errors import ConfigError
 from ..units import (
     mbit_per_s,
+    require_choice,
     require_fraction,
     require_non_negative,
     require_positive,
@@ -45,6 +46,12 @@ from .impairment import (
 #: Default maximum segment size (Ethernet MTU minus IP/TCP headers);
 #: mirrors ``repro.netsim.tcp.MSS``.
 DEFAULT_MSS = 1460
+
+#: Transports a page load can run over.  ``tcp`` is the paper's stack
+#: (H2 over TCP+TLS); ``quic`` is the QUIC-flavored transport in
+#: ``repro.netsim.quic`` (per-stream delivery, no cross-stream HoL
+#: blocking, 1-RTT — or 0-RTT resumed — handshake).
+TRANSPORTS = ("tcp", "quic")
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,11 @@ class NetworkConditions:
         impairment: optional packet-impairment pipeline configuration
             applied by both access links; ``None`` keeps the clean
             bit-identical fast path.
+        transport: ``"tcp"`` (the paper's stack) or ``"quic"``
+            (per-stream delivery without cross-stream HoL blocking;
+            see ``repro.netsim.quic``).
+        quic_0rtt: when the transport is QUIC, account connections to
+            previously visited origins as 0-RTT session resumptions.
     """
 
     rtt_ms: float = 50.0
@@ -78,6 +90,13 @@ class NetworkConditions:
     mss: int = DEFAULT_MSS
     congestion_control: str = "reno"
     impairment: Optional[ImpairmentConfig] = None
+    transport: str = "tcp"
+    quic_0rtt: bool = False
+
+    # Additive transport knobs stay out of historical cache keys: a
+    # cell that runs the default TCP stack fingerprints exactly as it
+    # did before these fields existed (see ``fingerprint.jsonable``).
+    FINGERPRINT_NEUTRAL = {"transport": "tcp", "quic_0rtt": False}
 
     def __post_init__(self) -> None:
         require_non_negative("rtt_ms", self.rtt_ms)
@@ -87,6 +106,12 @@ class NetworkConditions:
         require_non_negative("jitter_ms", self.jitter_ms)
         require_non_negative("server_delay_ms", self.server_delay_ms)
         require_positive("mss", self.mss)
+        require_choice("transport", self.transport, TRANSPORTS)
+        if self.quic_0rtt and self.transport != "quic":
+            raise ConfigError(
+                "quic_0rtt requires transport='quic', "
+                f"got transport={self.transport!r}"
+            )
         from .congestion import CONGESTION_CONTROLS
 
         if self.congestion_control not in CONGESTION_CONTROLS:
@@ -108,6 +133,9 @@ class NetworkConditions:
 
     def with_congestion_control(self, name: str) -> "NetworkConditions":
         return replace(self, congestion_control=name)
+
+    def with_transport(self, name: str, quic_0rtt: bool = False) -> "NetworkConditions":
+        return replace(self, transport=name, quic_0rtt=quic_0rtt)
 
 
 #: The paper's emulated DSL setting (§4.1).

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import require_non_negative
 from .conditions import NetworkConditions
 
 
@@ -23,11 +24,21 @@ class HandshakeModel:
     access-link latency), a TCP three-way handshake (1 RTT before data
     can flow), and a TLS 1.2 full handshake (2 RTTs), matching the
     stack deployed at the time of the paper (Chromium 64 / h2o, 2018).
+
+    QUIC collapses transport and crypto setup into one exchange: the
+    1-RTT model books the combined handshake under ``tls_rtts`` with
+    ``tcp_rtts=0``, and the 0-RTT resumption model books no setup
+    round trips at all (data rides the first flight).
     """
 
     dns_rtts: float = 1.0
     tcp_rtts: float = 1.0
     tls_rtts: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("dns_rtts", self.dns_rtts)
+        require_non_negative("tcp_rtts", self.tcp_rtts)
+        require_non_negative("tls_rtts", self.tls_rtts)
 
     def dns_ms(self, conditions: NetworkConditions, cached: bool) -> float:
         if cached:
@@ -45,3 +56,9 @@ TLS12_HANDSHAKE = HandshakeModel()
 
 #: TLS 1.3 model (1-RTT handshake), available for ablations.
 TLS13_HANDSHAKE = HandshakeModel(tls_rtts=1.0)
+
+#: QUIC 1-RTT: transport + crypto complete in a single exchange.
+QUIC_HANDSHAKE = HandshakeModel(tcp_rtts=0.0, tls_rtts=1.0)
+
+#: QUIC 0-RTT resumption: request data rides the first flight.
+QUIC_0RTT_HANDSHAKE = HandshakeModel(tcp_rtts=0.0, tls_rtts=0.0)

@@ -1,0 +1,452 @@
+"""A QUIC-flavored multiplexed transport.
+
+The model captures the two transport-level differences that motivated
+QUIC as a successor to H2-over-TCP, while deliberately sharing every
+other mechanism with :mod:`repro.netsim.tcp` so that experiment
+contrasts isolate exactly those differences:
+
+* **No cross-stream head-of-line blocking.**  Data is carried in
+  per-stream frames with per-stream offsets; a receiver delivers each
+  stream's bytes as soon as they are contiguous *within that stream*.
+  A packet lost on stream 5 stalls only stream 5 — TCP's single
+  sequence space would stall every multiplexed stream behind the hole.
+* **Packet-number loss recovery** (RFC 9002-style).  Every
+  transmission — including a retransmission — gets a fresh packet
+  number, so RTT samples are never ambiguous (Karn's rule is
+  unnecessary by construction).  Loss is detected by packet threshold
+  (a packet is lost once three higher-numbered packets are
+  acknowledged, mirroring TCP's three duplicate ACKs) and by a
+  per-packet timer with exponential backoff (the PTO, mirroring the
+  RTO path).  Lost frames are retransmitted in fresh packets.
+
+Everything else is shared with the TCP model on purpose: the pluggable
+congestion controllers (``repro.netsim.congestion``), the RFC 6298
+smoothed RTT estimator, delayed ACKs (every 2nd packet / 5 ms), the
+16 KiB bounded send buffer that backpressures the HTTP/2 scheduler,
+sender-side Bernoulli loss, and the shared-link impairment pipeline
+(loss/jitter/reorder/fading apply to QUIC packets exactly as they do
+to TCP segments).  Per-packet wire overhead is charged at the TCP
+figure so bandwidth-bound comparisons are apples to apples.
+
+Handshake accounting (1-RTT, or 0-RTT resumption) lives in
+:mod:`repro.netsim.handshake`; the topology applies it before the
+connection object exists, exactly as for TCP.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..errors import NetworkError
+from ..sim import Simulator
+from .conditions import NetworkConditions
+from .congestion import make_congestion_control
+from .link import SharedLink
+from .tcp import (
+    ACK_SIZE,
+    DEFAULT_SEND_BUFFER,
+    DELAYED_ACK_SEGMENTS,
+    DELAYED_ACK_TIMEOUT_MS,
+    HEADER_OVERHEAD,
+)
+
+#: Packets whose number trails the largest acknowledged by this many
+#: are declared lost (RFC 9002 §6.1.1 packet threshold; the analogue
+#: of TCP's three duplicate ACKs).
+PACKET_THRESHOLD = 3
+
+#: The control stream: HTTP/2 framing (preface, SETTINGS, HEADERS,
+#: PUSH_PROMISE, WINDOW_UPDATE...) rides it as an ordered byte stream.
+CONTROL_STREAM = 0
+
+
+class QuicEndpoint:
+    """One side of an established QUIC connection.
+
+    Mirrors :class:`~repro.netsim.tcp.TcpEndpoint` — ``send`` writes
+    the ordered control stream (stream 0) and ``on_data`` receives it,
+    so byte-stream consumers work unchanged — and adds the stream
+    plane: ``send_stream`` writes one resource stream and
+    ``on_stream_data`` receives per-stream payloads the moment they
+    are contiguous within their stream.
+    """
+
+    def __init__(self, half_out: "_QuicHalf", half_in: "_QuicHalf", name: str):
+        self._out = half_out
+        self._in = half_in
+        self.name = name
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_stream_data: Optional[Callable[[int, bytes, bool], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        half_out.endpoint = self
+        half_in.receiver_endpoint = self
+
+    def send(self, data: bytes) -> int:
+        """Buffer control-stream bytes; returns the count accepted."""
+        return self._out.enqueue(data)
+
+    def send_stream(self, stream_id: int, data: bytes, fin: bool = False) -> int:
+        """Buffer bytes for one resource stream (``fin`` closes it)."""
+        return self._out.enqueue_stream(stream_id, data, fin)
+
+    @property
+    def send_buffer_space(self) -> int:
+        out = self._out
+        space = out._max_buffer - out._buffered
+        return space if space > 0 else 0
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._out.bytes_enqueued
+
+    @property
+    def bytes_received(self) -> int:
+        return self._in.bytes_delivered
+
+    @property
+    def congestion_window(self) -> float:
+        return self._out._cc.cwnd
+
+    @property
+    def unsent_buffered(self) -> int:
+        return self._out._buffered
+
+    @property
+    def in_flight_bytes(self) -> int:
+        return self._out._flight_bytes
+
+    @property
+    def all_sent_delivered(self) -> bool:
+        return self._out.fully_acked
+
+
+class _QuicHalf:
+    """Sender + receiver state for one direction of a connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_link: SharedLink,
+        ack_link: SharedLink,
+        conditions: NetworkConditions,
+        rng: random.Random,
+        name: str,
+        tracer=None,
+    ):
+        self._sim = sim
+        self._data_link = data_link
+        self._ack_link = ack_link
+        self._conditions = conditions
+        self._rng = rng
+        self.name = name
+        self._tracer = tracer
+        self.endpoint: Optional[QuicEndpoint] = None
+        self.receiver_endpoint: Optional[QuicEndpoint] = None
+
+        # --- sender state ---
+        #: FIFO of pending stream writes: [stream_id, payload, fin].
+        #: FIFO across streams keeps the HTTP/2 scheduler in charge of
+        #: interleaving, exactly as it is over TCP's single stream.
+        self._buffer: Deque[list] = deque()
+        self._buffered = 0
+        self._max_buffer = DEFAULT_SEND_BUFFER
+        self._mss = conditions.mss
+        self._cc = make_congestion_control(conditions.congestion_control, conditions.mss)
+        self._next_pn = 0
+        self._largest_acked = -1
+        #: Per-stream next send offset.
+        self._send_offsets: Dict[int, int] = {}
+        #: pn -> [stream_id, offset, payload, fin, timer, sent_at].
+        self._in_flight: Dict[int, list] = {}
+        self._flight_bytes = 0
+        self._rto_lane = sim.timer_lane()
+        self._was_full = False
+        self.bytes_enqueued = 0
+        # RFC 6298 estimator, shared verbatim with the TCP model; with
+        # unique packet numbers every ACKed packet is a valid sample.
+        self._srtt: float = 0.0
+        self._rttvar: float = 0.0
+        self._rto = 1_000.0
+
+        # --- receiver state ---
+        #: Every packet number <= floor has been received.
+        self._rcv_floor = -1
+        self._rcv_above: set = set()
+        #: stream_id -> [next_offset, {offset: (payload, fin)}].
+        self._streams: Dict[int, list] = {}
+        self.bytes_delivered = 0
+        self._packets_since_ack = 0
+        self._ack_timer = sim.timer_lane().timer(self._send_ack_now)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    @property
+    def buffer_space(self) -> int:
+        space = self._max_buffer - self._buffered
+        return space if space > 0 else 0
+
+    @property
+    def fully_acked(self) -> bool:
+        return self._buffered == 0 and not self._in_flight
+
+    def enqueue(self, data: bytes) -> int:
+        """Write control-stream bytes (partial accept on a full buffer)."""
+        return self.enqueue_stream(CONTROL_STREAM, data, False)
+
+    def enqueue_stream(self, stream_id: int, data: bytes, fin: bool) -> int:
+        size = len(data)
+        space = self._max_buffer - self._buffered
+        accepted = size if size < space else (space if space > 0 else 0)
+        if accepted > 0 or (fin and accepted == size):
+            # A fin with no remaining payload still needs a record: an
+            # empty frame carries the stream-closing flag on the wire.
+            self._buffer.append(
+                [stream_id, data if accepted == size else data[:accepted], fin and accepted == size]
+            )
+            self._buffered += accepted
+            self.bytes_enqueued += accepted
+            self._pump()
+        if accepted < size:
+            self._was_full = True
+        return accepted
+
+    def _pump(self) -> None:
+        """Packetize pending stream writes while the window allows."""
+        cc = self._cc
+        mss = self._mss
+        buffer = self._buffer
+        while buffer:
+            head = buffer[0]
+            payload = head[1]
+            if len(payload) > 0 and self._flight_bytes >= cc.cwnd:
+                return
+            if len(payload) > mss:
+                if not isinstance(payload, memoryview):
+                    payload = memoryview(payload)
+                chunk = bytes(payload[:mss])
+                head[1] = payload[mss:]
+                fin = False  # the fin travels with the remainder
+            else:
+                buffer.popleft()
+                chunk = bytes(payload) if isinstance(payload, memoryview) else payload
+                fin = head[2]
+            stream_id = head[0]
+            offset = self._send_offsets.get(stream_id, 0)
+            self._send_offsets[stream_id] = offset + len(chunk)
+            self._buffered -= len(chunk)
+            self._transmit(stream_id, offset, chunk, fin, retransmission=False)
+
+    def _transmit(
+        self, stream_id: int, offset: int, payload: bytes, fin: bool, retransmission: bool
+    ) -> None:
+        pn = self._next_pn
+        self._next_pn = pn + 1
+        timer = self._rto_lane.schedule(self._rto, self._on_timeout, pn)
+        self._in_flight[pn] = [stream_id, offset, payload, fin, timer, self._sim.now]
+        self._flight_bytes += len(payload)
+        if self._conditions.loss_rate > 0 and self._rng.random() < self._conditions.loss_rate:
+            # Lost on the wire; the PTO (or packet-threshold detection
+            # triggered by later packets) recovers the frame.
+            return
+        size = len(payload) + HEADER_OVERHEAD
+        self._data_link.transmit(
+            size, self._on_packet_arrival, pn, (stream_id, offset, payload, fin)
+        )
+
+    def _sample_rtt(self, rtt: float) -> None:
+        """RFC 6298 smoothed RTT / RTO update (see ``tcp._sample_rtt``)."""
+        if self._srtt == 0.0:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(max(self._srtt + max(4.0 * self._rttvar, 10.0), 200.0), 60_000.0)
+
+    def _retransmit(self, entry: list, kind: str, pn: int) -> None:
+        """Re-send one lost frame in a fresh packet (new packet number)."""
+        stream_id, offset, payload, fin, _timer, _sent_at = entry
+        if self._tracer is not None:
+            self._tracer.retransmit(self.name, pn, kind)
+        self._transmit(stream_id, offset, payload, fin, retransmission=True)
+
+    def _on_timeout(self, pn: int) -> None:
+        entry = self._in_flight.pop(pn, None)
+        if entry is None:
+            return
+        self._flight_bytes -= len(entry[2])
+        self._cc.on_timeout(self._sim.now)
+        self._rto = min(self._rto * 2.0, 60_000.0)  # exponential backoff
+        if self._tracer is not None:
+            self._cc.trace_sample(
+                self._tracer, self.name, "timeout", self._rto, self._flight_bytes
+            )
+        self._retransmit(entry, "rto", pn)
+
+    def _on_ack_arrival(self, floor: int, above: tuple) -> None:
+        """Process one cumulative-plus-ranges ACK at the sender."""
+        in_flight = self._in_flight
+        above_set = set(above)
+        largest = floor if not above else max(floor, above[-1])
+        if largest > self._largest_acked:
+            self._largest_acked = largest
+        newly_acked = 0
+        acked_pns = [
+            pn for pn in in_flight if pn <= floor or pn in above_set
+        ]
+        now = self._sim.now
+        for pn in acked_pns:
+            _sid, _offset, payload, _fin, timer, sent_at = in_flight.pop(pn)
+            timer.cancel()
+            self._flight_bytes -= len(payload)
+            newly_acked += len(payload)
+            self._sample_rtt(now - sent_at)
+        # Packet-threshold loss detection (RFC 9002): anything still in
+        # flight that the ACK skipped by >= PACKET_THRESHOLD is lost.
+        lost_pns = [
+            pn for pn in in_flight if pn + PACKET_THRESHOLD <= self._largest_acked
+        ]
+        if newly_acked > 0:
+            self._cc.on_ack(newly_acked, now)
+        if lost_pns:
+            # One congestion response per loss event (per ACK round),
+            # mirroring TCP fast retransmit, not one per packet.
+            self._cc.on_fast_retransmit(now)
+            if self._tracer is not None:
+                self._cc.trace_sample(
+                    self._tracer, self.name, "fast_retransmit", self._rto, self._flight_bytes
+                )
+            for pn in lost_pns:
+                entry = in_flight.pop(pn)
+                entry[4].cancel()
+                self._flight_bytes -= len(entry[2])
+                self._retransmit(entry, "fast", pn)
+        elif newly_acked > 0 and self._tracer is not None:
+            self._cc.trace_sample(
+                self._tracer, self.name, "ack", self._rto, self._flight_bytes
+            )
+        self._pump()
+        if self._buffered < self._max_buffer:
+            self._was_full = False
+            if self.endpoint is not None and self.endpoint.on_writable is not None:
+                self.endpoint.on_writable()
+
+    # ------------------------------------------------------------------
+    # receiver side (runs at the *other* host; links already added delay)
+    # ------------------------------------------------------------------
+    def _on_packet_arrival(self, pn: int, frame: tuple) -> None:
+        duplicate = pn <= self._rcv_floor or pn in self._rcv_above
+        gap_before = bool(self._rcv_above)
+        if not duplicate:
+            if pn == self._rcv_floor + 1:
+                self._rcv_floor = pn
+                above = self._rcv_above
+                while self._rcv_floor + 1 in above:
+                    self._rcv_floor += 1
+                    above.discard(self._rcv_floor)
+            else:
+                self._rcv_above.add(pn)
+            self._deliver_frame(frame)
+        if self._rcv_above or (duplicate and not gap_before):
+            # A hole in the packet-number space (or a spurious
+            # duplicate): ACK immediately so loss detection at the
+            # sender sees the skip without waiting out the ACK delay —
+            # the analogue of TCP's immediate duplicate ACK.
+            self._send_ack_now()
+            return
+        self._packets_since_ack += 1
+        if self._packets_since_ack >= DELAYED_ACK_SEGMENTS:
+            self._send_ack_now()
+        elif not self._ack_timer.armed:
+            self._ack_timer.start(DELAYED_ACK_TIMEOUT_MS)
+
+    def _deliver_frame(self, frame: tuple) -> None:
+        stream_id, offset, payload, fin = frame
+        state = self._streams.get(stream_id)
+        if state is None:
+            state = [0, {}]
+            self._streams[stream_id] = state
+        next_offset, pending = state
+        if offset > next_offset:
+            # A hole earlier in *this* stream; buffer until it fills.
+            # Other streams keep delivering — the HoL-blocking contrast
+            # with TCP's single sequence space.
+            pending[offset] = (payload, fin)
+            return
+        if offset < next_offset or (offset in pending):
+            return  # spuriously retransmitted frame, already have it
+        self._deliver(stream_id, payload, fin)
+        next_offset = offset + len(payload)
+        recovered = 0
+        while next_offset in pending:
+            chunk, chunk_fin = pending.pop(next_offset)
+            self._deliver(stream_id, chunk, chunk_fin)
+            recovered += len(chunk)
+            next_offset += len(chunk)
+        state[0] = next_offset
+        if recovered > 0 and self._tracer is not None:
+            # This frame filled a gap that had later bytes parked
+            # behind it: a stream-level loss recovery.
+            self._tracer.quic_stream_recovered(self.name, stream_id, recovered)
+
+    def _deliver(self, stream_id: int, payload: bytes, fin: bool) -> None:
+        self.bytes_delivered += len(payload)
+        receiver = self.receiver_endpoint
+        if receiver is None:
+            return
+        if stream_id == CONTROL_STREAM:
+            if payload and receiver.on_data is not None:
+                receiver.on_data(payload)
+        elif receiver.on_stream_data is not None:
+            receiver.on_stream_data(stream_id, payload, fin)
+
+    def _send_ack_now(self) -> None:
+        self._ack_timer.cancel()
+        self._packets_since_ack = 0
+        self._ack_link.transmit(
+            ACK_SIZE, self._on_ack_arrival, self._rcv_floor, tuple(sorted(self._rcv_above))
+        )
+
+
+class QuicConnection:
+    """A full-duplex QUIC connection between a client and a server.
+
+    Mirrors :class:`~repro.netsim.tcp.TcpConnection`: both directions
+    share the topology's access links, with ACKs riding the reverse
+    link.  The ``transport`` attribute lets protocol layers pick the
+    matching framing adapter.
+    """
+
+    transport = "quic"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downlink: SharedLink,
+        uplink: SharedLink,
+        conditions: NetworkConditions,
+        rng: Optional[random.Random] = None,
+        name: str = "quic",
+        tracer=None,
+    ):
+        rng = rng or random.Random(0)
+        self.name = name
+        self._c2s = _QuicHalf(
+            sim, uplink, downlink, conditions, rng, f"{name}:c2s", tracer=tracer
+        )
+        self._s2c = _QuicHalf(
+            sim, downlink, uplink, conditions, rng, f"{name}:s2c", tracer=tracer
+        )
+        self.client = QuicEndpoint(self._c2s, self._s2c, f"{name}:client")
+        self.server = QuicEndpoint(self._s2c, self._c2s, f"{name}:server")
+
+    def set_send_buffer(self, size: int) -> None:
+        """Set the send-buffer size for both directions."""
+        mss = self._c2s._mss
+        if size < mss:
+            raise NetworkError(f"send buffer must hold at least one MSS ({mss})")
+        self._c2s._max_buffer = size
+        self._s2c._max_buffer = size

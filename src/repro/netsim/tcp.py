@@ -408,6 +408,8 @@ class TcpConnection:
     versa for requests.
     """
 
+    transport = "tcp"
+
     def __init__(
         self,
         sim: Simulator,

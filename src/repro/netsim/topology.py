@@ -15,9 +15,15 @@ from typing import Callable, Dict, Optional
 from ..errors import NetworkError
 from ..sim import Simulator
 from .conditions import NetworkConditions
-from .handshake import TLS12_HANDSHAKE, HandshakeModel
+from .handshake import (
+    QUIC_0RTT_HANDSHAKE,
+    QUIC_HANDSHAKE,
+    TLS12_HANDSHAKE,
+    HandshakeModel,
+)
 from .impairment import ImpairmentPipeline
 from .link import SharedLink
+from .quic import QuicConnection
 from .tcp import TcpConnection
 
 
@@ -91,6 +97,10 @@ class Topology:
         self._domain_to_ip: Dict[str, str] = {}
         self._dns_cache: set = set()
         self._connection_count = 0
+        #: Origins already visited over QUIC this page load; a second
+        #: connection to one resumes the session (0-RTT accounting)
+        #: when ``conditions.quic_0rtt`` allows it.
+        self._quic_sessions: set = set()
 
     # ------------------------------------------------------------------
     # host / DNS management
@@ -130,14 +140,39 @@ class Topology:
         domain: str,
         on_established: Callable[[TcpConnection], None],
     ) -> None:
-        """Open a TCP+TLS connection to the host serving ``domain``.
+        """Open a transport connection to the host serving ``domain``.
 
-        The handshake delay (DNS if uncached, TCP, TLS) elapses before
-        ``on_established`` is invoked with the ready connection.
+        The handshake delay elapses before ``on_established`` is
+        invoked with the ready connection.  Over TCP that is DNS (if
+        uncached) + TCP + TLS; over QUIC it is DNS + one combined
+        round trip, or none at all for a 0-RTT resumption of an origin
+        already visited this page load.
         """
         ip = self.resolve(domain)
         dns_cached = domain in self._dns_cache
         self._dns_cache.add(domain)
+        if self.conditions.transport == "quic":
+            resumable = self.conditions.quic_0rtt and ip in self._quic_sessions
+            self._quic_sessions.add(ip)
+            model = QUIC_0RTT_HANDSHAKE if resumable else QUIC_HANDSHAKE
+            delay = model.connect_ms(self.conditions, dns_cached)
+            self._connection_count += 1
+            name = f"quic-{self._connection_count}-{domain}"
+
+            def establish_quic() -> None:
+                conn = QuicConnection(
+                    self.sim,
+                    downlink=self.downlink,
+                    uplink=self.uplink,
+                    conditions=self.conditions,
+                    rng=self._rng,
+                    name=name,
+                    tracer=self._tracer,
+                )
+                on_established(conn)
+
+            self.sim.schedule(delay, establish_quic)
+            return
         delay = self.handshake.connect_ms(self.conditions, dns_cached)
         self._connection_count += 1
         name = f"tcp-{self._connection_count}-{domain}"

@@ -161,6 +161,11 @@ class ReplayTestbed:
     ) -> PageLoadResult:
         rng = random.Random(seed)
         spec = self.built.spec
+        if self.protocol == "h1" and self.conditions.transport != "tcp":
+            raise ConfigError(
+                "the HTTP/1.1 baseline runs over TCP only; "
+                f"got transport={self.conditions.transport!r}"
+            )
         impairment_rng = None
         impairment = self.conditions.impairment
         if impairment is not None and impairment.enabled:
@@ -187,7 +192,14 @@ class ReplayTestbed:
             if self.protocol == "h1":
                 from ..h1.server import H1ReplayServer
 
-                farm.add(H1ReplayServer(ip=ip, matcher=RequestMatcher(self.db)))
+                farm.add(
+                    H1ReplayServer(
+                        ip=ip,
+                        matcher=RequestMatcher(self.db),
+                        strategy=self.strategy,
+                        tracer=tracer,
+                    )
+                )
             else:
                 farm.add(
                     ReplayServer(

@@ -62,10 +62,21 @@ class ReplayServer:
 
     # ------------------------------------------------------------------
     def accept(self, tcp: TcpConnection) -> H2Connection:
-        """Attach an H2 server endpoint to an incoming TCP connection."""
-        conn = H2Connection(
-            tcp.server, "server", chunk_size=self.chunk_size, tracer=self.tracer
-        )
+        """Attach an H2 server endpoint to an incoming connection.
+
+        The framing adapter follows the transport: H2-over-TCP for the
+        paper's stack, the H3-flavored stream mapping for QUIC.
+        """
+        if getattr(tcp, "transport", "tcp") == "quic":
+            from ..mechanisms.h2quic import H2OverQuicConnection
+
+            conn: H2Connection = H2OverQuicConnection(
+                tcp.server, "server", chunk_size=self.chunk_size, tracer=self.tracer
+            )
+        else:
+            conn = H2Connection(
+                tcp.server, "server", chunk_size=self.chunk_size, tracer=self.tracer
+            )
         conn.on_request = lambda sid, headers, prio: self._on_request(conn, sid, headers)
         self.connections.append(conn)
         return conn
@@ -80,13 +91,33 @@ class ReplayServer:
         url = _request_url(headers)
         record = self.matcher.match(url)
         digest = self._parse_cache_digest(headers)
+        plan = None
+        if (
+            record is not None
+            and record.rtype == ResourceType.HTML
+            and self.strategy is not None
+        ):
+            plan = self.strategy.plan(url, self.matcher._db, self.is_authoritative)
+            if plan.early_hint_urls:
+                # RFC 8297: the interim 103 leaves *before* the
+                # response-generation delay — that head start over
+                # final-response link headers is the whole mechanism.
+                conn.respond_informational(
+                    stream_id,
+                    [(":status", "103")]
+                    + [("link", f"<{u}>; rel=preload") for u in plan.early_hint_urls],
+                )
+                if self.tracer is not None:
+                    self.tracer.early_hints_sent(
+                        conn._trace_name, stream_id, len(plan.early_hint_urls)
+                    )
         if self.server_delay_ms > 0:
             self.sim.schedule(
                 self.server_delay_ms,
-                lambda: self._serve(conn, stream_id, url, record, digest),
+                lambda: self._serve(conn, stream_id, url, record, digest, plan),
             )
         else:
-            self._serve(conn, stream_id, url, record, digest)
+            self._serve(conn, stream_id, url, record, digest, plan)
 
     @staticmethod
     def _parse_cache_digest(headers: List[Header]):
@@ -109,14 +140,14 @@ class ReplayServer:
         url: str,
         record: Optional[ResponseRecord],
         digest=None,
+        plan: Optional[PushPlan] = None,
     ) -> None:
         self.requests_served += 1
         if record is None:
             conn.respond(stream_id, [(":status", "404")], end_stream=True)
             return
         is_document = record.rtype == ResourceType.HTML and self.strategy is not None
-        plan = None
-        if is_document:
+        if is_document and plan is None:
             plan = self.strategy.plan(url, self.matcher._db, self.is_authoritative)
         response_headers = record.response_headers()
         if plan is not None and plan.hint_urls:

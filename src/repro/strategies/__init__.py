@@ -1,7 +1,7 @@
 """Server Push strategies and the push-order computation."""
 
 from .base import AuthorityCheck, PushPlan, PushStrategy
-from .hints import HintAndPushStrategy, PreloadHintStrategy
+from .hints import EarlyHintsStrategy, HintAndPushStrategy, PreloadHintStrategy
 from .order import DependencyNode, DependencyTree, computed_push_order, majority_vote_order
 from .simple import (
     NoPushStrategy,
@@ -15,6 +15,7 @@ __all__ = [
     "AuthorityCheck",
     "DependencyNode",
     "DependencyTree",
+    "EarlyHintsStrategy",
     "HintAndPushStrategy",
     "NoPushStrategy",
     "PreloadHintStrategy",

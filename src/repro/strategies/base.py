@@ -36,6 +36,11 @@ class PushPlan:
     #: of being pushed (MetaPush / Vroom style server-aided discovery).
     #: Unlike pushes, hints may name resources on *other* servers.
     hint_urls: List[str] = field(default_factory=list)
+    #: URLs announced in an interim **103 Early Hints** response sent
+    #: before the server starts generating the final response.  Like
+    #: ``hint_urls`` they may cross origins; unlike them they reach the
+    #: client ``server_delay_ms`` earlier (RFC 8297).
+    early_hint_urls: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         missing = [url for url in self.critical_urls if url not in self.urls]

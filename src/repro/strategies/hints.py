@@ -44,6 +44,34 @@ class PreloadHintStrategy(PushStrategy):
         return PushPlan(hint_urls=list(hints))
 
 
+class EarlyHintsStrategy(PushStrategy):
+    """Announce resources in an interim 103 response; push nothing.
+
+    The hints leave the server *before* the base document is generated
+    (ahead of ``server_delay_ms``), which is the mechanism's edge over
+    plain link headers — and they work with Server Push disabled,
+    which is why Chrome kept 103 after removing push.
+    """
+
+    name = "early_hints"
+    client_push_enabled = False
+
+    def __init__(self, urls: Optional[Sequence[str]] = None):
+        #: URLs to hint; ``None`` = every recorded sub-resource.
+        self.urls = list(urls) if urls is not None else None
+
+    def plan(
+        self,
+        main_url: str,
+        db: RecordDatabase,
+        is_authoritative: AuthorityCheck,
+    ) -> PushPlan:
+        hints = self.urls
+        if hints is None:
+            hints = [record.url for record in db if record.url != main_url]
+        return PushPlan(early_hint_urls=list(hints))
+
+
 class HintAndPushStrategy(PushStrategy):
     """Push authoritative resources, hint the third-party rest (Vroom)."""
 

@@ -18,6 +18,8 @@ from .core import (
     EVENT_TYPES,
     CacheHit,
     CwndSample,
+    EarlyHintsReceived,
+    EarlyHintsSent,
     FrameReceived,
     FrameSent,
     ListSink,
@@ -26,11 +28,13 @@ from .core import (
     PacketDropped,
     PacketReordered,
     Paint,
+    PreloadDiscovered,
     PushAdopted,
     PushData,
     PushPromised,
     PushReceived,
     PushRejected,
+    QuicStreamRecovered,
     ResourceDiscovered,
     ResourceFinished,
     ResourceRequested,
@@ -53,6 +57,8 @@ __all__ = [
     "CacheHit",
     "CwndSample",
     "EVENT_TYPES",
+    "EarlyHintsReceived",
+    "EarlyHintsSent",
     "FrameReceived",
     "FrameSent",
     "ListSink",
@@ -61,11 +67,13 @@ __all__ = [
     "PacketDropped",
     "PacketReordered",
     "Paint",
+    "PreloadDiscovered",
     "PushAdopted",
     "PushData",
     "PushPromised",
     "PushReceived",
     "PushRejected",
+    "QuicStreamRecovered",
     "ResourceDiscovered",
     "ResourceFinished",
     "ResourceRequested",

@@ -265,6 +265,53 @@ class Paint(TraceEvent):
     source: str
 
 
+# -- Push successors (preload / 103 Early Hints / QUIC) -----------------
+
+
+@dataclass
+class EarlyHintsSent(TraceEvent):
+    """Server emitted an interim 103 response carrying preload hints."""
+
+    qlog_name: ClassVar[str] = "hints:early_hints_sent"
+    conn: str
+    stream_id: int
+    url_count: int
+
+
+@dataclass
+class EarlyHintsReceived(TraceEvent):
+    """Client decoded an interim 103 response before the final one."""
+
+    qlog_name: ClassVar[str] = "hints:early_hints_received"
+    conn: str
+    stream_id: int
+    url_count: int
+
+
+@dataclass
+class PreloadDiscovered(TraceEvent):
+    """A preload hint entered the fetch pipeline.  ``source`` is one of
+    ``link_tag`` (markup), ``link_header`` (final-response Link
+    header), or ``early_hints`` (interim 103)."""
+
+    qlog_name: ClassVar[str] = "hints:preload_discovered"
+    url: str
+    rtype: str
+    source: str
+
+
+@dataclass
+class QuicStreamRecovered(TraceEvent):
+    """A retransmission filled a loss gap on one QUIC stream while
+    other streams kept delivering — the HoL-blocking contrast with
+    TCP, where the gap would have stalled every stream."""
+
+    qlog_name: ClassVar[str] = "quic:stream_recovered"
+    conn: str
+    stream_id: int
+    recovered_bytes: int
+
+
 #: Stable, ordered registry — the index is the binary event code, so
 #: append only; never reorder or remove (it would break stored sinks).
 EVENT_TYPES: List[type] = [
@@ -289,6 +336,10 @@ EVENT_TYPES: List[type] = [
     ResourceFinished,
     Milestone,
     Paint,
+    EarlyHintsSent,
+    EarlyHintsReceived,
+    PreloadDiscovered,
+    QuicStreamRecovered,
 ]
 
 EVENT_BY_NAME: Dict[str, type] = {cls.qlog_name: cls for cls in EVENT_TYPES}
@@ -468,3 +519,15 @@ class Tracer:
 
     def paint(self, weight: float, source: str) -> None:
         self.sink.append(Paint(self.now, weight, source))
+
+    def early_hints_sent(self, conn: str, stream_id: int, url_count: int) -> None:
+        self.sink.append(EarlyHintsSent(self.now, conn, stream_id, url_count))
+
+    def early_hints_received(self, conn: str, stream_id: int, url_count: int) -> None:
+        self.sink.append(EarlyHintsReceived(self.now, conn, stream_id, url_count))
+
+    def preload_discovered(self, url: str, rtype: str, source: str) -> None:
+        self.sink.append(PreloadDiscovered(self.now, url, rtype, source))
+
+    def quic_stream_recovered(self, conn: str, stream_id: int, recovered_bytes: int) -> None:
+        self.sink.append(QuicStreamRecovered(self.now, conn, stream_id, recovered_bytes))

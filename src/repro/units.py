@@ -81,6 +81,23 @@ def require_fraction(name: str, value: float) -> float:
     return value
 
 
+def require_choice(name: str, value: str, choices) -> str:
+    """Validate that a named knob is one of an enumerated set.
+
+    Used for registry-style configuration strings (transport names,
+    congestion controllers) so a typo fails at construction time with
+    the available options listed, not as an attribute error mid-run.
+    """
+    from .errors import ConfigError
+
+    if value not in choices:
+        raise ConfigError(
+            f"unknown {name} {value!r} "
+            f"(available: {', '.join(sorted(choices))})"
+        )
+    return value
+
+
 def fmt_kb(size_bytes: float) -> str:
     """Format a byte count as the paper does, e.g. ``'309 KB'``."""
     return f"{size_bytes / KB:,.0f} KB"

@@ -29,6 +29,7 @@ from repro.strategies.simple import NoPushStrategy, PushAllStrategy
 
 GOLDEN_PATH = Path(__file__).parent / "golden_fig3.json"
 GOLDEN_LOSSY_PATH = Path(__file__).parent / "golden_fig7_cell.json"
+GOLDEN_FIG8_PATH = Path(__file__).parent / "golden_fig8_cell.json"
 
 
 def _build_grid() -> Grid:
@@ -106,6 +107,57 @@ def _evaluate_lossy(executor=None) -> dict:
     }
 
 
+def _build_fig8_grid() -> Grid:
+    """Two pinned QUIC cells: one clean, one lossy (fig-8 shaped)."""
+    from dataclasses import replace
+
+    from repro.experiments.fig8_mechanisms import make_mechanism_site
+    from repro.mechanisms import apply_mechanism
+    from repro.netsim.conditions import DSL_TESTBED, FixedConditions
+    from repro.netsim.impairment import IIDLoss, ImpairmentConfig
+
+    spec, strategy = apply_mechanism(
+        "early_hints", make_mechanism_site(html_kb=60, image_size=24_000)
+    )
+    grid = Grid(name="determinism-guard-fig8")
+    for label, impairment in (
+        ("quic-clean", None),
+        ("quic-lossy", ImpairmentConfig(loss=IIDLoss(rate=0.02))),
+    ):
+        conditions = replace(
+            DSL_TESTBED,
+            transport="quic",
+            server_delay_ms=30.0,
+            impairment=impairment,
+        )
+        grid.add(
+            spec,
+            strategy,
+            runs=2,
+            seed_base=3,
+            conditions=FixedConditions(conditions),
+            label=label,
+        )
+    return grid
+
+
+def _evaluate_fig8(executor=None) -> dict:
+    """Fingerprint the pinned QUIC cells (transport + 103 paths active)."""
+    grid = _build_fig8_grid()
+    results = ExperimentEngine(executor=executor, cache=None).run(grid)
+    record = {}
+    for cell, result in zip(grid.cells, results):
+        record[cell.key()] = {
+            "label": cell.label,
+            "site": result.site,
+            "strategy": result.strategy,
+            "result_fingerprint": fingerprint(result),
+            "median_plt_ms": result.median_plt,
+            "median_si_ms": result.median_si,
+        }
+    return record
+
+
 def test_outputs_match_golden_record():
     assert GOLDEN_PATH.exists(), (
         "golden record missing; generate it with "
@@ -142,6 +194,37 @@ def test_lossy_cell_matches_golden_record():
             "the lossy cell no longer reproduces its golden outputs: "
             f"{actual[key]} != {expected}"
         )
+
+
+def test_fig8_quic_cells_match_golden_record():
+    """The QUIC transport and the 103 Early Hints path are under the
+    same determinism contract as the TCP+push stack: the pinned clean
+    and lossy QUIC cells must replay bit-identically from their seeds."""
+    assert GOLDEN_FIG8_PATH.exists(), (
+        "fig8 golden record missing; generate it with "
+        "`python tests/experiments/test_determinism_guard.py --regenerate`"
+    )
+    golden = json.loads(GOLDEN_FIG8_PATH.read_text())
+    actual = _evaluate_fig8()
+    assert set(actual) == set(golden), (
+        "fig8 cell cache keys drifted — transport/conditions "
+        "fingerprinting changed; cached results would silently miss"
+    )
+    for key, expected in golden.items():
+        assert actual[key] == expected, (
+            f"the {expected['label']} QUIC cell no longer reproduces its "
+            f"golden outputs: {actual[key]} != {expected}"
+        )
+
+
+def test_warm_pool_fig8_cells_match_golden_record():
+    """Run-parallel execution covers the QUIC cells too."""
+    from repro.experiments.engine import WarmPoolExecutor
+
+    golden = json.loads(GOLDEN_FIG8_PATH.read_text())
+    with WarmPoolExecutor(max_workers=3, auto_scale=False, chunk_runs=1) as executor:
+        actual = _evaluate_fig8(executor=executor)
+    assert actual == golden
 
 
 def test_warm_pool_matches_golden_record():
@@ -182,3 +265,7 @@ if __name__ == "__main__":
             json.dumps(_evaluate_lossy(), indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {GOLDEN_LOSSY_PATH}")
+        GOLDEN_FIG8_PATH.write_text(
+            json.dumps(_evaluate_fig8(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GOLDEN_FIG8_PATH}")

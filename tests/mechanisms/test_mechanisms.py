@@ -1,0 +1,205 @@
+"""Tests for the post-push mechanisms subsystem.
+
+Covers the deployment catalog (:func:`repro.mechanisms.apply_mechanism`),
+the three discovery paths it enables — preload tags, final-response link
+headers, interim 103 Early Hints over both h1 and h2 — and the
+transport axis (HTTP/2 over the QUIC model, h1's TCP-only guard).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.engine.fingerprint import fingerprint
+from repro.experiments.fig8_mechanisms import make_mechanism_site
+from repro.html.builder import build_site
+from repro.mechanisms import MECHANISMS, apply_mechanism
+from repro.netsim.conditions import DSL_TESTBED
+from repro.replay.testbed import ReplayTestbed
+from repro.trace import Tracer
+
+CONDITIONS = replace(DSL_TESTBED, server_delay_ms=30.0)
+
+
+def deploy(mechanism, transport="tcp", protocol="h2"):
+    spec, strategy = apply_mechanism(mechanism, make_mechanism_site(html_kb=40))
+    return ReplayTestbed(
+        built=build_site(spec),
+        conditions=replace(CONDITIONS, transport=transport),
+        strategy=strategy,
+        protocol=protocol,
+    )
+
+
+# ------------------------------------------------------------ catalog
+def test_apply_mechanism_catalog():
+    spec = make_mechanism_site(html_kb=40)
+    names = {}
+    for mechanism in MECHANISMS:
+        deployed, strategy = apply_mechanism(mechanism, spec)
+        names[mechanism] = strategy.name
+        if mechanism == "preload":
+            assert all(res.preload for res in deployed.resources)
+        else:
+            assert deployed is spec  # only preload rewrites the page
+    assert names == {
+        "none": "no_push",
+        "push": "push",
+        "preload": "no_push",
+        "early_hints": "early_hints",
+    }
+
+
+def test_unknown_mechanism_rejected():
+    with pytest.raises(ConfigError, match="mechanism"):
+        apply_mechanism("prefetch", make_mechanism_site(html_kb=40))
+
+
+def test_apply_mechanism_url_subset():
+    spec = make_mechanism_site(html_kb=40)
+    css = spec.url_of("style.css")
+    deployed, _ = apply_mechanism("preload", spec, urls=[css])
+    flagged = [
+        res.url(spec.primary_domain) for res in deployed.resources if res.preload
+    ]
+    assert flagged == [css]
+
+
+def test_preload_flag_is_fingerprint_neutral():
+    """Un-flagged specs must keep their historical content addresses."""
+    from repro.experiments.engine.fingerprint import jsonable
+
+    spec = make_mechanism_site(html_kb=40)
+    plain = jsonable(spec.resources[0])
+    assert "preload" not in plain
+    deployed, _ = apply_mechanism("preload", spec)
+    assert jsonable(deployed.resources[0])["preload"] is True
+
+
+def test_preload_tags_lead_the_head():
+    deployed, _ = apply_mechanism("preload", make_mechanism_site(html_kb=40))
+    html = build_site(deployed).html.decode("utf-8", "replace")
+    assert 'rel="preload" as="script"' in html
+    assert 'rel="preload" as="image"' in html
+    assert html.index('rel="preload"') < html.index("stylesheet")
+
+
+# -------------------------------------------------------- page loads
+@pytest.mark.parametrize("transport", ["tcp", "quic"])
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_every_mechanism_loads_on_every_transport(mechanism, transport):
+    result = deploy(mechanism, transport).run(seed=1)
+    assert result.plt_ms > 0
+    finished = [r for r in result.timeline.resources.values() if r.finished_at]
+    assert len(finished) == 5  # html + 4 sub-resources
+    if mechanism == "push":
+        assert result.pushed_bytes > 0
+    else:
+        assert result.pushed_bytes == 0
+
+
+@pytest.mark.parametrize("transport", ["tcp", "quic"])
+def test_announcement_mechanisms_discover_earlier(transport):
+    """Preload and 103 both recover discovery time the baseline loses
+    parsing the (server-delayed) document."""
+
+    def starts(mechanism):
+        result = deploy(mechanism, transport).run(seed=1)
+        return {
+            r.url: r.requested_at
+            for r in result.timeline.requests
+            if r.initiator != "navigation"
+        }
+
+    base = starts("none")
+    pre = starts("preload")
+    hints = starts("early_hints")
+    assert set(base) == set(pre) == set(hints)
+    # Preload tags announce everything at the top of <head>: no fetch
+    # starts later than the baseline, and the late-body resource (the
+    # last one the parser would find) starts strictly earlier.
+    assert all(pre[url] <= base[url] for url in base)
+    assert pre[max(base, key=base.get)] < max(base.values())
+    # The 103 leaves before the server's 30 ms think time, so every
+    # hinted fetch starts strictly before even the preload-tag ones.
+    assert all(hints[url] < pre[url] for url in base)
+
+
+def test_traced_quic_run_is_bit_identical():
+    """The tracer stays a pure observer on the QUIC code paths too."""
+    testbed = deploy("early_hints", "quic")
+    plain = testbed.run(seed=3)
+    tracer = Tracer()
+    traced = testbed.run(seed=3, tracer=tracer)
+    assert fingerprint(plain) == fingerprint(traced)
+    assert any(type(e).__name__ == "EarlyHintsSent" for e in tracer.events())
+
+
+# ---------------------------------------------------- discovery paths
+def events_of(tracer, name):
+    return [e for e in tracer.events() if type(e).__name__ == name]
+
+
+def test_early_hints_over_h2_start_fetches_before_the_document():
+    tracer = Tracer()
+    result = deploy("early_hints").run(seed=1, tracer=tracer)
+    sent = events_of(tracer, "EarlyHintsSent")
+    received = events_of(tracer, "EarlyHintsReceived")
+    assert sent and received
+    assert sent[0].url_count == 4
+    discovered = events_of(tracer, "PreloadDiscovered")
+    assert {e.source for e in discovered} == {"early_hints"}
+    hinted = [r for r in result.timeline.requests if r.initiator == "early_hints"]
+    assert len(hinted) == 4
+    # The hints race the server's 30 ms think time: every hinted fetch
+    # leaves before the document's first byte can arrive.
+    html_done = result.timeline.resources[result.timeline.requests[0].url].finished_at
+    assert all(r.requested_at < html_done for r in hinted)
+
+
+def test_early_hints_over_h1():
+    tracer = Tracer()
+    result = deploy("early_hints", protocol="h1").run(seed=1, tracer=tracer)
+    sent = events_of(tracer, "EarlyHintsSent")
+    received = events_of(tracer, "EarlyHintsReceived")
+    assert sent and received
+    assert sent[0].conn.startswith("h1-")
+    hinted = [r for r in result.timeline.requests if r.initiator == "early_hints"]
+    assert len(hinted) == 4
+    finished = [r for r in result.timeline.resources.values() if r.finished_at]
+    assert len(finished) == 5
+
+
+def test_preload_tags_discovered_by_the_tokenizer():
+    tracer = Tracer()
+    result = deploy("preload").run(seed=1, tracer=tracer)
+    discovered = events_of(tracer, "PreloadDiscovered")
+    assert {e.source for e in discovered} == {"link_tag"}
+    assert {e.url for e in discovered} == {
+        r.url for r in result.timeline.requests if r.initiator == "preload_tag"
+    }
+    # Every sub-resource is announced in <head>, so all four fetches
+    # start while the document is still streaming in.
+    assert len(discovered) == 4
+
+
+def test_link_header_hints_keep_their_historical_initiator():
+    """Final-response link headers predate this subsystem; their traces
+    must keep initiator "hint" or result fingerprints would drift."""
+    from repro.strategies.hints import PreloadHintStrategy
+
+    spec = make_mechanism_site(html_kb=40)
+    testbed = ReplayTestbed(
+        built=build_site(spec),
+        conditions=CONDITIONS,
+        strategy=PreloadHintStrategy(),
+    )
+    result = testbed.run(seed=1)
+    hinted = [r for r in result.timeline.requests if r.initiator == "hint"]
+    assert len(hinted) == 4
+
+
+def test_h1_requires_tcp():
+    with pytest.raises(ConfigError, match="TCP only"):
+        deploy("none", transport="quic", protocol="h1").run(seed=1)

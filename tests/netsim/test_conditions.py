@@ -148,3 +148,40 @@ def test_with_impairment_helpers():
     cubic = DSL_TESTBED.with_congestion_control("cubic")
     assert cubic.congestion_control == "cubic"
     assert DSL_TESTBED.congestion_control == "reno"
+
+
+# ------------------------------------------------- transport (PR 8)
+def test_unknown_transport_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="transport"):
+        NetworkConditions(transport="h3")
+
+
+def test_quic_0rtt_requires_quic_transport():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="quic_0rtt"):
+        NetworkConditions(quic_0rtt=True)  # default transport is tcp
+    NetworkConditions(transport="quic", quic_0rtt=True)  # fine
+
+
+def test_with_transport_helper():
+    quic = DSL_TESTBED.with_transport("quic")
+    assert quic.transport == "quic"
+    assert not quic.quic_0rtt
+    resumed = DSL_TESTBED.with_transport("quic", quic_0rtt=True)
+    assert resumed.quic_0rtt
+    assert DSL_TESTBED.transport == "tcp"  # original untouched
+
+
+def test_transport_does_not_perturb_historical_fingerprints():
+    """`transport`/`quic_0rtt` at their defaults must be invisible to
+    the engine's cache keys (FINGERPRINT_NEUTRAL), or every cached
+    TCP cell from earlier PRs would miss."""
+    from repro.experiments.engine.fingerprint import jsonable
+
+    assert "transport" not in jsonable(DSL_TESTBED)
+    assert "quic_0rtt" not in jsonable(DSL_TESTBED)
+    quic = DSL_TESTBED.with_transport("quic")
+    assert jsonable(quic)["transport"] == "quic"

@@ -28,3 +28,29 @@ def test_custom_model():
     assert model.connect_ms(DSL_TESTBED, dns_cached=False) == pytest.approx(75.0)
     assert model.dns_ms(DSL_TESTBED, cached=False) == pytest.approx(25.0)
     assert model.dns_ms(DSL_TESTBED, cached=True) == 0.0
+
+
+# ------------------------------------------------- QUIC (PR 8)
+def test_quic_handshake_saves_the_tcp_rtt():
+    from repro.netsim.handshake import QUIC_HANDSHAKE
+
+    tls13 = TLS13_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True)
+    quic = QUIC_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True)
+    assert tls13 - quic == pytest.approx(DSL_TESTBED.rtt_ms)
+
+
+def test_quic_0rtt_resumption_costs_nothing_after_dns():
+    from repro.netsim.handshake import QUIC_0RTT_HANDSHAKE
+
+    assert QUIC_0RTT_HANDSHAKE.connect_ms(DSL_TESTBED, dns_cached=True) == 0.0
+
+
+def test_negative_rtt_counts_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="dns_rtts"):
+        HandshakeModel(dns_rtts=-0.5)
+    with pytest.raises(ConfigError, match="tcp_rtts"):
+        HandshakeModel(tcp_rtts=-1)
+    with pytest.raises(ConfigError, match="tls_rtts"):
+        HandshakeModel(tls_rtts=-1)

@@ -86,6 +86,64 @@ def test_golden_trace_unchanged():
     )
 
 
+def _mechanisms_trace():
+    """A lossy QUIC + 103 Early Hints load: exercises every event the
+    mechanisms subsystem added (hints sent/received, preload discovery,
+    per-stream loss recovery)."""
+    from dataclasses import replace
+
+    from repro.experiments.fig8_mechanisms import make_mechanism_site
+    from repro.mechanisms import apply_mechanism
+    from repro.netsim.conditions import DSL_TESTBED
+    from repro.netsim.impairment import IIDLoss, ImpairmentConfig
+
+    spec, strategy = apply_mechanism("early_hints", make_mechanism_site(html_kb=60))
+    conditions = replace(
+        DSL_TESTBED,
+        transport="quic",
+        server_delay_ms=30.0,
+        impairment=ImpairmentConfig(loss=IIDLoss(rate=0.05)),
+    )
+    testbed = ReplayTestbed(
+        built=build_site(spec), conditions=conditions, strategy=strategy
+    )
+    tracer = Tracer()
+    testbed.run(seed=2, tracer=tracer)
+    return tracer.trace()
+
+
+def test_mechanism_events_export_to_qlog():
+    trace = _mechanisms_trace()
+    document = json.loads(qlog_json(trace))
+    names = {event["name"] for event in document["traces"][0]["events"]}
+    assert {
+        "hints:early_hints_sent",
+        "hints:early_hints_received",
+        "hints:preload_discovered",
+        "quic:stream_recovered",
+    } <= names
+    schema = json.loads(SCHEMA_PATH.read_text())
+    errors = validate(document, schema)
+    assert not errors, "\n".join(errors)
+    parsed = parse_qlog_events(document)
+    assert parsed.events == trace.events
+
+
+def test_event_registry_is_append_only():
+    """Binary sinks store event codes by registry index: the pre-PR-8
+    prefix must keep its exact order and the new events sit at the end."""
+    from repro.trace.core import EVENT_TYPES
+
+    names = [cls.qlog_name for cls in EVENT_TYPES]
+    assert names[-4:] == [
+        "hints:early_hints_sent",
+        "hints:early_hints_received",
+        "hints:preload_discovered",
+        "quic:stream_recovered",
+    ]
+    assert names.index("net:packet_dropped") < names.index("browser:milestone")
+
+
 def _regenerate() -> None:
     GOLDEN_PATH.write_text(
         json.dumps(json.loads(qlog_json(_golden_trace())), indent=2, sort_keys=True)
