@@ -16,10 +16,26 @@ trajectory behind:
   counter drift flags a semantics change even when the tests pass.
 * **fastcore vs oracle** — the same fig-3-shaped grid run once per
   simulation core (pure-Python oracle, fastcore, and the compiled
-  fastcore when the ``[fast]`` extra is installed).  ``--check`` fails
+  fastcore when the ``[fast]`` extra is installed).  Each timing
+  sample runs in a *fresh subprocess* (the hidden ``--fastcore-probe``
+  entry point), with the cores interleaved round-robin so allocator
+  and freelist warm-up lands on every core equally — two cores timed
+  back-to-back in one warmed process share so much interpreter state
+  that the recorded ratio collapses toward 1.0x.  ``--check`` fails
   if the cores disagree on any determinism counter or if the hpack
   round-trip micro regresses past the recorded baseline by more than
   measurement noise.
+* **fork-point replay** — the snapshot/fork subsystem, measured two
+  ways.  The *sim fan-out* benchmark runs a long strategy-invariant
+  event schedule once and forks K divergent continuations from the
+  snapshot, against K straight re-runs of the whole schedule — the
+  K-way prefix-reuse shape of candidate search.  The *paired grid*
+  benchmark runs a CRN-paired candidate grid through ``run_single``
+  with forking off and on; on page-load grids HTTP/2 commits the
+  strategy within a few events of the response, so the honest
+  end-to-end delta is small — the benchmark's job is to pin the
+  bit-identity contract (``identical_outputs``) and the prefix-cache
+  hit accounting, both enforced by ``--check``.
 * **tracing overhead** — the same fig-3-shaped grid with the trace
   subsystem disabled (every hook pays one attribute check) and with a
   live tracer per replay.  ``--check`` fails if the off-mode wall
@@ -250,48 +266,257 @@ def run_replay_benchmark(repetitions: int) -> Dict[str, object]:
 HPACK_NOISE_FACTOR = 1.15
 
 
+def _fastcore_probe(mode: str) -> int:
+    """Hidden subprocess entry point: one timed grid pass on one core.
+
+    Runs in a process of its own so every sample starts from the same
+    cold interpreter — no shared freelists, no warmed allocator, no
+    import-order luck.  Prints a single JSON line for the parent.
+    """
+    from repro.core import set_core_mode
+
+    set_core_mode(mode)
+    counters = Counters()
+    start = time.perf_counter()
+    run_replay_grid(counters)
+    wall = time.perf_counter() - start
+    print(json.dumps({"wall_s": wall, "counters": counters.to_json()}))
+    return 0
+
+
 def run_fastcore_benchmark(repetitions: int) -> Dict[str, object]:
-    """Time the frozen grid under each simulation core.
+    """Time the frozen grid under each simulation core, A/B style.
 
     The pure-Python oracle and the fastcore must produce bit-identical
     determinism counters — that equivalence is the contract that lets
     the fastcore replace the oracle at all.  The compiled fastcore is
     timed too when the mypyc extension is installed (``[fast]`` extra);
     its absence is recorded, never an error.
+
+    Methodology (PR 7): every sample is a fresh ``--fastcore-probe``
+    subprocess, and the cores are interleaved round-robin — core A,
+    core B, core A, ... — so drift (thermal, page cache, host load)
+    hits all cores alike.  The previous back-to-back in-process timing
+    reported ~1.003x because the second core inherited the first
+    core's warmed interpreter state.
     """
-    from repro.core import compiled_available, set_core_mode
+    import subprocess
 
-    def timed(mode: str) -> tuple:
-        set_core_mode(mode)
-        try:
-            counters = Counters()
-            start = time.perf_counter()
-            run_replay_grid(counters)
-            walls = [time.perf_counter() - start]
-            for _ in range(repetitions - 1):
-                start = time.perf_counter()
-                run_replay_grid(None)
-                walls.append(time.perf_counter() - start)
-            return min(walls), counters.to_json()
-        finally:
-            set_core_mode(None)
+    from repro.core import compiled_available
 
-    python_wall, python_counters = timed("python")
-    fast_wall, fast_counters = timed("fast")
-    walls = {"python": python_wall, "fast": fast_wall}
-    counters = {"python": python_counters, "fast": fast_counters}
-    identical = python_counters == fast_counters
+    modes = ["python", "fast"]
     if compiled_available():
-        compiled_wall, compiled_counters = timed("compiled")
-        walls["compiled"] = compiled_wall
-        counters["compiled"] = compiled_counters
-        identical = identical and compiled_counters == python_counters
+        modes.append("compiled")
+    rounds = max(2, repetitions)
+    walls: Dict[str, List[float]] = {mode: [] for mode in modes}
+    counters: Dict[str, object] = {}
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    for _ in range(rounds):
+        for mode in modes:
+            probe = subprocess.run(
+                [sys.executable, __file__, "--fastcore-probe", mode],
+                check=True,
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            payload = json.loads(probe.stdout.strip().splitlines()[-1])
+            walls[mode].append(payload["wall_s"])
+            # Counters are repetition-invariant; keep the last sample.
+            counters[mode] = payload["counters"]
+    best = {mode: min(walls[mode]) for mode in modes}
+    identical = all(counters[mode] == counters["python"] for mode in modes)
     return {
-        "wall_s": walls,
+        "wall_s": best,
+        "wall_all_s": walls,
+        "rounds": rounds,
+        "methodology": "interleaved fresh-process A/B (one subprocess per sample)",
         "counters": counters,
         "identical_counters": identical,
-        "speedup_fast_vs_python": round(python_wall / fast_wall, 3),
+        "speedup_fast_vs_python": round(best["python"] / best["fast"], 3),
         "compiled_available": compiled_available(),
+    }
+
+
+# ----------------------------------------------------------------------
+# fork-point replay (snapshot/fork prefix reuse, CRN paired)
+# ----------------------------------------------------------------------
+#: Sim fan-out geometry: a strategy-invariant warmup of this many
+#: events is either re-simulated per candidate (straight) or executed
+#: once and forked (snapshot).  Frozen so walls stay comparable.
+FORK_WARMUP_EVENTS = 40_000
+FORK_SUFFIX_EVENTS = 1_500
+FORK_CANDIDATES = 8
+#: Paired-grid geometry: candidates share each run's seeds (CRN), so
+#: every run_index leases one cached prefix and forks K ways.
+FORK_GRID_RUNS = 3
+
+
+def _fork_fanout_world(sim):
+    """A deterministic self-driving schedule with cancellation churn.
+
+    Closure state (the ``state`` dict) and pending handles both live in
+    the snapshot, so the fork path exercises exactly what the replay
+    testbed relies on: callbacks, cancelled events, and closures all
+    resume bit-identically.
+    """
+    state = {"ticks": 0, "acc": 0.0, "pending": []}
+
+    def noop():
+        state["acc"] = round(state["acc"] + 1e-6, 9)
+
+    def tick():
+        state["ticks"] += 1
+        state["acc"] = round(state["acc"] + (sim.now % 7.3) * 1e-3, 9)
+        sim.schedule(0.5 + (state["ticks"] % 7) * 0.25, tick)
+        state["pending"].append(sim.schedule(2.0, noop))
+        if len(state["pending"]) > 4:
+            state["pending"].pop(0).cancel()
+
+    sim.schedule(0.0, tick)
+    return state
+
+
+def _fork_divergence(sim, state, candidate: int) -> None:
+    """Inject candidate-specific work at the fork boundary."""
+
+    def bump():
+        state["acc"] = round(state["acc"] + 1e-3 * (candidate + 1), 9)
+
+    sim.schedule(0.13 * (candidate + 1), bump)
+
+
+def _fork_outcome(sim, state) -> tuple:
+    return (sim.now, sim.events_processed, state["ticks"], state["acc"])
+
+
+def run_fork_benchmark(repetitions: int) -> Dict[str, object]:
+    """Fork-point replay: K-way prefix fan-out and the CRN paired grid.
+
+    * ``sim_fanout`` — the shape the snapshot layer is built for: a
+      long strategy-invariant schedule executed once and forked into K
+      divergent continuations, versus K straight re-runs of warmup +
+      continuation.  Outcomes must match tuple-for-tuple.
+    * ``paired_grid`` — a CRN candidate grid (baseline + K push-list
+      variants, run-major) through ``run_single`` with forking off and
+      on.  Page loads diverge a handful of events into the response
+      (HTTP/2 commits the strategy in the first response flight), so
+      the end-to-end delta is structurally small; what this benchmark
+      pins is the bit-identity of forked results and the prefix-cache
+      hit accounting, both of which ``--check`` enforces.
+    """
+    from repro.core import set_fork_mode
+    from repro.experiments.runner import (
+        prefix_cache_clear,
+        prefix_cache_stats,
+        run_single,
+    )
+    from repro.population.cohorts import QUICK_PROFILE
+    from repro.replay.recorder import record_site
+    from repro.sim import new_simulator
+    from repro.strategies.simple import PushFirstNStrategy
+
+    # --- sim-level K-way fan-out ------------------------------------
+    def fanout_straight() -> List[tuple]:
+        outcomes = []
+        for candidate in range(FORK_CANDIDATES):
+            sim = new_simulator()
+            state = _fork_fanout_world(sim)
+            sim.run(stop_after_events=FORK_WARMUP_EVENTS)
+            _fork_divergence(sim, state, candidate)
+            sim.run(stop_after_events=FORK_WARMUP_EVENTS + FORK_SUFFIX_EVENTS)
+            outcomes.append(_fork_outcome(sim, state))
+        return outcomes
+
+    def fanout_forked() -> List[tuple]:
+        sim = new_simulator()
+        state = _fork_fanout_world(sim)
+        sim.run(stop_after_events=FORK_WARMUP_EVENTS)
+        snapshot = sim.snapshot(roots={"state": state}, freeze=True)
+        outcomes = []
+        for candidate in range(FORK_CANDIDATES):
+            forked, roots = snapshot.fork()
+            _fork_divergence(forked, roots["state"], candidate)
+            forked.run(
+                stop_after_events=FORK_WARMUP_EVENTS + FORK_SUFFIX_EVENTS
+            )
+            outcomes.append(_fork_outcome(forked, roots["state"]))
+        return outcomes
+
+    def best_of(fn) -> tuple:
+        walls, outcomes = [], None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            outcomes = fn()
+            walls.append(time.perf_counter() - start)
+        return min(walls), outcomes
+
+    straight_wall, straight_outcomes = best_of(fanout_straight)
+    forked_wall, forked_outcomes = best_of(fanout_forked)
+    fanout = {
+        "warmup_events": FORK_WARMUP_EVENTS,
+        "suffix_events": FORK_SUFFIX_EVENTS,
+        "candidates": FORK_CANDIDATES,
+        "wall_s": {"straight": straight_wall, "forked": forked_wall},
+        "speedup_forked_vs_straight": round(straight_wall / forked_wall, 3),
+        "identical_outputs": straight_outcomes == forked_outcomes,
+    }
+
+    # --- CRN paired candidate grid ----------------------------------
+    site = generate_corpus(QUICK_PROFILE, 1, seed=GRID_SEED)[0]
+    built = build_site(site.spec)
+    db = record_site(built)
+    candidates = [None] + [
+        PushFirstNStrategy(n) for n in range(1, FORK_CANDIDATES)
+    ]
+
+    def sweep() -> List[str]:
+        prints = []
+        # Run-major: all candidates of one run_index back-to-back, the
+        # order in which the prefix cache can serve every candidate of
+        # a (seed, conditions) pair from one lease.
+        for run_index in range(FORK_GRID_RUNS):
+            for strategy in candidates:
+                result = run_single(
+                    site.spec, strategy, run_index, built=built, db=db
+                )
+                prints.append(fingerprint(result))
+        return prints
+
+    def timed_sweep(forking: bool) -> tuple:
+        set_fork_mode(forking)
+        try:
+            walls, prints, stats = [], None, None
+            for _ in range(repetitions):
+                prefix_cache_clear()
+                start = time.perf_counter()
+                prints = sweep()
+                walls.append(time.perf_counter() - start)
+                stats = prefix_cache_stats()
+            return min(walls), prints, stats
+        finally:
+            set_fork_mode(None)
+            prefix_cache_clear()
+
+    grid_straight_wall, grid_straight_prints, _ = timed_sweep(False)
+    grid_forked_wall, grid_forked_prints, stats = timed_sweep(True)
+    paired_grid = {
+        "candidates": len(candidates),
+        "runs": FORK_GRID_RUNS,
+        "wall_s": {"straight": grid_straight_wall, "forked": grid_forked_wall},
+        "speedup_forked_vs_straight": round(
+            grid_straight_wall / grid_forked_wall, 3
+        ),
+        "identical_outputs": grid_straight_prints == grid_forked_prints,
+        "prefix_cache": stats,
+    }
+    return {
+        "sim_fanout": fanout,
+        "paired_grid": paired_grid,
+        "speedup_fork_vs_straight": fanout["speedup_forked_vs_straight"],
+        "identical_outputs": (
+            fanout["identical_outputs"] and paired_grid["identical_outputs"]
+        ),
     }
 
 
@@ -529,6 +754,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
                 micros[name] = value
     replay = run_replay_benchmark(repetitions)
     fastcore = run_fastcore_benchmark(repetitions)
+    fork = run_fork_benchmark(repetitions)
     trace = run_trace_benchmark(repetitions)
     grid = run_grid_benchmark(repetitions)
     population = run_population_benchmark()
@@ -538,6 +764,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
         "micros": micros,
         "replay": replay,
         "fastcore": fastcore,
+        "fork": fork,
         "trace": trace,
         "grid": grid,
         "population": population,
@@ -565,7 +792,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="result JSON path"
     )
+    parser.add_argument(
+        "--fastcore-probe",
+        metavar="MODE",
+        default=None,
+        help=argparse.SUPPRESS,  # subprocess entry point, not a user flag
+    )
     args = parser.parse_args(argv)
+    if args.fastcore_probe:
+        return _fastcore_probe(args.fastcore_probe)
 
     repetitions = 1 if args.quick else 3
     section = build_section(repetitions)
@@ -611,6 +846,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             speedup["fastcore_vs_oracle"] = current["fastcore"][
                 "speedup_fast_vs_python"
             ]
+        # Likewise the fork section compares straight vs forked within
+        # one run (straight execution *is* the pre-PR behavior).
+        if "fork" in current:
+            speedup["fork_vs_straight"] = current["fork"][
+                "speedup_fork_vs_straight"
+            ]
         document["speedup"] = speedup
         print(f"replay speedup vs baseline: {speedup['replay']}x")
         print(f"determinism counters match baseline: {counters_match}")
@@ -636,7 +877,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"{label} fastcore vs oracle: {fastcore['speedup_fast_vs_python']}x "
         f"(identical_counters={fastcore['identical_counters']}, "
-        f"compiled_available={fastcore['compiled_available']})"
+        f"compiled_available={fastcore['compiled_available']}, "
+        f"rounds={fastcore['rounds']}, interleaved fresh-process A/B)"
+    )
+    fork = section["fork"]
+    fanout = fork["sim_fanout"]
+    paired = fork["paired_grid"]
+    print(
+        f"{label} fork fan-out ({fanout['candidates']} candidates x "
+        f"{fanout['warmup_events']} warmup events): "
+        f"{fanout['wall_s']['straight']:.3f} / "
+        f"{fanout['wall_s']['forked']:.3f} s = "
+        f"{fanout['speedup_forked_vs_straight']}x "
+        f"(identical_outputs={fanout['identical_outputs']})"
+    )
+    print(
+        f"{label} fork paired grid: {paired['wall_s']['straight']:.3f} / "
+        f"{paired['wall_s']['forked']:.3f} s = "
+        f"{paired['speedup_forked_vs_straight']}x "
+        f"(identical_outputs={paired['identical_outputs']}, "
+        f"prefix hits={paired['prefix_cache']['hits']}/"
+        f"{paired['prefix_cache']['forks']} forks)"
     )
     trace = section["trace"]
     print(
@@ -678,6 +939,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if fastcore["counters"]["python"] != replay_counters:
             failures.append(
                 "explicit-oracle pass drifted from the replay section counters"
+            )
+        if not fanout["identical_outputs"]:
+            failures.append(
+                "forked sim fan-out diverged from the straight re-runs"
+            )
+        if not paired["identical_outputs"]:
+            failures.append(
+                "forked paired-grid results are not bit-identical to the "
+                "straight runs"
+            )
+        if paired["prefix_cache"]["hits"] <= 0:
+            failures.append(
+                "the forked paired grid produced no prefix-cache hits — "
+                "CRN candidates are not sharing their prefix"
             )
         if baseline:
             base_hpack = baseline["micros"].get("hpack_round_trip_2k_s")

@@ -72,3 +72,31 @@ def use_fastcore() -> bool:
             "REPRO_CORE=fast"
         )
     return mode in ("fast", "compiled")
+
+
+# ----------------------------------------------------------------------
+# fork-point replay (REPRO_FORK)
+# ----------------------------------------------------------------------
+#: Process-wide override for fork-point replay; ``None`` defers to env.
+_fork_override: Optional[bool] = None
+
+_FORK_OFF = ("0", "off", "false", "no")
+
+
+def fork_enabled() -> bool:
+    """True when eligible runs may reuse shared prefixes via forking.
+
+    Fork-point replay (see :mod:`repro.sim.snapshot` and DESIGN §14) is
+    bit-identical to straight-through execution, so it is on by
+    default; set ``REPRO_FORK=0`` (or :func:`set_fork_mode`) to force
+    every run straight through — CI diffs the two.
+    """
+    if _fork_override is not None:
+        return _fork_override
+    return os.environ.get("REPRO_FORK", "1").strip().lower() not in _FORK_OFF
+
+
+def set_fork_mode(enabled: Optional[bool]) -> None:
+    """Override fork-point replay for this process (``None`` → env)."""
+    global _fork_override
+    _fork_override = enabled

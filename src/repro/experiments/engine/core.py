@@ -106,7 +106,15 @@ class ExperimentEngine:
         return results  # type: ignore[return-value]
 
     def run_cell(self, cell: Cell) -> CellResult:
-        """Evaluate a single cell through the cache + executor path."""
+        """Evaluate a single cell through the cache + executor path.
+
+        Same-spec cells share one built site and record database via
+        the serial executor's site memo (``executors._memoized_site``),
+        so repeated ``run_cell`` calls — and the CRN-paired arms inside
+        one grid — also share their fork-point prefix cache entries
+        (``experiments.runner.PrefixCache`` validates by built-site
+        identity).
+        """
         return self.run(Grid(name=cell.describe(), cells=[cell]))[0]
 
     @staticmethod

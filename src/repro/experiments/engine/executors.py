@@ -44,7 +44,7 @@ import math
 import multiprocessing
 import os
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from multiprocessing import connection
@@ -70,13 +70,37 @@ ResultCallback = Callable[[int, CellResult, float], None]
 _CHUNKS_PER_WORKER = 4
 
 
+#: Serial-path site memo: same-spec cells share one ``BuiltSite`` and
+#: one ``RecordDatabase`` the way every warm-pool worker already does
+#: (``_run_warm_serial``/``_worker_main``).  Both are read-only during
+#: replay, ``_site_key`` is a content fingerprint of the spec, and
+#: ``build_site``/``record_site`` are deterministic, so the memo is
+#: invisible in every result.  Sharing the *object* (not just the
+#: bytes) is also what lets the prefix cache recognise paired cells
+#: (``PrefixCache`` validates entries by ``built`` identity).
+_SITE_MEMO_MAX = 8
+_site_memo: "OrderedDict[str, Tuple[BuiltSite, object]]" = OrderedDict()
+
+
+def _memoized_site(cell: Cell) -> Tuple[BuiltSite, object]:
+    key = _site_key(cell)
+    entry = _site_memo.get(key)
+    if entry is None:
+        built = build_site(cell.spec)
+        entry = _site_memo[key] = (built, record_site(built))
+    _site_memo.move_to_end(key)
+    while len(_site_memo) > _SITE_MEMO_MAX:
+        _site_memo.popitem(last=False)
+    return entry
+
+
 def execute_cell(cell: Cell) -> CellResult:
     """Run one cell to completion (also the legacy worker entry point).
 
     The cell's reducer folds each run as it finishes — for ``summary``
     cells no full :class:`PageLoadResult` outlives its own replay.
     """
-    built = build_site(cell.spec)
+    built, db = _memoized_site(cell)
     return run_reduced(
         cell.spec,
         cell.strategy,
@@ -85,6 +109,7 @@ def execute_cell(cell: Cell) -> CellResult:
         conditions=cell.conditions,
         built=built,
         seed_base=cell.seed_base,
+        db=db,
         trace=cell.trace,
         trace_key=cell.key() if cell.trace is not None else None,
     )

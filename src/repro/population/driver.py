@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from ..errors import ConfigError
 from ..experiments.engine import ExperimentEngine, Grid
+from ..experiments.runner import prefix_cache_clear
 from ..experiments.seeds import population_seed_base
 from .cohorts import Cohort, default_cohorts, quick_cohorts
 from .report import CohortAccumulator, PopulationResult
@@ -117,7 +118,12 @@ def run_population(
             # deterministic instead of dependent on allocation-count GC
             # heuristics — the fastcore allocates far fewer objects per
             # replay, which otherwise *delays* automatic collections
-            # and lets several batches of cycles pile up.
+            # and lets several batches of cycles pile up.  Dropping the
+            # prefix cache first releases each cached snapshot world
+            # (event queue, connections, page graph) into that same
+            # collection — paired arms within the next batch rebuild
+            # their prefixes anyway since every load draws fresh seeds.
+            prefix_cache_clear()
             gc.collect()
         result.cohorts.append(accumulator)
     return result

@@ -54,6 +54,10 @@ class ReplayServer:
         self.server_delay_ms = server_delay_ms
         self.chunk_size = chunk_size
         self.connections: List[H2Connection] = []
+        #: Armed by the fork-point testbed (a
+        #: :class:`repro.replay.testbed.ForkGate`); ``None`` on every
+        #: straight run and on every fork.
+        self.fork_gate = None
         #: Wire-level accounting for the paper's "pushed KB" numbers.
         self.pushed_bytes = 0
         self.push_streams_opened = 0
@@ -88,6 +92,17 @@ class ReplayServer:
 
     # ------------------------------------------------------------------
     def _on_request(self, conn: H2Connection, stream_id: int, headers: List[Header]) -> None:
+        gate = self.fork_gate
+        if (
+            gate is not None
+            and not gate.fired
+            and _request_url(headers) == gate.main_url
+        ):
+            # Fork point: everything before this event is
+            # strategy-invariant; everything from here on may depend on
+            # the strategy.  Only armed on discovery-pass scout worlds.
+            gate.trip(self)
+            return
         url = _request_url(headers)
         record = self.matcher.match(url)
         digest = self._parse_cache_digest(headers)

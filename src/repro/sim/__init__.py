@@ -13,6 +13,7 @@ a deployment knob rather than a code path.
 
 from .events import DEFAULT_PRIORITY, EventHandle, LaneTimer, Simulator
 from .fastcore import FastSimulator, TimerLane
+from .snapshot import SimSnapshot, SnapshotError, fork_copy
 from .timers import PeriodicTimer, Timer
 
 
@@ -35,8 +36,11 @@ __all__ = [
     "FastSimulator",
     "LaneTimer",
     "PeriodicTimer",
+    "SimSnapshot",
     "Simulator",
+    "SnapshotError",
     "Timer",
     "TimerLane",
+    "fork_copy",
     "new_simulator",
 ]

@@ -133,6 +133,13 @@ class Simulator:
         sim.run()
     """
 
+    #: State copied verbatim (through the fork memo) by
+    #: :meth:`snapshot`; everything deterministic lives here — the
+    #: calendar queue reaches the whole model graph via its callbacks.
+    _SNAPSHOT_ATTRS = ("_queue", "_seq", "_now", "_events_processed", "_live_events")
+    #: Transient state reset to a known value on each fork.
+    _SNAPSHOT_RESET = (("_running", False), ("_stopped", False))
+
     def __init__(self):
         self._queue: List[list] = []
         self._seq = 0
@@ -214,11 +221,23 @@ class Simulator:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+        stop_after_events: Optional[int] = None,
+    ) -> float:
         """Run until the queue drains, ``until`` is reached, or stopped.
 
         Returns the simulated time at which the run ended.  ``max_events``
         guards against accidental event loops in model code.
+
+        ``stop_after_events`` pauses the run at an *event boundary*: the
+        loop exits before dispatching the next event once
+        ``events_processed`` reaches the threshold.  Unlike ``stop()``
+        (which takes effect mid-callback), this leaves the world exactly
+        as a straight run left it after that many events — the property
+        fork-point snapshots rely on.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
@@ -228,6 +247,11 @@ class Simulator:
         try:
             while queue:
                 if self._stopped:
+                    break
+                if (
+                    stop_after_events is not None
+                    and self._events_processed >= stop_after_events
+                ):
                     break
                 event = queue[0]
                 if event[4]:  # cancelled
@@ -262,3 +286,32 @@ class Simulator:
         model code may poll it without scanning the calendar queue.
         """
         return self._live_events
+
+    def snapshot(self, roots=None, shared=(), freeze: bool = True):
+        """Capture the full deterministic state as a :class:`SimSnapshot`.
+
+        ``roots`` is any extra object graph (testbed, page load, tracer)
+        the caller wants back from each fork; it is copied through the
+        same memo as the queue, so shared references stay shared.  Only
+        legal on a non-running simulator — ``stop()`` first from inside
+        an event.  See :mod:`repro.sim.snapshot` for ``shared``/
+        ``freeze`` semantics.
+        """
+        from .snapshot import SimSnapshot
+
+        return SimSnapshot.capture(self, roots, shared, freeze)
+
+    @classmethod
+    def resume(cls, snapshot):
+        """Materialize one fork of ``snapshot``; returns ``(sim, roots)``.
+
+        The forked simulator continues bit-for-bit as the captured one
+        would have: same clock, sequence counter, ``events_processed``,
+        and dispatch order.
+        """
+        if snapshot.sim_class is not cls:
+            raise SimulationError(
+                f"snapshot was captured from {snapshot.sim_class.__name__}, "
+                f"cannot resume as {cls.__name__}"
+            )
+        return snapshot.fork()

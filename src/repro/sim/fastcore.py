@@ -149,6 +149,28 @@ class FastSimulator:
     module docstring for the structural differences.
     """
 
+    #: Snapshot inventory (see :mod:`repro.sim.snapshot`): the heap,
+    #: the lane deques, and the counters.  TimerLane objects reached
+    #: through model callbacks alias the same deques via the shared
+    #: fork memo, so lane membership survives a fork intact.  The
+    #: lane-minimum cache is deliberately absent: run() resets it to
+    #: None on every exit (see the finally below), so a snapshot taken
+    #: between runs never sees a live cache.
+    _SNAPSHOT_ATTRS = (
+        "_queue",
+        "_lanes",
+        "_seq",
+        "_now",
+        "_events_processed",
+        "_live_events",
+    )
+    _SNAPSHOT_RESET = (
+        ("_running", False),
+        ("_stopped", False),
+        ("_lane_best", None),
+        ("_lane_best_dq", None),
+    )
+
     def __init__(self):
         self._queue: List[list] = []
         self._lanes: List[deque] = []
@@ -238,14 +260,39 @@ class FastSimulator:
         """Number of queued, non-cancelled events (O(1) live counter)."""
         return self._live_events
 
+    def snapshot(self, roots=None, shared=(), freeze: bool = True):
+        """Capture the full deterministic state as a :class:`SimSnapshot`.
+
+        Oracle-compatible; see :meth:`repro.sim.events.Simulator.snapshot`.
+        """
+        from .snapshot import SimSnapshot
+
+        return SimSnapshot.capture(self, roots, shared, freeze)
+
+    @classmethod
+    def resume(cls, snapshot):
+        """Materialize one fork of ``snapshot``; returns ``(sim, roots)``."""
+        if snapshot.sim_class is not cls:
+            raise SimulationError(
+                f"snapshot was captured from {snapshot.sim_class.__name__}, "
+                f"cannot resume as {cls.__name__}"
+            )
+        return snapshot.fork()
+
     # ------------------------------------------------------------------
     # dispatch loop
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+        stop_after_events: Optional[int] = None,
+    ) -> float:
         """Run until the queue drains, ``until`` is reached, or stopped.
 
         Dispatch order is exactly the oracle's: global (time, priority,
-        seq) across the heap and every lane.
+        seq) across the heap and every lane.  ``stop_after_events``
+        pauses at an event boundary exactly as the oracle does.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
@@ -269,6 +316,11 @@ class FastSimulator:
                             self._now = until
                         break
                 if self._stopped:
+                    break
+                if (
+                    stop_after_events is not None
+                    and self._events_processed >= stop_after_events
+                ):
                     break
                 # Heap head, tombstones peeled.
                 while queue:

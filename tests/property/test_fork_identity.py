@@ -1,0 +1,250 @@
+"""Fork-point replay identity: snapshot -> fork == straight-through.
+
+The snapshot/fork layer (`repro.sim.snapshot`) may replace a straight
+run only because every observable is bit-identical: a world paused at
+an event boundary, snapshotted, and forked must dispatch the exact
+same events — times, order, closure state, cancellations — as the run
+that never paused.  These properties drive both simulation cores with
+random schedule/cancel programs, pause them at random boundaries, and
+require the full execution traces to be *exactly* equal (float
+equality, not approximate).
+
+The replay layer gets the same treatment: a CRN paired grid executed
+through the prefix cache with forking enabled must produce
+fingerprint-identical cell results to the straight serial path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import set_core_mode, set_fork_mode
+from repro.sim import FastSimulator, Simulator
+
+# ----------------------------------------------------------------------
+# random schedule/cancel/fork-point programs
+# ----------------------------------------------------------------------
+#: One program step; interpreted identically on the straight and the
+#: forked path.  Deliberately includes closure-carrying callbacks,
+#: lane timers, nested scheduling, and deferred cancellations — the
+#: state classes ``fork_copy`` must reconstruct.
+_op = st.one_of(
+    st.tuples(
+        st.just("schedule"),
+        st.floats(0, 100, allow_nan=False, allow_infinity=False),
+        st.integers(0, 20),
+    ),
+    st.tuples(
+        st.just("call"),
+        st.floats(0, 100, allow_nan=False, allow_infinity=False),
+    ),
+    st.tuples(
+        st.just("lane"),
+        st.integers(0, 2),
+        st.floats(0, 100, allow_nan=False, allow_infinity=False),
+    ),
+    st.tuples(st.just("cancel"), st.integers(0, 200)),
+    st.tuples(
+        st.just("nested"),
+        st.floats(0, 50, allow_nan=False, allow_infinity=False),
+        st.floats(0, 50, allow_nan=False, allow_infinity=False),
+    ),
+    st.tuples(
+        st.just("cancel_later"),
+        st.floats(0, 100, allow_nan=False, allow_infinity=False),
+        st.integers(0, 200),
+    ),
+)
+
+
+def _build_program(sim, ops):
+    """Schedule one random program; return its observable state roots."""
+    lanes = [sim.timer_lane() for _ in range(3)]
+    trace = []
+    handles = []
+
+    def record(tag):
+        trace.append((sim.now, tag))
+
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "schedule":
+            handles.append(
+                sim.schedule(op[1], lambda i=index: record(("s", i)), priority=op[2])
+            )
+        elif kind == "call":
+            sim.schedule_call(op[1], lambda i=index: record(("c", i)))
+        elif kind == "lane":
+            handles.append(
+                lanes[op[1]].schedule(op[2], lambda i=index: record(("l", i)))
+            )
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "nested":
+            def outer(i=index, child=op[2]):
+                record(("n", i))
+                sim.schedule_call(child, lambda: record(("nc", i)))
+
+            sim.schedule_call(op[1], outer)
+        elif kind == "cancel_later":
+            def canceller(i=op[2]):
+                if handles:
+                    handles[i % len(handles)].cancel()
+
+            sim.schedule_call(op[1], canceller)
+    return trace
+
+
+def _observe(sim, trace):
+    return (
+        list(trace),
+        sim.now,
+        sim.events_processed,
+        sim.pending_events(),
+    )
+
+
+def _straight(sim_cls, ops, until):
+    sim = sim_cls()
+    trace = _build_program(sim, ops)
+    sim.run(until=until)
+    return _observe(sim, trace)
+
+
+def _forked(sim_cls, ops, until, boundary):
+    """Pause at ``boundary`` events, snapshot, fork, run to the end."""
+    sim = sim_cls()
+    trace = _build_program(sim, ops)
+    sim.run(until=until, stop_after_events=boundary)
+    snapshot = sim.snapshot(roots={"trace": trace}, freeze=True)
+    forked, roots = snapshot.fork()
+    forked.run(until=until)
+    return _observe(forked, roots["trace"])
+
+
+@given(
+    ops=st.lists(_op, min_size=0, max_size=50),
+    until=st.one_of(
+        st.none(), st.floats(0, 120, allow_nan=False, allow_infinity=False)
+    ),
+    boundary=st.integers(0, 80),
+)
+@settings(max_examples=150, deadline=None)
+def test_fork_at_random_boundary_matches_straight_oracle(ops, until, boundary):
+    assert _forked(Simulator, ops, until, boundary) == _straight(
+        Simulator, ops, until
+    )
+
+
+@given(
+    ops=st.lists(_op, min_size=0, max_size=50),
+    until=st.one_of(
+        st.none(), st.floats(0, 120, allow_nan=False, allow_infinity=False)
+    ),
+    boundary=st.integers(0, 80),
+)
+@settings(max_examples=150, deadline=None)
+def test_fork_at_random_boundary_matches_straight_fastcore(ops, until, boundary):
+    assert _forked(FastSimulator, ops, until, boundary) == _straight(
+        FastSimulator, ops, until
+    )
+
+
+@given(
+    ops=st.lists(_op, min_size=0, max_size=40),
+    boundary=st.integers(0, 60),
+    candidates=st.integers(2, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_sibling_forks_are_independent(ops, boundary, candidates):
+    """Every fork of one snapshot replays identically — forks are
+    isolated worlds, not views onto shared mutable state."""
+    for sim_cls in (Simulator, FastSimulator):
+        sim = sim_cls()
+        trace = _build_program(sim, ops)
+        sim.run(stop_after_events=boundary)
+        snapshot = sim.snapshot(roots={"trace": trace}, freeze=True)
+        outcomes = []
+        for _ in range(candidates):
+            forked, roots = snapshot.fork()
+            forked.run()
+            outcomes.append(_observe(forked, roots["trace"]))
+        assert all(outcome == outcomes[0] for outcome in outcomes)
+
+
+# ----------------------------------------------------------------------
+# replay-level identity: forked page loads == straight page loads
+# ----------------------------------------------------------------------
+def _paired_grid_fingerprints(core_mode, forking):
+    from repro.experiments.engine import ExperimentEngine, Grid
+    from repro.experiments.engine.fingerprint import fingerprint
+    from repro.experiments.runner import prefix_cache_clear, prefix_cache_stats
+    from repro.netsim.conditions import CABLE, FixedConditions
+    from repro.sites.synthetic import s2_landing, s3_blog
+    from repro.strategies.simple import PushAllStrategy, PushFirstNStrategy
+
+    set_core_mode(core_mode)
+    set_fork_mode(forking)
+    prefix_cache_clear()
+    try:
+        grid = Grid(name="fork-identity")
+        for index, spec_fn in enumerate((s2_landing, s3_blog)):
+            spec = spec_fn()
+            for arm in (None, PushAllStrategy(), PushFirstNStrategy(2)):
+                grid.add(
+                    spec,
+                    arm,
+                    runs=2,
+                    seed_base=11 * (index + 1),
+                    conditions=FixedConditions(CABLE),
+                    reduce="collect",
+                )
+        results = ExperimentEngine().run(grid)
+        prints = [
+            [fingerprint(result) for result in cell.results]
+            for cell in results
+        ]
+        return prints, prefix_cache_stats()
+    finally:
+        set_core_mode(None)
+        set_fork_mode(None)
+        prefix_cache_clear()
+
+
+def test_forked_grid_fingerprints_match_serial_both_cores():
+    """The satellite contract: fork-on and fork-off cell fingerprints
+    are equal on both cores, and forking actually shares prefixes."""
+    for core_mode in ("python", "fast"):
+        straight, _ = _paired_grid_fingerprints(core_mode, forking=False)
+        forked, stats = _paired_grid_fingerprints(core_mode, forking=True)
+        assert forked == straight
+        assert stats["hits"] > 0
+
+
+def test_forked_population_cells_match_serial():
+    """CRN-paired population loads fork their shared prefix and still
+    reproduce the straight path's summaries bit for bit."""
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.engine.fingerprint import fingerprint
+    from repro.population import PopulationConfig, run_population
+    from repro.population.cohorts import quick_cohorts
+
+    def study(forking):
+        set_fork_mode(forking)
+        try:
+            config = PopulationConfig(
+                loads=4,
+                batch_size=2,
+                seed=97,
+                cohorts=quick_cohorts()[:1],
+                strategy="push_all",
+            )
+            result = run_population(config, engine=ExperimentEngine())
+            return [
+                fingerprint(accumulator.to_json())
+                for accumulator in result.cohorts
+            ]
+        finally:
+            set_fork_mode(None)
+
+    assert study(True) == study(False)
