@@ -48,6 +48,15 @@ trajectory behind:
   executor must produce fingerprint-identical results
   (``identical_outputs``), which ``--check`` enforces alongside the
   determinism counters.
+* **closed-loop optimizer** — one pinned push-policy search cell
+  (one Table-1 site, clean + lossy DSL, successive halving against the
+  CRN-paired baseline).  Records the arm-runs scheduled vs exhaustive
+  (evaluations saved by pruning), the prefix-cache hit rate across
+  sibling candidates, and the content-addressed ``table_sha``.
+  ``--check`` fails if pruning saves nothing, if the hit rate falls
+  below the floor, if the halving winner is not the full-budget
+  exhaustive argmin, or if the table sha drifts from the recorded
+  baseline.
 * **population streaming** — a one-cohort population study at 1x and
   10x load counts, recording loads/sec and the tracemalloc peak at
   both scales (plus ``ru_maxrss`` for context).  The study streams
@@ -742,6 +751,72 @@ def run_population_benchmark() -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# closed-loop optimizer
+# ----------------------------------------------------------------------
+#: Sibling candidates share CRN seeds, so most of their leases must
+#: fork a resident prefix instead of capturing a fresh one.
+OPTIMIZER_PREFIX_HIT_FLOOR = 0.5
+
+
+def run_optimizer_benchmark() -> Dict[str, object]:
+    """One pinned search cell: halving race + exhaustive reference.
+
+    The halving run records the search-cost accounting (arm-runs
+    scheduled vs exhaustive, prefix-cache reuse).  A second run with a
+    single full-budget rung and ``eta=1`` — no pruning of any kind —
+    is the exhaustive reference: both searches are deterministic, so
+    the halving winner must select the exact same policy per cell, or
+    pruning changed a decision it claims only to accelerate.
+    """
+    import dataclasses
+
+    from repro.optimizer import OptimizeConfig, run_optimize
+
+    config = OptimizeConfig(
+        sites=("w3",),
+        conditions=("clean_dsl", "lossy_dsl"),
+        rungs=(2, 3),
+        population=4,
+        neighbors_per_anchor=1,
+        restarts=2,
+    )
+    start = time.perf_counter()
+    result = run_optimize(
+        config, engine=ExperimentEngine(executor=SerialExecutor(), cache=None)
+    )
+    wall = time.perf_counter() - start
+    exhaustive_config = dataclasses.replace(
+        config, rungs=(config.rungs[-1],), eta=1
+    )
+    exhaustive = run_optimize(
+        exhaustive_config,
+        engine=ExperimentEngine(executor=SerialExecutor(), cache=None),
+    )
+    matches = all(
+        result.table.lookup(entry.site, entry.condition) is not None
+        and result.table.lookup(entry.site, entry.condition).policy
+        == entry.policy
+        for entry in exhaustive.table.entries
+    )
+    return {
+        "wall_s": round(wall, 3),
+        "evaluations": result.stats["evaluations"],
+        "exhaustive_evaluations": result.stats["exhaustive"],
+        "evaluations_saved": result.stats["saved"],
+        "saved_pct": round(result.stats["saved_pct"], 2),
+        "prefix_hits": result.stats["prefix_hits"],
+        "prefix_misses": result.stats["prefix_misses"],
+        "prefix_hit_rate": round(result.stats["prefix_hit_rate"], 3),
+        "table_sha": result.table.sha(),
+        "winners": {
+            f"{entry.site}/{entry.condition}": entry.source
+            for entry in result.table.entries
+        },
+        "matches_exhaustive_argmin": matches,
+    }
+
+
+# ----------------------------------------------------------------------
 # result recording
 # ----------------------------------------------------------------------
 def build_section(repetitions: int) -> Dict[str, object]:
@@ -758,6 +833,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
     trace = run_trace_benchmark(repetitions)
     grid = run_grid_benchmark(repetitions)
     population = run_population_benchmark()
+    optimizer = run_optimizer_benchmark()
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -768,6 +844,7 @@ def build_section(repetitions: int) -> Dict[str, object]:
         "trace": trace,
         "grid": grid,
         "population": population,
+        "optimizer": optimizer,
     }
 
 
@@ -904,6 +981,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{label} trace off/on wall: {trace['wall_off_s']:.3f} / "
         f"{trace['wall_on_s']:.3f} s ({trace['events_traced']} events traced)"
     )
+    optimizer = section["optimizer"]
+    print(
+        f"{label} optimizer: {optimizer['evaluations']} arm-runs vs "
+        f"{optimizer['exhaustive_evaluations']} exhaustive "
+        f"({optimizer['saved_pct']}% saved), prefix hit rate "
+        f"{optimizer['prefix_hit_rate']}, "
+        f"argmin match={optimizer['matches_exhaustive_argmin']}, "
+        f"table_sha={optimizer['table_sha'][:12]}"
+    )
     population = section["population"]
     print(
         f"{label} population: {population['scaled']['loads_per_s']} loads/s, "
@@ -962,6 +1048,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"hpack round trip {cur_hpack:.4f}s regressed past the "
                     f"baseline {base_hpack:.4f}s (noise factor "
                     f"{HPACK_NOISE_FACTOR}x)"
+                )
+        if optimizer["evaluations_saved"] <= 0:
+            failures.append(
+                "successive halving scheduled no fewer arm-runs than "
+                "exhaustive evaluation — pruning is not engaging"
+            )
+        if optimizer["prefix_hit_rate"] < OPTIMIZER_PREFIX_HIT_FLOOR:
+            failures.append(
+                f"optimizer prefix-cache hit rate "
+                f"{optimizer['prefix_hit_rate']} fell below the "
+                f"{OPTIMIZER_PREFIX_HIT_FLOOR} floor — sibling candidates "
+                "are not sharing replay prefixes"
+            )
+        if not optimizer["matches_exhaustive_argmin"]:
+            failures.append(
+                "the halving winner differs from the full-budget "
+                "exhaustive argmin on the pinned search cell"
+            )
+        if baseline and "optimizer" in baseline:
+            if optimizer["table_sha"] != baseline["optimizer"]["table_sha"]:
+                failures.append(
+                    "optimizer policy-table sha drifted from the recorded "
+                    "baseline — the search is no longer bit-reproducible"
                 )
         if population["memory_ratio"] > POPULATION_MEMORY_FACTOR:
             failures.append(

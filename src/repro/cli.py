@@ -24,8 +24,10 @@ prints the engine's per-grid timing/cache summary to stderr.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from .errors import ConfigError
@@ -403,6 +405,43 @@ def cmd_population(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    import json as json_module
+
+    from .optimizer import OptimizeConfig, run_optimize
+
+    config = OptimizeConfig.quick() if args.quick else OptimizeConfig()
+    overrides = {}
+    if args.sites:
+        overrides["sites"] = tuple(args.sites)
+    if args.conditions:
+        overrides["conditions"] = tuple(args.conditions)
+    if args.allocator:
+        overrides["allocator"] = args.allocator
+    if args.population is not None:
+        overrides["population"] = args.population
+    if args.rungs:
+        overrides["rungs"] = tuple(args.rungs)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    with _engine_from_args(args) as engine:
+        result = run_optimize(config, engine=engine)
+        print(result.render())
+        if args.table:
+            result.table.save(args.table)
+            print(f"wrote {args.table}", file=sys.stderr)
+        if args.json:
+            Path(args.json).write_text(
+                json_module.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+        _maybe_report(args, engine)
+    return 0
+
+
 def cmd_abtest(args) -> int:
     from .experiments.ab_testing import ABTestConfig, StrategySelector
 
@@ -540,6 +579,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(population)
     population.set_defaults(func=cmd_population)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="closed-loop push-policy search with an oracle-gap report "
+        "(beyond the paper)",
+    )
+    optimize.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized search: two small sites, tiny population, short rungs",
+    )
+    optimize.add_argument(
+        "--sites", nargs="+", metavar="SITE", default=None,
+        help="site keys to search (default: w1..w20, or the quick subset)",
+    )
+    optimize.add_argument(
+        "--conditions", nargs="+", metavar="PROFILE", default=None,
+        help="condition profiles to search under (default: clean_dsl lossy_dsl)",
+    )
+    optimize.add_argument(
+        "--allocator", choices=["halving", "bandit"], default=None,
+        help="run allocator: successive halving (default) or the "
+        "successive-elimination bandit",
+    )
+    optimize.add_argument(
+        "--population", type=int, default=None,
+        help="non-anchor candidates per site (anchors always race)",
+    )
+    optimize.add_argument(
+        "--rungs", nargs="+", type=int, metavar="RUNS", default=None,
+        help="cumulative runs per halving rung (default: 2 5)",
+    )
+    optimize.add_argument("--seed", type=int, default=None, help="population seed")
+    optimize.add_argument(
+        "--table", metavar="PATH", help="write the policy-table JSON artifact"
+    )
+    optimize.add_argument(
+        "--json", metavar="PATH",
+        help="write the full result (table, oracle gap, search cost) as JSON",
+    )
+    _add_engine_options(optimize)
+    optimize.set_defaults(func=cmd_optimize)
 
     abtest = sub.add_parser("abtest", help="CDN A/B strategy selection (§6)")
     abtest.add_argument("site")

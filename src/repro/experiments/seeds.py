@@ -26,6 +26,8 @@ return bit-identical results.
 
 from __future__ import annotations
 
+import hashlib
+
 #: Mixing constants of the seed streams (see module docstring).
 _CONDITION_STRIDE = 1_000_003
 _CONDITION_XOR = 0x5EED
@@ -34,6 +36,9 @@ _IMPAIRMENT_STRIDE = 9_999_991
 _IMPAIRMENT_XOR = 0xD10D
 _POPULATION_COHORT_STRIDE = 69_995_159
 _POPULATION_XOR = 0xB07
+_CANDIDATE_RUN_STRIDE = 7_368_787
+_CANDIDATE_XOR = 0xCA4D
+_CANDIDATE_MOD = 2**31 - 1
 
 
 def condition_seed(seed_base: int, run_index: int) -> int:
@@ -55,6 +60,45 @@ def impairment_seed(seed_base: int, run_index: int) -> int:
     decorrelated impairment patterns.
     """
     return (seed_base * _IMPAIRMENT_STRIDE + run_index) ^ _IMPAIRMENT_XOR
+
+
+def candidate_seed(site: str, policy_fingerprint: str, run: int) -> int:
+    """Seed base for run ``run`` of one optimizer-candidate evaluation.
+
+    The optimizer races many candidate policies on one site as
+    run-granular cells (``runs=1``, one cell per run index), so a
+    candidate's measurement identity is the returned seed base plus the
+    cell's own content-addressed key.  Two properties are load-bearing:
+
+    * **CRN pairing** — the stream depends only on ``(site, run)``;
+      ``policy_fingerprint`` is deliberately NOT mixed in.  Every arm
+      of a race — the ``none`` baseline included — draws identical
+      network/jitter/loss streams at the same run index, so per-run
+      paired differences isolate the policy.  The same invariance makes
+      the K sibling candidates of one run hash to one
+      ``PrefixCache`` lease ``(load_seed, impairment_seed,
+      push_enabled)`` and fork a shared replay prefix.
+    * **Rung-geometry independence** — the seed does not depend on how
+      many runs a rung asks for, so promoting a survivor from 2 to 5
+      runs only adds new single-run cells; the first two stay
+      cache-addressable under their existing keys.
+
+    ``policy_fingerprint`` keeps call sites explicit about *what* is
+    being evaluated (and reserves the signature for per-policy
+    decorrelation should a future design want it); the result cache
+    already distinguishes candidates because the policy's strategy is
+    part of each cell's key.
+
+    The site enters through a stable content hash — never ``hash()``,
+    which is salted per process and would break cross-process caching.
+    """
+    if not isinstance(policy_fingerprint, str) or not policy_fingerprint:
+        raise ValueError("policy_fingerprint must be a non-empty string")
+    if run < 0:
+        raise ValueError("run must be non-negative")
+    digest = hashlib.sha256(site.encode("utf-8")).digest()
+    site_stream = int.from_bytes(digest[:8], "big")
+    return ((site_stream ^ _CANDIDATE_XOR) + run * _CANDIDATE_RUN_STRIDE) % _CANDIDATE_MOD
 
 
 def population_seed_base(population_seed: int, cohort_index: int, load_index: int) -> int:

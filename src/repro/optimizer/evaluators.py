@@ -1,0 +1,204 @@
+"""Engine-backed arm evaluators for the racer.
+
+Two cell geometries, one :class:`~repro.optimizer.racer.ArmEvaluator`
+protocol:
+
+:class:`GridRunEvaluator` (the optimizer's mode)
+    Every (arm, run index) is its own single-run cell whose seed base
+    is :func:`repro.experiments.seeds.candidate_seed` — depending on
+    (site, run) only, never on the policy.  Consequences, in order of
+    importance: all arms of one run are CRN-paired with the baseline;
+    promoting a survivor to more runs only *adds* cells (earlier runs
+    stay cache-addressed under their existing keys, whatever the rung
+    geometry); and the K sibling candidates of one run share a single
+    :class:`~repro.experiments.runner.PrefixCache` lease, so they fork
+    one captured replay prefix instead of replaying K handshakes.  To
+    keep that sharing effective, cells are scheduled **run-major**
+    with arms grouped by (site variant, push-enabled) — the prefix
+    cache validates by built-site identity, so interleaving variants
+    would thrash it.
+
+:class:`GridCellEvaluator` (the A/B lab mode)
+    One multi-run cell per arm at a fixed seed base — exactly the grid
+    the §6 ``StrategySelector`` lab phase has always built, byte-
+    identical cache keys included.  Meant for single-rung races; a
+    rung promotion re-runs the whole cell (the engine key embeds
+    ``runs``), which is the historical cost model of that phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.engine import ExperimentEngine, Grid
+from ..experiments.engine.fingerprint import fingerprint
+from ..experiments.runner import CellResult, prefix_cache_stats
+from ..experiments.seeds import candidate_seed
+from ..html.spec import WebsiteSpec
+from ..netsim.conditions import ConditionSampler, FixedConditions, NetworkConditions
+from ..strategies.base import PushStrategy
+from .racer import ArmEvaluator, RunPoint
+
+#: An arm's deployment: the spec to serve and the strategy to run.
+Arm = Tuple[WebsiteSpec, Optional[PushStrategy]]
+
+
+class GridRunEvaluator(ArmEvaluator):
+    """Run-granular CRN-paired cells (see module docstring)."""
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        site: str,
+        arms: Dict[str, Arm],
+        conditions: Optional[NetworkConditions] = None,
+        grid_name: str = "optimize",
+        reduce: str = "summary",
+    ):
+        self.engine = engine
+        self.site = site
+        self.arms = dict(arms)
+        self.sampler: Optional[ConditionSampler] = (
+            FixedConditions(conditions) if conditions is not None else None
+        )
+        self.grid_name = grid_name
+        self.reduce = reduce
+        self._points: Dict[str, List[RunPoint]] = {name: [] for name in arms}
+        self._pushed: Dict[str, int] = {}
+        self._evaluations = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        # Policy fingerprints (per-arm identity handed to candidate_seed)
+        # and the prefix-sharing group: arms with the same built site and
+        # client push profile can lease one prefix per run.
+        self._fps = {
+            name: fingerprint({"spec": spec, "strategy": strategy})
+            for name, (spec, strategy) in self.arms.items()
+        }
+        groups: Dict[tuple, int] = {}
+        self._group: Dict[str, int] = {}
+        for name, (spec, strategy) in self.arms.items():
+            push_enabled = strategy is None or strategy.client_push_enabled
+            key = (fingerprint(spec), push_enabled)
+            self._group[name] = groups.setdefault(key, len(groups))
+
+    # ------------------------------------------------------------------
+    def ensure(self, requests: Dict[str, int]) -> None:
+        unknown = set(requests) - set(self.arms)
+        if unknown:
+            raise KeyError(f"unknown arms: {sorted(unknown)}")
+        max_runs = max(requests.values(), default=0)
+        ordered = sorted(requests, key=lambda name: self._group[name])
+        grid = Grid(name=self.grid_name)
+        slots: List[Tuple[str, int]] = []
+        for run in range(max_runs):
+            for name in ordered:
+                if run >= requests[name] or run < len(self._points[name]):
+                    continue
+                spec, strategy = self.arms[name]
+                grid.add(
+                    spec,
+                    strategy,
+                    runs=1,
+                    seed_base=candidate_seed(self.site, self._fps[name], run),
+                    conditions=self.sampler,
+                    label=f"{self.site}/{name}/r{run}",
+                    reduce=self.reduce,
+                )
+                slots.append((name, run))
+        if not slots:
+            return
+        before = prefix_cache_stats()
+        results = self.engine.run(grid)
+        after = prefix_cache_stats()
+        self.prefix_hits += after["hits"] - before["hits"]
+        self.prefix_misses += after["misses"] - before["misses"]
+        self._evaluations += len(slots)
+        for (name, run), result in zip(slots, results):
+            points = self._points[name]
+            if run != len(points):  # pragma: no cover - scheduling bug guard
+                raise AssertionError(
+                    f"{name}: run {run} arrived with {len(points)} points"
+                )
+            points.append(
+                RunPoint(si_ms=result.si_values[0], plt_ms=result.plt_values[0])
+            )
+            self._pushed.setdefault(name, result.pushed_bytes)
+
+    def points(self, name: str) -> List[RunPoint]:
+        return list(self._points[name])
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations
+
+    def pushed_bytes(self, name: str) -> int:
+        return self._pushed.get(name, 0)
+
+    def prefix_stats(self) -> Dict[str, int]:
+        """Prefix-cache activity attributable to this evaluator's grids."""
+        return {"hits": self.prefix_hits, "misses": self.prefix_misses}
+
+
+class GridCellEvaluator(ArmEvaluator):
+    """One multi-run cell per arm (the historical A/B lab grid)."""
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        arms: Dict[str, Arm],
+        grid_name: str = "race",
+        label_for: Optional[Callable[[str], str]] = None,
+        seed_base: int = 0,
+        conditions: Optional[ConditionSampler] = None,
+    ):
+        self.engine = engine
+        self.arms = dict(arms)
+        self.grid_name = grid_name
+        self.label_for = label_for or (lambda name: name)
+        self.seed_base = seed_base
+        self.conditions = conditions
+        self._results: Dict[str, CellResult] = {}
+        self._runs: Dict[str, int] = {}
+        self._evaluations = 0
+
+    def ensure(self, requests: Dict[str, int]) -> None:
+        unknown = set(requests) - set(self.arms)
+        if unknown:
+            raise KeyError(f"unknown arms: {sorted(unknown)}")
+        grid = Grid(name=self.grid_name)
+        scheduled: List[Tuple[str, int]] = []
+        for name, runs in requests.items():
+            if self._runs.get(name, 0) >= runs:
+                continue
+            spec, strategy = self.arms[name]
+            grid.add(
+                spec,
+                strategy,
+                runs=runs,
+                seed_base=self.seed_base,
+                conditions=self.conditions,
+                label=self.label_for(name),
+            )
+            scheduled.append((name, runs))
+        if not scheduled:
+            return
+        for (name, runs), result in zip(scheduled, self.engine.run(grid)):
+            self._results[name] = result
+            self._runs[name] = runs
+            self._evaluations += runs
+
+    def points(self, name: str) -> List[RunPoint]:
+        result = self._results[name]
+        return [
+            RunPoint(si_ms=si, plt_ms=plt)
+            for si, plt in zip(result.si_values, result.plt_values)
+        ]
+
+    def result(self, name: str) -> CellResult:
+        """The arm's full cell result (lab rankings read aggregates)."""
+        return self._results[name]
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations

@@ -1,0 +1,108 @@
+"""The oracle-gap report: learned policies vs the paper's hand-crafted
+strategies.
+
+Meireles et al. frame the open question the paper leaves behind: how
+far are hand-tuned push configurations from the *best possible* one?
+Each row compares, per site × condition and at the full run budget
+with shared CRN seeds, the racer's learned policy against the best of
+the §5 deployments.  ``gap_pct`` is learned minus hand-crafted paired
+ΔSI — negative means the search found something strictly better than
+every deployment the paper ships; zero means a hand-crafted anchor was
+(or tied) the optimum of the searched space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..metrics.stats import mean
+
+
+@dataclass
+class OracleGapRow:
+    site: str
+    site_class: str
+    condition: str
+    learned: str
+    learned_delta_pct: float
+    handcrafted: str
+    handcrafted_delta_pct: float
+    ci_half_width: float
+
+    @property
+    def gap_pct(self) -> float:
+        return self.learned_delta_pct - self.handcrafted_delta_pct
+
+    @property
+    def within_ci(self) -> bool:
+        """Learned ≥ best hand-crafted, up to the CI half-width — the
+        acceptance bar for every row."""
+        return self.gap_pct <= self.ci_half_width
+
+    def to_json(self) -> dict:
+        return {
+            "site": self.site,
+            "site_class": self.site_class,
+            "condition": self.condition,
+            "learned": self.learned,
+            "learned_delta_pct": self.learned_delta_pct,
+            "handcrafted": self.handcrafted,
+            "handcrafted_delta_pct": self.handcrafted_delta_pct,
+            "gap_pct": self.gap_pct,
+            "ci_half_width": self.ci_half_width,
+            "within_ci": self.within_ci,
+        }
+
+
+@dataclass
+class OracleGapReport:
+    rows: List[OracleGapRow] = field(default_factory=list)
+
+    def add(self, row: OracleGapRow) -> None:
+        self.rows.append(row)
+        self.rows.sort(key=lambda r: (r.site, r.condition))
+
+    # ------------------------------------------------------------------
+    @property
+    def all_within_ci(self) -> bool:
+        return all(row.within_ci for row in self.rows)
+
+    @property
+    def strictly_better(self) -> int:
+        """Rows where the search beat every hand-crafted deployment."""
+        return sum(1 for row in self.rows if row.gap_pct < 0)
+
+    def mean_gap_pct(self) -> float:
+        if not self.rows:
+            return 0.0
+        return mean([row.gap_pct for row in self.rows])
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rows": [row.to_json() for row in self.rows],
+            "mean_gap_pct": self.mean_gap_pct(),
+            "strictly_better": self.strictly_better,
+            "all_within_ci": self.all_within_ci,
+        }
+
+    def render(self) -> str:
+        lines = [
+            "oracle gap: learned policy vs best hand-crafted §5 deployment",
+            f"  {'site':<12} {'class':<16} {'condition':<12} "
+            f"{'learned ΔSI':>12} {'best §5 ΔSI':>12} {'gap':>8}  source",
+        ]
+        for row in self.rows:
+            marker = "" if row.within_ci else "  !! worse than hand-crafted"
+            lines.append(
+                f"  {row.site:<12} {row.site_class:<16} {row.condition:<12} "
+                f"{row.learned_delta_pct:>+11.2f}% {row.handcrafted_delta_pct:>+11.2f}% "
+                f"{row.gap_pct:>+7.2f}%  {row.learned}{marker}"
+            )
+        if self.rows:
+            lines.append(
+                f"  mean gap {self.mean_gap_pct():+.2f}% over {len(self.rows)} cells; "
+                f"search strictly better in {self.strictly_better}, "
+                f"all within CI: {'yes' if self.all_within_ci else 'NO'}"
+            )
+        return "\n".join(lines)

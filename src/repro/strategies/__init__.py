@@ -10,6 +10,7 @@ from .simple import (
     PushFirstNStrategy,
     PushListStrategy,
 )
+from .table import TablePolicyStrategy
 
 __all__ = [
     "AuthorityCheck",
@@ -25,6 +26,7 @@ __all__ = [
     "PushListStrategy",
     "PushPlan",
     "PushStrategy",
+    "TablePolicyStrategy",
     "computed_push_order",
     "majority_vote_order",
 ]

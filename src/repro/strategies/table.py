@@ -1,0 +1,58 @@
+"""Replaying a learned push policy.
+
+The optimizer (:mod:`repro.optimizer`) distills its search result into
+a policy table: per site-class × network condition, an ordered URL
+list, a critical prefix length, and an interleaving offset.
+:class:`TablePolicyStrategy` is the deployment side of that artifact —
+a plain, fingerprintable strategy that replays one table row through
+the same ``PushPlan`` machinery the hand-crafted §5 strategies use, so
+a learned policy and a paper deployment are directly comparable cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import PushPlan, PushStrategy
+
+
+class TablePolicyStrategy(PushStrategy):
+    """Push an explicit learned policy: ordered URLs, critical prefix,
+    optional interleaving offset.
+
+    ``critical_count`` marks how many leading URLs are the critical
+    prefix the interleaving scheduler weaves into the HTML at
+    ``interleave_offset`` (§5); with ``critical_count=0`` or
+    ``interleave_offset=None`` the policy degenerates to a plain
+    ordered push list under the default scheduler.
+
+    Instances carry data only (no spec, no callables), so they pickle
+    to worker processes and fingerprint into cell cache keys exactly
+    like the built-in strategy family.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        critical_count: int = 0,
+        interleave_offset: Optional[int] = None,
+        name: str = "table_policy",
+    ):
+        if critical_count < 0 or critical_count > len(urls):
+            raise ValueError(
+                f"critical_count {critical_count} outside [0, {len(urls)}]"
+            )
+        self.urls = list(urls)
+        self.critical_count = critical_count
+        self.interleave_offset = interleave_offset
+        self.name = name
+
+    def plan(self, main_url, db, is_authoritative) -> PushPlan:
+        critical_set = set(self.urls[: self.critical_count])
+        urls = [url for url in self.urls if is_authoritative(url)]
+        critical = [url for url in urls if url in critical_set]
+        return PushPlan(
+            urls=urls,
+            critical_urls=critical,
+            interleave_offset=self.interleave_offset,
+        )

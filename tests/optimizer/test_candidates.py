@@ -1,0 +1,82 @@
+"""Candidate populations: seeded, deduplicated, anchors guaranteed."""
+
+from __future__ import annotations
+
+from repro.html.builder import build_site
+from repro.html.resources import split_url
+from repro.optimizer import (
+    CandidateConfig,
+    generate_candidates,
+    resource_table,
+)
+from repro.replay.recorder import record_site
+from repro.sites import realworld_sites
+
+
+def _spec(key="w3"):
+    return realworld_sites()[key]
+
+
+def test_population_is_a_pure_function_of_its_config():
+    spec = _spec()
+    config = CandidateConfig(population=8, neighbors_per_anchor=2, restarts=3)
+    first = generate_candidates(spec, config)
+    second = generate_candidates(spec, config)
+    assert [c.name for c in first.candidates] == [c.name for c in second.candidates]
+    assert [c.policy for c in first.candidates] == [c.policy for c in second.candidates]
+    # A different seed explores differently.
+    other = generate_candidates(spec, CandidateConfig(population=8, seed=99))
+    assert [c.policy for c in other.candidates] != [c.policy for c in first.candidates]
+
+
+def test_anchors_survive_any_population_cap():
+    """The oracle-gap guarantee is structural: even population=0 keeps
+    every §5 deployment in the pool."""
+    population = generate_candidates(_spec(), CandidateConfig(population=0))
+    assert len(population.anchors) == 6
+    names = {c.name for c in population.candidates}
+    assert set(population.anchors) <= names
+    assert all(name.startswith("s5/") for name in population.anchors)
+
+
+def test_population_deduplicates_by_policy_fingerprint():
+    population = generate_candidates(
+        _spec(), CandidateConfig(population=10, neighbors_per_anchor=3, restarts=5)
+    )
+    fingerprints = [c.policy.fingerprint() for c in population.candidates]
+    assert len(fingerprints) == len(set(fingerprints))
+
+
+def test_candidate_urls_come_from_the_variant_trace_table():
+    population = generate_candidates(
+        _spec(), CandidateConfig(population=10, neighbors_per_anchor=3, restarts=5)
+    )
+    universes = {
+        "plain": {row.url for row in resource_table(population.spec)},
+        "optimized": {row.url for row in resource_table(population.optimized_spec)},
+    }
+    for candidate in population.candidates:
+        assert set(candidate.policy.urls) <= universes[candidate.policy.variant]
+
+
+def test_spec_for_routes_variants():
+    population = generate_candidates(_spec(), CandidateConfig(population=0))
+    by_name = {c.name: c.policy for c in population.candidates}
+    assert population.spec_for(by_name["s5/push_all"]) is population.spec
+    assert (
+        population.spec_for(by_name["s5/push_all_optimized"])
+        is population.optimized_spec
+    )
+
+
+def test_resource_table_excludes_the_base_document():
+    spec = _spec()
+    db = record_site(build_site(spec))
+    rows = resource_table(spec, db)
+    assert rows, "trace table must not be empty for a Table-1 site"
+    allowed = {spec.primary_domain} | set(spec.coalesced_domains)
+    for row in rows:
+        domain, path = split_url(row.url)
+        assert domain in allowed
+        assert path != "/"
+        assert row.size > 0

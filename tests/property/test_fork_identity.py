@@ -221,6 +221,59 @@ def test_forked_grid_fingerprints_match_serial_both_cores():
         assert stats["hits"] > 0
 
 
+def test_k_sibling_candidates_share_one_prefix_entry():
+    """The optimizer's prefix-sharing contract: K sibling candidates of
+    one site, evaluated at one run index, lease the *same* prefix-cache
+    entry — their CRN seed ignores the policy fingerprint, so each run
+    costs one captured prefix per (push-enabled, variant) class plus
+    K-1 forks, never K handshakes.  The counts are exact: per run, one
+    miss for the candidate class, one for the push-disabled baseline,
+    and K-1 hits."""
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.runner import prefix_cache_clear
+    from repro.netsim.conditions import CABLE
+    from repro.optimizer.evaluators import GridRunEvaluator
+    from repro.sites import realworld_sites
+    from repro.strategies.simple import NoPushStrategy
+    from repro.strategies.table import TablePolicyStrategy
+
+    spec = realworld_sites()["w3"]
+    from repro.html.builder import build_site
+    from repro.replay.recorder import record_site
+
+    urls = [
+        record.url
+        for record in record_site(build_site(spec))
+        if record.url != f"https://{spec.primary_domain}/"
+    ]
+    assert len(urls) >= 3
+    arms = {"none": (spec, NoPushStrategy())}
+    for k in range(3):
+        arms[f"cand{k}"] = (
+            spec,
+            TablePolicyStrategy(urls[: k + 1], name=f"cand{k}"),
+        )
+    runs = 2
+    set_fork_mode(True)
+    prefix_cache_clear()
+    try:
+        evaluator = GridRunEvaluator(
+            ExperimentEngine(cache=None),
+            site=spec.name,
+            arms=arms,
+            conditions=CABLE,
+            grid_name="k-way-prefix",
+        )
+        evaluator.ensure({name: runs for name in arms})
+        stats = evaluator.prefix_stats()
+        candidates = len(arms) - 1
+        assert stats["misses"] == 2 * runs, stats
+        assert stats["hits"] == (candidates - 1) * runs, stats
+    finally:
+        set_fork_mode(None)
+        prefix_cache_clear()
+
+
 def test_forked_population_cells_match_serial():
     """CRN-paired population loads fork their shared prefix and still
     reproduce the straight path's summaries bit for bit."""
